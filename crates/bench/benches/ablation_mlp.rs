@@ -1,0 +1,53 @@
+//! Ablation — core memory-level parallelism.
+//!
+//! The paper's cores are 128-entry-ROB OoO machines; this reproduction's
+//! default core blocks on every miss (the conservative end). Because ORAM
+//! serializes transactions at the controller anyway, extra MLP mostly
+//! keeps the ORAM request queue non-empty — this ablation shows how far
+//! that matters, and that the String ORAM improvement is robust to the
+//! core model.
+
+use string_oram::{Scheme, SystemConfig};
+use string_oram_bench::{accesses_per_core, print_header, print_row, run_config};
+
+fn main() {
+    let n = accesses_per_core();
+    let workload = "libq"; // highest MPKI: most sensitive to MLP
+    print_header(&format!(
+        "Ablation: core MLP sensitivity ({workload}, {n} accesses/core)"
+    ));
+    print_row(
+        "MLP",
+        ["base cycles", "ALL cycles", "ALL saving"]
+            .map(String::from).as_ref(),
+    );
+    for cores in [1usize, 4] {
+        for mlp in [1usize, 2, 4, 8] {
+            let mut cfg = SystemConfig::hpca_default(Scheme::Baseline);
+            cfg.cores = cores;
+            cfg.core_mlp = mlp;
+            let base = run_config(cfg, workload, n, "base");
+            let mut cfg = SystemConfig::hpca_default(Scheme::All);
+            cfg.cores = cores;
+            cfg.core_mlp = mlp;
+            let all = run_config(cfg, workload, n, "all");
+            print_row(
+                &format!("{cores}c/mlp{mlp}"),
+                &[
+                    base.total_cycles.to_string(),
+                    all.total_cycles.to_string(),
+                    format!(
+                        "{:.1}%",
+                        (1.0 - all.total_cycles as f64 / base.total_cycles as f64) * 100.0
+                    ),
+                ],
+            );
+        }
+    }
+    println!(
+        "\nExpected shape: with one core, MLP keeps the ORAM pipeline fed and \
+         shortens the run; with four cores the controller is already saturated \
+         and MLP is immaterial — evidence that the paper's results do not \
+         hinge on the core model. The String ORAM saving persists throughout."
+    );
+}

@@ -1,0 +1,42 @@
+//! Extension — DRAM energy per scheme.
+//!
+//! USIMM carries a Micron-style DRAM power model; the paper reports only
+//! performance, but both optimizations should also cut energy through
+//! different terms: CB moves fewer blocks (dynamic RD/WR and ACT energy),
+//! PB shortens runtime (background energy). This harness quantifies that.
+
+use string_oram::Scheme;
+use string_oram_bench::{accesses_per_core, print_header, print_row, run_scheme};
+
+fn main() {
+    let n = accesses_per_core();
+    let workload = "black";
+    print_header(&format!(
+        "Extension: DRAM energy per scheme ({workload}, {n} accesses/core)"
+    ));
+    print_row(
+        "scheme",
+        ["total uJ", "vs base", "ACT uJ", "RD/WR uJ", "bkgnd uJ"]
+            .map(String::from).as_ref(),
+    );
+    let mut base = None;
+    for scheme in Scheme::ALL {
+        let r = run_scheme(scheme, workload, n);
+        let e = r.energy;
+        let b = *base.get_or_insert(e.total_uj());
+        print_row(
+            scheme.label(),
+            &[
+                format!("{:.1}", e.total_uj()),
+                format!("{:.3}", e.total_uj() / b),
+                format!("{:.1}", e.activate_uj),
+                format!("{:.1}", e.read_uj + e.write_uj),
+                format!("{:.1}", e.background_uj),
+            ],
+        );
+    }
+    println!(
+        "\nExpected shape: CB cuts dynamic energy (fewer blocks per eviction), \
+         PB cuts background energy (shorter runtime); ALL compounds both."
+    );
+}

@@ -1,0 +1,36 @@
+//! Fig. 4 — memory space utilization of Ring ORAM configurations.
+//!
+//! Regenerates the real/dummy capacity split for the four
+//! bandwidth-optimal (Z, A, S) configurations at L = 23 with 64 B blocks.
+//! Analytic; matches the paper exactly.
+
+use string_oram::fig4_rows;
+use string_oram_bench::{print_header, print_row};
+
+fn main() {
+    print_header("Fig. 4: memory space utilization of Ring ORAM (L = 23, 64 B blocks)");
+    print_row(
+        "config",
+        ["Z", "A", "S", "real GiB", "dummy GiB", "total GiB", "space eff."]
+            .map(String::from).as_ref(),
+    );
+    for row in fig4_rows() {
+        print_row(
+            &row.label,
+            &[
+                row.z.to_string(),
+                row.a.to_string(),
+                row.s.to_string(),
+                format!("{:.1}", row.real_gib()),
+                format!("{:.1}", row.dummy_gib()),
+                format!("{:.1}", row.total_gib()),
+                format!("{:.2}%", row.efficiency() * 100.0),
+            ],
+        );
+    }
+    println!(
+        "\nPaper reference: real capacity 4/8/16/32 GB growing linearly with Z; \
+         dummy capacity growing super-linearly (5..58 GB); Config-4 space \
+         efficiency 35.56%."
+    );
+}

@@ -1,0 +1,67 @@
+//! Fig. 10 — normalized execution time of Baseline / CB / PB / ALL across
+//! the ten workloads, with the read/evict/reshuffle/other cycle breakdown.
+//!
+//! The paper's averages: CB −11.72%, PB −18.87%, CB+PB −30.05%, with
+//! < 0.38% variation across applications.
+
+use string_oram::Scheme;
+use string_oram_bench::{
+    accesses_per_core, geomean, print_header, print_row, run_scheme, workload_names,
+};
+
+fn main() {
+    let n = accesses_per_core();
+    print_header(&format!(
+        "Fig. 10: normalized execution time (vs Baseline), {n} accesses/core"
+    ));
+    print_row(
+        "workload",
+        ["Baseline", "CB", "PB", "ALL"].map(String::from).as_ref(),
+    );
+
+    let mut norm: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for w in workload_names() {
+        let mut cycles = Vec::new();
+        for scheme in Scheme::ALL {
+            cycles.push(run_scheme(scheme, w, n).total_cycles as f64);
+        }
+        let base = cycles[0];
+        let values: Vec<String> = cycles.iter().map(|c| format!("{:.3}", c / base)).collect();
+        for (i, c) in cycles.iter().enumerate() {
+            norm[i].push(c / base);
+        }
+        print_row(w, &values);
+    }
+    print_row(
+        "GEOMEAN",
+        &norm
+            .iter()
+            .map(|v| format!("{:.3}", geomean(v)))
+            .collect::<Vec<_>>(),
+    );
+
+    // Breakdown for one representative workload (paper stacks all bars).
+    print_header("Fig. 10 inset: cycle breakdown for 'black' (fraction of own total)");
+    print_row(
+        "scheme",
+        ["read", "evict", "reshuffle", "other"]
+            .map(String::from).as_ref(),
+    );
+    for scheme in Scheme::ALL {
+        let r = run_scheme(scheme, "black", n);
+        let t = r.cycles_by_kind.total() as f64;
+        print_row(
+            scheme.label(),
+            &[
+                format!("{:.1}%", r.cycles_by_kind.read as f64 / t * 100.0),
+                format!("{:.1}%", r.cycles_by_kind.evict as f64 / t * 100.0),
+                format!("{:.1}%", r.cycles_by_kind.reshuffle as f64 / t * 100.0),
+                format!("{:.1}%", r.cycles_by_kind.other as f64 / t * 100.0),
+            ],
+        );
+    }
+    println!(
+        "\nPaper reference: CB 0.883, PB 0.811, ALL 0.700 on average; \
+         variation across workloads < 0.38%."
+    );
+}

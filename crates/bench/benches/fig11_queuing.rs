@@ -1,0 +1,62 @@
+//! Fig. 11 — normalized memory-request queuing time (read and write
+//! queues) for Baseline / CB / PB / ALL.
+//!
+//! Paper averages: read queue CB −10.41%, PB −22.53%, ALL −32.87%;
+//! write queue CB −11.83%, PB −19.46%, ALL −31.30%.
+
+use string_oram::{Scheme, SimReport};
+use string_oram_bench::{
+    accesses_per_core, geomean, print_header, print_row, run_scheme, workload_names,
+};
+
+fn main() {
+    let n = accesses_per_core();
+    // One simulation per (workload, scheme); both figures come from it.
+    let mut matrix: Vec<(&str, Vec<SimReport>)> = Vec::new();
+    for w in workload_names() {
+        let runs = Scheme::ALL.map(|s| run_scheme(s, w, n)).to_vec();
+        matrix.push((w, runs));
+    }
+
+    for (title, pick) in [
+        (
+            "Fig. 11(a): normalized READ queue queuing time",
+            (|r: &SimReport| r.mean_read_queue_wait) as fn(&SimReport) -> f64,
+        ),
+        (
+            "Fig. 11(b): normalized WRITE queue queuing time",
+            (|r: &SimReport| r.mean_write_queue_wait) as fn(&SimReport) -> f64,
+        ),
+    ] {
+        print_header(&format!("{title}, {n} accesses/core"));
+        print_row(
+            "workload",
+            ["Baseline", "CB", "PB", "ALL"].map(String::from).as_ref(),
+        );
+        let mut norm: Vec<Vec<f64>> = vec![Vec::new(); 4];
+        for (w, runs) in &matrix {
+            let base = pick(&runs[0]);
+            print_row(
+                w,
+                &runs
+                    .iter()
+                    .map(|r| format!("{:.3}", pick(r) / base))
+                    .collect::<Vec<_>>(),
+            );
+            for (i, r) in runs.iter().enumerate() {
+                norm[i].push(pick(r) / base);
+            }
+        }
+        print_row(
+            "GEOMEAN",
+            &norm
+                .iter()
+                .map(|v| format!("{:.3}", geomean(v)))
+                .collect::<Vec<_>>(),
+        );
+    }
+    println!(
+        "\nPaper reference: read queue CB 0.896 / PB 0.775 / ALL 0.671; \
+         write queue CB 0.882 / PB 0.805 / ALL 0.687."
+    );
+}

@@ -1,0 +1,190 @@
+//! Criterion microbenchmarks of the individual substrates: protocol access
+//! planning, DRAM command issue, scheduler ticks and trace generation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dram_sim::geometry::DramGeometry;
+use dram_sim::timing::TimingParams;
+use dram_sim::{AddressMapping, DramCommand, DramLocation, DramModule};
+use mem_sched::{MemoryController, RequestSpec, SchedulerPolicy, TxnId};
+use oram_collections::ObliviousMap;
+use ring_oram::crypto::BlockCipher;
+use ring_oram::recursive::{RecursiveConfig, RecursiveOram};
+use ring_oram::{BlockId, RingConfig, RingOram};
+use string_oram::{Scheme, Simulation, SystemConfig};
+use trace_synth::{by_name, TraceGenerator};
+
+fn bench_protocol_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    for (name, cfg) in [
+        ("ring_access_baseline", RingConfig::hpca_baseline()),
+        ("ring_access_cb", RingConfig::hpca_default()),
+    ] {
+        group.bench_function(name, |b| {
+            let mut oram = RingOram::new(cfg.clone(), 1);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                std::hint::black_box(oram.access(BlockId(i % 4096)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dram_issue(c: &mut Criterion) {
+    c.bench_function("dram/act_read_pre_cycle", |b| {
+        let geometry = DramGeometry::test_medium();
+        let timing = TimingParams::ddr3_1600();
+        b.iter_batched(
+            || DramModule::new(geometry.clone(), timing.clone()),
+            |mut dram| {
+                let loc = DramLocation {
+                    channel: 0,
+                    rank: 0,
+                    bank: 0,
+                    row: 5,
+                    column: 1,
+                };
+                let t = dram.timing().clone();
+                dram.issue(DramCommand::activate(loc), 0).unwrap();
+                dram.issue(DramCommand::read(loc), t.t_rcd).unwrap();
+                let pre_at = t.t_ras.max(t.t_rcd + t.t_rtp);
+                dram.issue(DramCommand::precharge(loc), pre_at).unwrap();
+                std::hint::black_box(dram.stats().total_commands())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_scheduler_tick(c: &mut Criterion) {
+    for (name, policy) in [
+        ("sched/txn_based_64req", SchedulerPolicy::TransactionBased),
+        ("sched/proactive_64req", SchedulerPolicy::proactive()),
+    ] {
+        c.bench_function(name, |b| {
+            let geometry = DramGeometry::test_medium();
+            let mapping = AddressMapping::hpca_default(&geometry);
+            b.iter_batched(
+                || {
+                    let dram =
+                        DramModule::new(geometry.clone(), TimingParams::ddr3_1600());
+                    let mut ctrl =
+                        MemoryController::new(dram, mapping.clone(), policy, 64);
+                    for i in 0..64u64 {
+                        ctrl.try_enqueue(
+                            RequestSpec {
+                                addr: dram_sim::PhysAddr(i * 4096 * 7),
+                                is_write: i % 3 == 0,
+                                txn: TxnId(i / 16),
+                            },
+                            0,
+                        )
+                        .unwrap();
+                    }
+                    ctrl
+                },
+                |mut ctrl| {
+                    let mut cycle = 0;
+                    while ctrl.pending() > 0 {
+                        ctrl.tick(cycle);
+                        cycle += 1;
+                    }
+                    std::hint::black_box(cycle)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("trace/libq_1k_records", |b| {
+        let spec = by_name("libq").unwrap();
+        b.iter_batched(
+            || TraceGenerator::new(spec.clone(), 5, 0),
+            |mut g| std::hint::black_box(g.take_records(1000)),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_data_path(c: &mut Criterion) {
+    c.bench_function("protocol/write_read_block_64b", |b| {
+        let mut oram = RingOram::new(RingConfig::test_small(), 3);
+        oram.enable_encryption(0xFEED);
+        let data = [7u8; 64];
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let id = BlockId(i % 128);
+            let _ = oram.write_block(id, &data);
+            std::hint::black_box(oram.read_block(id).1)
+        });
+    });
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    c.bench_function("crypto/seal_open_64b", |b| {
+        let cipher = BlockCipher::new(42);
+        let data = [9u8; 64];
+        let mut nonce = 0u64;
+        b.iter(|| {
+            nonce += 1;
+            let sealed = cipher.seal(nonce, &data);
+            std::hint::black_box(cipher.open(&sealed).expect("well formed"))
+        });
+    });
+}
+
+fn bench_recursive_access(c: &mut Criterion) {
+    c.bench_function("protocol/recursive_access_3maps", |b| {
+        let mut rec = RecursiveOram::new(RecursiveConfig::test_small(), 5);
+        // Keep the program working set well under the data tree's spare
+        // real capacity (cold pre-load takes ~70 % of it).
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(rec.access(BlockId(i % 128)))
+        });
+    });
+}
+
+fn bench_collections(c: &mut Criterion) {
+    c.bench_function("collections/map_get", |b| {
+        let mut map = ObliviousMap::new(RingConfig::test_small(), 256, 1);
+        for i in 0..32u32 {
+            map.put(format!("k{i}").as_bytes(), b"value").expect("room");
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(map.get(format!("k{}", i % 64).as_bytes()))
+        });
+    });
+}
+
+fn bench_system_step(c: &mut Criterion) {
+    c.bench_function("system/step_paper_default", |b| {
+        let cfg = SystemConfig::hpca_default(Scheme::All);
+        let spec = by_name("black").unwrap();
+        let traces = (0..cfg.cores)
+            .map(|c| TraceGenerator::new(spec.clone(), 1, c as u32).take_records(100_000))
+            .collect();
+        let mut sim = Simulation::new(cfg, traces);
+        b.iter(|| {
+            sim.step();
+            std::hint::black_box(sim.cycles())
+        });
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_protocol_access, bench_dram_issue, bench_scheduler_tick,
+              bench_trace_generation, bench_data_path, bench_crypto,
+              bench_recursive_access, bench_collections, bench_system_step
+);
+criterion_main!(micro);

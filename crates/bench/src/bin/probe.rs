@@ -1,0 +1,29 @@
+//! Quick timing probe: how fast does a full-scale (paper-default) run go?
+
+use std::time::Instant;
+use string_oram::Scheme;
+use string_oram_bench::run_scheme;
+
+fn main() {
+    for scheme in [Scheme::Baseline, Scheme::All] {
+        let t0 = Instant::now();
+        let r = run_scheme(scheme, "black", 200);
+        let dt = t0.elapsed();
+        println!(
+            "{scheme}: {} accesses, {} cycles, {} reqs, wall {:.2}s ({:.0} cycles/s)",
+            r.oram_accesses,
+            r.total_cycles,
+            r.requests_completed,
+            dt.as_secs_f64(),
+            r.total_cycles as f64 / dt.as_secs_f64()
+        );
+        println!(
+            "  read-conflict {:.1}% evict-conflict {:.1}% idle {:.1}% earlyPRE {:.1}% greens/read {:.2}",
+            r.row_class(ring_oram::OpKind::ReadPath).conflict_rate() * 100.0,
+            r.row_class(ring_oram::OpKind::Eviction).conflict_rate() * 100.0,
+            r.pending_bank_idle_proportion * 100.0,
+            r.early_precharge_fraction * 100.0,
+            r.protocol.greens_per_read()
+        );
+    }
+}

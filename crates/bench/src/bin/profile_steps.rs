@@ -1,0 +1,31 @@
+//! Coarse wall-time attribution of the simulation loop, via feature-free
+//! manual instrumentation: run components in isolation.
+
+use std::time::Instant;
+
+fn main() {
+    // 1. DRAM tick alone.
+    let geometry = dram_sim::geometry::DramGeometry::hpca_default();
+    let timing = dram_sim::timing::TimingParams::ddr3_1600();
+    let mut dram = dram_sim::DramModule::new(geometry, timing);
+    let t0 = Instant::now();
+    for c in 0..2_000_000u64 {
+        dram.tick(c);
+    }
+    println!("dram.tick: {:.0} ns/tick", t0.elapsed().as_nanos() as f64 / 2e6);
+
+    // 2. Full system step with empty queues (CPU-bound phase).
+    let cfg = string_oram::SystemConfig::hpca_default(string_oram::Scheme::Baseline);
+    let spec = trace_synth::by_name("black").unwrap();
+    let traces = (0..cfg.cores)
+        .map(|c| trace_synth::TraceGenerator::new(spec.clone(), 1, c as u32).take_records(400))
+        .collect();
+    let mut sim = string_oram::Simulation::new(cfg, traces);
+    let t0 = Instant::now();
+    let mut steps = 0u64;
+    while !sim.is_finished() && steps < 3_000_000 {
+        sim.step();
+        steps += 1;
+    }
+    println!("sim.step: {:.0} ns/step over {steps} steps", t0.elapsed().as_nanos() as f64 / steps as f64);
+}

@@ -1,0 +1,189 @@
+//! # string-oram-bench — experiment harnesses for the HPCA 2021 figures
+//!
+//! Each `[[bench]]` target regenerates one table or figure of the paper
+//! (see `DESIGN.md` §5 for the index), printing paper-style rows to stdout.
+//! Shared machinery lives here: workload runners, result tables and
+//! normalization helpers.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::io::Write;
+use std::sync::Mutex;
+
+use string_oram::{Scheme, SimReport, Simulation, SystemConfig};
+use trace_synth::{by_name, TraceGenerator, TraceRecord};
+
+/// Open CSV sink for the current table, when `STRING_ORAM_CSV_DIR` is set.
+static CSV_SINK: Mutex<Option<std::fs::File>> = Mutex::new(None);
+
+fn slugify(title: &str) -> String {
+    title
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_")
+        .chars()
+        .take(60)
+        .collect()
+}
+
+/// Default number of ORAM accesses (trace records) per core for figure
+/// harness runs. Override with the `STRING_ORAM_ACCESSES` environment
+/// variable to trade accuracy for time.
+#[must_use]
+pub fn accesses_per_core() -> usize {
+    std::env::var("STRING_ORAM_ACCESSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400)
+}
+
+/// Generates the per-core traces for a workload under a config.
+#[must_use]
+pub fn traces_for(cfg: &SystemConfig, workload: &str, n: usize, seed: u64) -> Vec<Vec<TraceRecord>> {
+    let spec = by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}"));
+    (0..cfg.cores)
+        .map(|c| TraceGenerator::new(spec.clone(), seed, c as u32).take_records(n))
+        .collect()
+}
+
+/// Warm-up accesses per core before measurement begins (default 0).
+/// Set `STRING_ORAM_WARMUP=<n>` to exclude the first `n` accesses per core
+/// from every figure's counters — useful for steady-state rates such as
+/// greens/read.
+#[must_use]
+pub fn warmup_per_core() -> usize {
+    std::env::var("STRING_ORAM_WARMUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Runs `workload` under `cfg` for `n` accesses per core (plus any
+/// configured warm-up, which is excluded from the report).
+///
+/// # Panics
+///
+/// Panics if the simulation exceeds its generous cycle budget (wedged).
+#[must_use]
+pub fn run_config(cfg: SystemConfig, workload: &str, n: usize, label: &str) -> SimReport {
+    let warmup = warmup_per_core();
+    let cores = cfg.cores;
+    let traces = traces_for(&cfg, workload, n + warmup, 0xBEEF);
+    let mut sim = Simulation::new(cfg, traces);
+    sim.set_label(label);
+    if warmup > 0 {
+        let warm_accesses = (warmup * cores) as u64;
+        while sim.oram_accesses() < warm_accesses && !sim.is_finished() {
+            sim.step();
+        }
+        sim.begin_measurement();
+    }
+    while !sim.is_finished() {
+        sim.step();
+    }
+    sim.report()
+}
+
+/// Runs `workload` under the paper's default configuration for a scheme.
+/// When `STRING_ORAM_SEEDS=k` (k > 1) is set, the run is repeated over `k`
+/// trace seeds and the report of the *median-cycles* run is returned, for
+/// noise-robust figures.
+#[must_use]
+pub fn run_scheme(scheme: Scheme, workload: &str, n: usize) -> SimReport {
+    let seeds: u64 = std::env::var("STRING_ORAM_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let mut reports: Vec<SimReport> = (0..seeds.max(1))
+        .map(|s| {
+            let cfg = SystemConfig::hpca_default(scheme);
+            let traces = traces_for(&cfg, workload, n, 0xBEEF ^ (s * 0x9E37));
+            let mut sim = Simulation::new(cfg, traces);
+            sim.set_label(format!("{workload}/{scheme}"));
+            sim.run(u64::MAX).expect("simulation completes")
+        })
+        .collect();
+    reports.sort_by_key(|r| r.total_cycles);
+    reports.swap_remove(reports.len() / 2)
+}
+
+/// The paper's ten workload names, figure order.
+#[must_use]
+pub fn workload_names() -> Vec<&'static str> {
+    trace_synth::all_workloads().iter().map(|w| w.name).collect()
+}
+
+/// Prints a separator + centered title, figure-style. When the
+/// `STRING_ORAM_CSV_DIR` environment variable names a directory, every
+/// subsequent [`print_row`] is also appended to
+/// `<dir>/<slug-of-title>.csv` for plotting.
+pub fn print_header(title: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{title}");
+    println!("{}", "=".repeat(78));
+    let mut sink = CSV_SINK.lock().expect("csv sink");
+    *sink = std::env::var("STRING_ORAM_CSV_DIR").ok().and_then(|dir| {
+        std::fs::create_dir_all(&dir).ok()?;
+        let path = std::path::Path::new(&dir).join(format!("{}.csv", slugify(title)));
+        std::fs::File::create(path).ok()
+    });
+}
+
+/// Prints one table row: a label column then fixed-width value columns.
+/// Mirrored to the active CSV sink, if any (see [`print_header`]).
+pub fn print_row(label: &str, values: &[String]) {
+    print!("{label:<12}");
+    for v in values {
+        print!(" {v:>12}");
+    }
+    println!();
+    if let Some(f) = CSV_SINK.lock().expect("csv sink").as_mut() {
+        let mut line = String::from(label);
+        for v in values {
+            line.push(',');
+            // Strip display-only decorations for machine consumption.
+            line.push_str(v.trim().trim_end_matches('%'));
+        }
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+/// Geometric mean of strictly positive values (the paper reports GEOMEAN
+/// bars); returns 0.0 for an empty slice.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workload_names_complete() {
+        assert_eq!(workload_names().len(), 10);
+    }
+
+    #[test]
+    fn small_run_smoke() {
+        let cfg = SystemConfig::test_small(Scheme::Baseline);
+        let r = run_config(cfg, "stream", 20, "smoke");
+        assert_eq!(r.oram_accesses, 40);
+    }
+}

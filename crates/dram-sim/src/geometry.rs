@@ -1,0 +1,209 @@
+//! Physical organization of the simulated memory module.
+
+/// Geometry of a DRAM-based main memory: how many channels, ranks, banks,
+/// rows and columns exist, and how large each addressable unit is.
+///
+/// The defaults mirror Table II of the paper: 4 channels, 1 rank per channel,
+/// 8 banks per rank, a 4 KiB row buffer holding 64 cache lines of 64 B.
+///
+/// # Examples
+///
+/// ```
+/// use dram_sim::geometry::DramGeometry;
+///
+/// let g = DramGeometry::hpca_default();
+/// assert_eq!(g.channels, 4);
+/// assert_eq!(g.row_bytes(), 4096);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DramGeometry {
+    /// Independent channels, each with its own command/address/data buses.
+    pub channels: u32,
+    /// Ranks sharing each channel's buses.
+    pub ranks_per_channel: u32,
+    /// Banks per rank (independently schedulable arrays).
+    pub banks_per_rank: u32,
+    /// Bank groups per rank (DDR4+; 1 disables bank-group timing). Banks
+    /// `b` belong to group `b % bank_groups`.
+    pub bank_groups: u32,
+    /// Rows per bank.
+    pub rows_per_bank: u64,
+    /// Columns per row, where one column is one cache line ("cachelines" in
+    /// the paper's Table II).
+    pub columns_per_row: u32,
+    /// Bytes per column (cache-line size).
+    pub column_bytes: u32,
+}
+
+impl DramGeometry {
+    /// The paper's Table II configuration: 4 channels x 1 rank x 8 banks
+    /// with a 4 KiB row buffer (64 cache lines of 64 B).
+    ///
+    /// Table II is internally inconsistent: it states 128 columns per row
+    /// *and* a 4 KiB row buffer (128 x 64 B = 8 KiB), and 16384 rows *and*
+    /// 8 GB/channel (16384 rows x 8 banks x 4 KiB = 512 MiB). We honor the
+    /// 4 KiB row buffer (which the subtree-layout discussion in the paper
+    /// relies on) and widen the row index to reach the stated 8 GB/channel
+    /// so the module can back the 20 GB ORAM tree. Banks are materialized
+    /// lazily, so the extra rows cost nothing.
+    #[must_use]
+    pub fn hpca_default() -> Self {
+        Self {
+            channels: 4,
+            ranks_per_channel: 1,
+            banks_per_rank: 8,
+            bank_groups: 1,
+            rows_per_bank: 1 << 18, // 256 Ki rows -> 8 GiB per channel
+            columns_per_row: 64,
+            column_bytes: 64,
+        }
+    }
+
+    /// A small geometry for unit tests: 2 channels x 1 rank x 4 banks with
+    /// tiny rows, so tests can exercise row/bank/channel wrap-around quickly.
+    #[must_use]
+    pub fn test_small() -> Self {
+        Self {
+            channels: 2,
+            ranks_per_channel: 1,
+            banks_per_rank: 4,
+            bank_groups: 1,
+            rows_per_bank: 64,
+            columns_per_row: 8,
+            column_bytes: 64,
+        }
+    }
+
+    /// A DDR4-style geometry: the paper's module with 16 banks in 4 bank
+    /// groups per rank (DDR4 x4/x8 devices).
+    #[must_use]
+    pub fn ddr4_default() -> Self {
+        Self {
+            channels: 4,
+            ranks_per_channel: 1,
+            banks_per_rank: 16,
+            bank_groups: 4,
+            rows_per_bank: 1 << 17,
+            columns_per_row: 64,
+            column_bytes: 64,
+        }
+    }
+
+    /// A mid-size geometry (2 GiB: 2 channels x 8 banks x 16 Ki rows of
+    /// 4 KiB) for system-level tests that need room for a real ORAM tree
+    /// while keeping the paper's row-buffer size.
+    #[must_use]
+    pub fn test_medium() -> Self {
+        Self {
+            channels: 2,
+            ranks_per_channel: 1,
+            banks_per_rank: 8,
+            bank_groups: 1,
+            rows_per_bank: 1 << 14,
+            columns_per_row: 64,
+            column_bytes: 64,
+        }
+    }
+
+    /// Bytes stored in (and restored from) one row buffer.
+    #[must_use]
+    pub fn row_bytes(&self) -> u64 {
+        u64::from(self.columns_per_row) * u64::from(self.column_bytes)
+    }
+
+    /// Total module capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.row_bytes()
+            * self.rows_per_bank
+            * u64::from(self.banks_per_rank)
+            * u64::from(self.ranks_per_channel)
+            * u64::from(self.channels)
+    }
+
+    /// Total number of banks across the whole module.
+    #[must_use]
+    pub fn total_banks(&self) -> u32 {
+        self.channels * self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// Validates that every dimension is a nonzero power of two (required by
+    /// the bit-field address mapping).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first non-power-of-two dimension.
+    pub fn validate(&self) -> Result<(), String> {
+        fn pow2(name: &str, v: u64) -> Result<(), String> {
+            if v == 0 || !v.is_power_of_two() {
+                Err(format!("{name} ({v}) must be a nonzero power of two"))
+            } else {
+                Ok(())
+            }
+        }
+        pow2("channels", u64::from(self.channels))?;
+        pow2("ranks_per_channel", u64::from(self.ranks_per_channel))?;
+        pow2("banks_per_rank", u64::from(self.banks_per_rank))?;
+        pow2("bank_groups", u64::from(self.bank_groups))?;
+        if self.bank_groups > self.banks_per_rank {
+            return Err(format!(
+                "bank_groups ({}) must not exceed banks_per_rank ({})",
+                self.bank_groups, self.banks_per_rank
+            ));
+        }
+        pow2("rows_per_bank", self.rows_per_bank)?;
+        pow2("columns_per_row", u64::from(self.columns_per_row))?;
+        pow2("column_bytes", u64::from(self.column_bytes))?;
+        Ok(())
+    }
+}
+
+impl Default for DramGeometry {
+    fn default() -> Self {
+        Self::hpca_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_row_buffer_is_4k() {
+        assert_eq!(DramGeometry::hpca_default().row_bytes(), 4096);
+    }
+
+    #[test]
+    fn default_capacity_is_32_gib() {
+        assert_eq!(
+            DramGeometry::hpca_default().capacity_bytes(),
+            32 * (1u64 << 30)
+        );
+    }
+
+    #[test]
+    fn default_validates() {
+        DramGeometry::hpca_default().validate().expect("valid");
+        DramGeometry::test_small().validate().expect("valid");
+    }
+
+    #[test]
+    fn total_banks_counts_all_levels() {
+        assert_eq!(DramGeometry::hpca_default().total_banks(), 32);
+        assert_eq!(DramGeometry::test_small().total_banks(), 8);
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let mut g = DramGeometry::hpca_default();
+        g.channels = 3;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        let mut g = DramGeometry::hpca_default();
+        g.banks_per_rank = 0;
+        assert!(g.validate().is_err());
+    }
+}

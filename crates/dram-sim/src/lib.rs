@@ -1,0 +1,57 @@
+//! # dram-sim — a cycle-accurate DRAM main-memory timing model
+//!
+//! This crate is the substrate the String ORAM reproduction runs on. The
+//! HPCA 2021 paper evaluates on USIMM (the Utah SImulated Memory Module);
+//! `dram-sim` re-implements the same abstraction in safe Rust:
+//!
+//! * a **passive, command-level DRAM model** ([`DramModule`]) that enforces
+//!   JEDEC DDR3/DDR4 timing constraints (tRCD, tRP, CL/CWL, tRAS, tRC, tCCD,
+//!   tRRD, tFAW, tWR, tWTR, tRTP), per-channel command- and data-bus
+//!   occupancy with read/write turnaround, and periodic refresh;
+//! * a **bit-field address mapping** ([`address::AddressMapping`]) with the
+//!   paper's `row:bank:column:rank:channel:offset` order as the default;
+//! * **busy/idle accounting per bank**, which the paper's Fig. 12(a) (bank
+//!   idle time) is computed from.
+//!
+//! Scheduling policy — open-page FR-FCFS, transaction-based ORAM scheduling
+//! and the paper's Proactive Bank scheduler — lives in the `mem-sched`
+//! crate; this crate only answers "may this command issue now?" and "what
+//! happens if it does?".
+//!
+//! # Example
+//!
+//! ```
+//! use dram_sim::{DramModule, DramCommand, DramLocation};
+//! use dram_sim::geometry::DramGeometry;
+//! use dram_sim::timing::TimingParams;
+//!
+//! let mut dram = DramModule::new(DramGeometry::test_small(), TimingParams::test_fast());
+//! let loc = DramLocation { channel: 0, rank: 0, bank: 1, row: 7, column: 0 };
+//!
+//! // A row-buffer miss: ACT then RD.
+//! dram.issue(DramCommand::activate(loc), 0).unwrap();
+//! let rd_at = dram.timing().t_rcd;
+//! let done = dram.issue(DramCommand::read(loc), rd_at).unwrap().data_done_at.unwrap();
+//! assert_eq!(done, rd_at + dram.timing().cl + dram.timing().t_burst);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod address;
+pub mod bank;
+pub mod channel;
+pub mod command;
+pub mod geometry;
+pub mod module;
+pub mod power;
+pub mod rank;
+pub mod stats;
+pub mod timing;
+
+pub use address::{AddressMapping, DramLocation, PhysAddr};
+pub use command::{CommandKind, DramCommand, IssueError};
+pub use geometry::DramGeometry;
+pub use module::{DramModule, IssueOutcome};
+pub use stats::DramStats;
+pub use timing::TimingParams;

@@ -1,0 +1,1036 @@
+//! The ORAM-aware memory controller.
+//!
+//! Implements the paper's two scheduling algorithms on top of the
+//! `dram-sim` timing model:
+//!
+//! * **Transaction-based scheduling** (Algorithm 1, the baseline): all
+//!   commands of ORAM transaction *i* must be issued before any command of
+//!   transaction *i+1*; within the transaction, FR-FCFS (row hits first,
+//!   then oldest-first) is used per channel.
+//! * **Proactive Bank scheduling** (Algorithm 2, the paper's PB): identical,
+//!   except that when a channel has nothing issuable from transaction *i*,
+//!   the scheduler may issue **PRE/ACT only** for transaction *i+1* requests
+//!   whose row-buffer conflicts are *inter*-transaction — i.e. whose target
+//!   bank has no pending transaction-*i* request. Data commands (RD/WR)
+//!   remain strictly transaction-ordered, so the access sequence observable
+//!   on the bus is unchanged.
+
+use dram_sim::{CommandKind, DramCommand, DramModule, PhysAddr};
+use dram_sim::AddressMapping;
+
+use crate::queue::{ChannelQueues, QueueFull};
+use crate::request::{Completed, Request, RequestSpec, RowClass, TxnId};
+use crate::stats::SchedulerStats;
+
+/// Scheduling policy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// The baseline transaction-based scheduler (paper Algorithm 1).
+    TransactionBased,
+    /// The Proactive Bank scheduler (paper Algorithm 2) with a lookahead of
+    /// `lookahead` future transactions (the paper uses 1).
+    ProactiveBank {
+        /// How many transactions past the current one may have their
+        /// PRE/ACT commands pulled forward.
+        lookahead: u64,
+    },
+    /// **Insecure ablation**: plain FR-FCFS with no transaction barrier at
+    /// all — data commands of different ORAM transactions freely
+    /// interleave. This breaks ORAM's atomic/ordered access-sequence
+    /// guarantee and exists only to quantify what the security constraint
+    /// costs (and how much of that cost PB recovers legally).
+    Unconstrained,
+}
+
+impl SchedulerPolicy {
+    /// The paper's PB configuration (lookahead of one transaction).
+    #[must_use]
+    pub fn proactive() -> Self {
+        Self::ProactiveBank { lookahead: 1 }
+    }
+
+    /// Whether the policy upholds the ORAM transaction ordering guarantee.
+    #[must_use]
+    pub fn preserves_transaction_order(self) -> bool {
+        !matches!(self, Self::Unconstrained)
+    }
+}
+
+/// Row-buffer management policy (paper §II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PagePolicy {
+    /// Keep rows open after column commands; conflicts pay PRE+ACT on the
+    /// critical path but locality is exploited. The paper's assumption.
+    #[default]
+    Open,
+    /// *Adaptive* close-page: precharge a bank as soon as no queued request
+    /// wants its open row, removing PRE from the critical path of the next
+    /// conflict while preserving pending row hits. (A literal close-page —
+    /// PRE immediately after every column command — would forfeit the
+    /// subtree layout's locality entirely; the adaptive form is the
+    /// strongest fair competitor to PB.)
+    Closed,
+}
+
+/// The memory controller: per-channel queues, a scheduling policy, and the
+/// DRAM module it drives.
+#[derive(Debug)]
+pub struct MemoryController {
+    dram: DramModule,
+    mapping: AddressMapping,
+    policy: SchedulerPolicy,
+    page_policy: PagePolicy,
+    queues: Vec<ChannelQueues>,
+    next_id: u64,
+    completed: Vec<Completed>,
+    stats: SchedulerStats,
+    last_cycle: u64,
+    /// Per-channel scheduling view caches. A view stays valid until the
+    /// channel's queues or bank states change, so stalled cycles (the
+    /// common case) skip the queue scan entirely.
+    caches: Vec<ChannelCache>,
+    /// Pending (unissued) request count per bank, indexed
+    /// `[channel][rank * banks_per_rank + bank]`, for idle accounting.
+    pending_per_bank: Vec<Vec<u32>>,
+    /// Optional command trace: every issued command with its cycle.
+    command_trace: Option<Vec<(u64, DramCommand)>>,
+}
+
+/// Cached scheduling view of one channel.
+#[derive(Debug, Clone, Default)]
+struct ChannelCache {
+    /// Whether the cache reflects the channel's current queues/banks.
+    valid: bool,
+    /// Transaction and lookahead the cache was built for.
+    built_for: (TxnId, u64),
+    /// Per-(rank, bank) facts.
+    views: Vec<BankView>,
+    /// Pending row hits of the current transaction, sorted by age.
+    hits: Vec<(u64, (bool, usize))>,
+    /// Banks with current-transaction work, sorted by oldest request age.
+    order_current: Vec<(u64, usize)>,
+    /// Banks with lookahead-window work, sorted by oldest request age.
+    order_future: Vec<(u64, usize)>,
+}
+
+/// Per-(rank, bank) scheduling facts gathered in one queue pass.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankView {
+    /// Oldest unissued current-transaction request: (enqueue id, key).
+    oldest_current: Option<(u64, (bool, usize))>,
+    /// Whether any current-transaction request targets this bank.
+    has_current: bool,
+    /// Whether any current-transaction request wants the open row.
+    current_hit_pending: bool,
+    /// Oldest request in the PB lookahead window.
+    oldest_future: Option<(u64, (bool, usize))>,
+    /// Whether any lookahead-window request wants the open row.
+    future_hit_pending: bool,
+}
+
+impl MemoryController {
+    /// Creates a controller over `dram` with `queue_capacity` entries per
+    /// direction per channel (the paper uses 64).
+    #[must_use]
+    pub fn new(
+        dram: DramModule,
+        mapping: AddressMapping,
+        policy: SchedulerPolicy,
+        queue_capacity: usize,
+    ) -> Self {
+        let channels = dram.geometry().channels;
+        let banks =
+            (dram.geometry().ranks_per_channel * dram.geometry().banks_per_rank) as usize;
+        Self {
+            dram,
+            mapping,
+            policy,
+            page_policy: PagePolicy::Open,
+            queues: (0..channels)
+                .map(|_| ChannelQueues::new(queue_capacity))
+                .collect(),
+            next_id: 0,
+            completed: Vec::new(),
+            stats: SchedulerStats {
+                per_channel_requests: vec![0; channels as usize],
+                ..SchedulerStats::default()
+            },
+            last_cycle: 0,
+            caches: (0..channels).map(|_| ChannelCache::default()).collect(),
+            pending_per_bank: (0..channels).map(|_| vec![0; banks]).collect(),
+            command_trace: None,
+        }
+    }
+
+    /// Starts recording every issued command (cycle, command). Useful for
+    /// debugging, external analysis and replay validation; costs memory
+    /// proportional to the command count.
+    pub fn enable_command_trace(&mut self) {
+        self.command_trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded command trace (empty if tracing was never
+    /// enabled), leaving tracing active if it was.
+    pub fn take_command_trace(&mut self) -> Vec<(u64, DramCommand)> {
+        match &mut self.command_trace {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    fn record_trace(&mut self, cycle: u64, cmd: DramCommand) {
+        if let Some(t) = &mut self.command_trace {
+            t.push((cycle, cmd));
+        }
+    }
+
+    /// The policy in force.
+    #[must_use]
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.policy
+    }
+
+    /// The page policy in force (defaults to [`PagePolicy::Open`]).
+    #[must_use]
+    pub fn page_policy(&self) -> PagePolicy {
+        self.page_policy
+    }
+
+    /// Selects the row-buffer management policy.
+    pub fn set_page_policy(&mut self, policy: PagePolicy) {
+        self.page_policy = policy;
+    }
+
+    /// The underlying DRAM module (for timing/geometry/bank statistics).
+    #[must_use]
+    pub fn dram(&self) -> &DramModule {
+        &self.dram
+    }
+
+    /// Scheduler statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SchedulerStats {
+        &self.stats
+    }
+
+    /// Number of requests currently queued (not yet issued).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(ChannelQueues::len).sum()
+    }
+
+    /// Whether a request with this address/direction would currently be
+    /// accepted.
+    #[must_use]
+    pub fn has_room(&self, addr: PhysAddr, is_write: bool) -> bool {
+        let loc = self.mapping.decode(addr);
+        self.queues[loc.channel as usize].has_room(is_write)
+    }
+
+    /// Enqueues a request at `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the target channel queue has no free entry; the
+    /// caller must stall and retry (nothing is enqueued).
+    pub fn try_enqueue(&mut self, spec: RequestSpec, cycle: u64) -> Result<u64, QueueFull> {
+        let loc = self.mapping.decode(spec.addr);
+        let id = self.next_id;
+        let req = Request {
+            id,
+            txn: spec.txn,
+            loc,
+            is_write: spec.is_write,
+            arrival: cycle,
+            first_cmd_at: None,
+            class: None,
+        };
+        self.queues[loc.channel as usize].push(req)?;
+        self.caches[loc.channel as usize].valid = false;
+        let banks_per_rank = self.dram.geometry().banks_per_rank;
+        self.pending_per_bank[loc.channel as usize]
+            [(loc.rank * banks_per_rank + loc.bank) as usize] += 1;
+        self.next_id += 1;
+        Ok(id)
+    }
+
+    /// Takes all requests completed since the last call.
+    pub fn drain_completed(&mut self) -> Vec<Completed> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// The transaction currently being drained: the smallest transaction id
+    /// with an unissued request, if any.
+    #[must_use]
+    pub fn current_txn(&self) -> Option<TxnId> {
+        self.queues.iter().filter_map(ChannelQueues::min_txn).min()
+    }
+
+    /// Advances the controller by one memory cycle: refresh housekeeping,
+    /// then at most one command per channel according to the policy.
+    pub fn tick(&mut self, cycle: u64) {
+        debug_assert!(
+            cycle >= self.last_cycle,
+            "cycles must be non-decreasing"
+        );
+        self.last_cycle = cycle;
+        self.dram.tick(cycle);
+        for q in &self.queues {
+            self.stats.queue_occupancy_integral += q.len() as u64;
+        }
+        self.stats.ticks += 1;
+
+        // Bank idle accounting (Fig. 12(a)): a bank with pending requests
+        // either executes a command window this cycle or sits stalled —
+        // under transaction-based scheduling mostly because of the barrier.
+        let banks_per_rank = self.dram.geometry().banks_per_rank;
+        for (ch, per_bank) in self.pending_per_bank.iter().enumerate() {
+            for (b, &count) in per_bank.iter().enumerate() {
+                let rank = b as u32 / banks_per_rank;
+                let bank = b as u32 % banks_per_rank;
+                let loc = dram_sim::DramLocation {
+                    channel: ch as u32,
+                    rank,
+                    bank,
+                    row: 0,
+                    column: 0,
+                };
+                self.stats.bank_tick_integral += 1;
+                if self.dram.open_row(&loc).is_some() {
+                    self.stats.open_bank_integral += 1;
+                }
+                if count > 0 {
+                    if self.dram.bank_busy_at(ch as u32, rank, bank, cycle) {
+                        self.stats.busy_pending_bank_cycles += 1;
+                    } else {
+                        self.stats.stalled_bank_cycles += 1;
+                    }
+                }
+            }
+        }
+
+        // Algorithm 1 line 9-11 / Algorithm 2 line 13-15: the current
+        // transaction pointer advances as soon as no commands of it remain.
+        let current = self.current_txn();
+
+        let (lookahead, unconstrained) = match self.policy {
+            SchedulerPolicy::TransactionBased => (0, false),
+            SchedulerPolicy::ProactiveBank { lookahead } => (lookahead, false),
+            SchedulerPolicy::Unconstrained => (u64::MAX, true),
+        };
+        for ch in 0..self.queues.len() as u32 {
+            let issued = match current {
+                Some(t) => self.schedule_channel(ch, t, lookahead, unconstrained, cycle),
+                None => false,
+            };
+            if !issued && self.page_policy == PagePolicy::Closed {
+                self.close_idle_rows(ch, cycle);
+            }
+        }
+    }
+
+    /// Rebuilds the cached scheduling view of one channel: a single pass
+    /// over its queues classifying every request of interest per bank.
+    fn rebuild_cache(&mut self, ch: u32, current: TxnId, lookahead: u64, unconstrained: bool) {
+        let geometry = self.dram.geometry();
+        let banks = (geometry.ranks_per_channel * geometry.banks_per_rank) as usize;
+        let banks_per_rank = geometry.banks_per_rank;
+        let cache = &mut self.caches[ch as usize];
+        cache.views.clear();
+        cache.views.resize(banks, BankView::default());
+        cache.hits.clear();
+        cache.order_current.clear();
+        cache.order_future.clear();
+
+        let q = &self.queues[ch as usize];
+        for (is_write, list) in [(false, &q.reads), (true, &q.writes)] {
+            for (i, r) in list.iter().enumerate() {
+                let in_current = unconstrained || r.txn == current;
+                let in_future = !unconstrained
+                    && r.txn.0 > current.0
+                    && r.txn.0 <= current.0.saturating_add(lookahead);
+                if !in_current
+                    && !in_future {
+                        // Queues are transaction-sorted: nothing beyond the
+                        // window can precede anything inside it.
+                        if r.txn.0 > current.0.saturating_add(lookahead) {
+                            break;
+                        }
+                        continue;
+                    }
+                let b = (r.loc.rank * banks_per_rank + r.loc.bank) as usize;
+                let open = self.dram.open_row(&r.loc);
+                let view = &mut cache.views[b];
+                let entry = (r.id, (is_write, i));
+                if in_current {
+                    view.has_current = true;
+                    if open == Some(r.loc.row) {
+                        view.current_hit_pending = true;
+                        cache.hits.push(entry);
+                    }
+                    if view.oldest_current.is_none_or(|(id, _)| r.id < id) {
+                        view.oldest_current = Some(entry);
+                    }
+                } else {
+                    if open == Some(r.loc.row) {
+                        view.future_hit_pending = true;
+                    }
+                    if view.oldest_future.is_none_or(|(id, _)| r.id < id) {
+                        view.oldest_future = Some(entry);
+                    }
+                }
+            }
+        }
+        cache.hits.sort_unstable_by_key(|&(id, _)| id);
+        for (b, v) in cache.views.iter().enumerate() {
+            if let Some((id, _)) = v.oldest_current {
+                cache.order_current.push((id, b));
+            }
+            if let Some((id, _)) = v.oldest_future {
+                cache.order_future.push((id, b));
+            }
+        }
+        cache.order_current.sort_unstable();
+        cache.order_future.sort_unstable();
+        cache.built_for = (current, lookahead);
+        cache.valid = true;
+    }
+
+    /// Close-page policy: precharge any open bank with no pending request
+    /// for its open row, as soon as timing allows. At most one PRE per
+    /// channel per cycle (the command bus is shared).
+    fn close_idle_rows(&mut self, ch: u32, cycle: u64) {
+        let geometry = self.dram.geometry();
+        let banks_per_rank = geometry.banks_per_rank;
+        let ranks = geometry.ranks_per_channel;
+        for rank in 0..ranks {
+            for bank in 0..banks_per_rank {
+                let loc = dram_sim::DramLocation {
+                    channel: ch,
+                    rank,
+                    bank,
+                    row: 0,
+                    column: 0,
+                };
+                let Some(open) = self.dram.open_row(&loc) else {
+                    continue;
+                };
+                let wanted = self.queues[ch as usize]
+                    .reads
+                    .iter()
+                    .chain(self.queues[ch as usize].writes.iter())
+                    .any(|r| {
+                        r.loc.rank == rank && r.loc.bank == bank && r.loc.row == open
+                    });
+                if wanted {
+                    continue;
+                }
+                let cmd = DramCommand::precharge(dram_sim::DramLocation { row: open, ..loc });
+                if self.dram.can_issue(&cmd, cycle).is_ok() {
+                    self.dram.issue(cmd, cycle).expect("checked");
+                    self.record_trace(cycle, cmd);
+                    self.caches[ch as usize].valid = false;
+                    self.stats.precharges += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Applies FR-FCFS for the current transaction and (under PB) the
+    /// proactive PRE/ACT pass on one channel. Returns true if a command was
+    /// issued.
+    ///
+    /// The cached view's *structure* (which requests exist, which are hits)
+    /// is invalidated on every queue or bank-state change; row-open state
+    /// consulted for PRE/ACT decisions is always read live. Refresh may
+    /// close rows without invalidating the cache — a stale "hit" then
+    /// simply fails `can_issue` harmlessly (rows never *open*
+    /// asynchronously, so no hit is ever missed).
+    fn schedule_channel(
+        &mut self,
+        ch: u32,
+        current: TxnId,
+        lookahead: u64,
+        unconstrained: bool,
+        cycle: u64,
+    ) -> bool {
+        if !self.caches[ch as usize].valid
+            || self.caches[ch as usize].built_for != (current, lookahead)
+        {
+            self.rebuild_cache(ch, current, lookahead, unconstrained);
+        }
+
+        // FR pass: oldest pending row hit that can issue its data command.
+        for idx in 0..self.caches[ch as usize].hits.len() {
+            let (_, key) = self.caches[ch as usize].hits[idx];
+            let req = self.queues[ch as usize].get(key);
+            let cmd = if req.is_write {
+                DramCommand::write(req.loc)
+            } else {
+                DramCommand::read(req.loc)
+            };
+            if self.dram.can_issue(&cmd, cycle).is_ok() {
+                self.issue_data_command(ch, key, cmd, cycle);
+                return true;
+            }
+        }
+
+        // FCFS pass: oldest current-transaction request per bank drives the
+        // bank preparation (PRE/ACT), in age order across banks. A bank
+        // with a pending row hit is left open so the hit survives.
+        for idx in 0..self.caches[ch as usize].order_current.len() {
+            let (_, b) = self.caches[ch as usize].order_current[idx];
+            let view = self.caches[ch as usize].views[b];
+            let (_, key) = view.oldest_current.expect("in order_current");
+            let req = self.queues[ch as usize].get(key).clone();
+            match self.dram.open_row(&req.loc) {
+                Some(row) if row == req.loc.row => {
+                    // Row ready but data command blocked (bus/timing).
+                }
+                Some(_) => {
+                    if view.current_hit_pending {
+                        continue; // FR-FCFS row-hit preservation
+                    }
+                    let cmd = DramCommand::precharge(req.loc);
+                    if self.dram.can_issue(&cmd, cycle).is_ok() {
+                        self.issue_prep_command(ch, key, cmd, cycle, RowClass::Conflict, false);
+                        return true;
+                    }
+                }
+                None => {
+                    let cmd = DramCommand::activate(req.loc);
+                    if self.dram.can_issue(&cmd, cycle).is_ok() {
+                        self.issue_prep_command(ch, key, cmd, cycle, RowClass::Miss, false);
+                        return true;
+                    }
+                }
+            }
+        }
+
+        // PB pass (Algorithm 2): PRE/ACT for lookahead-window requests whose
+        // conflicts are inter-transaction.
+        if lookahead == 0 {
+            return false;
+        }
+        for idx in 0..self.caches[ch as usize].order_future.len() {
+            let (_, b) = self.caches[ch as usize].order_future[idx];
+            let view = self.caches[ch as usize].views[b];
+            // Guard: the bank must have no pending request from the current
+            // transaction — otherwise the conflict is intra-transaction and
+            // Algorithm 2 leaves it alone.
+            if view.has_current {
+                continue;
+            }
+            let (_, key) = view.oldest_future.expect("in order_future");
+            let req = self.queues[ch as usize].get(key).clone();
+            match self.dram.open_row(&req.loc) {
+                Some(row) if row == req.loc.row => {
+                    // Already prepared (or naturally open): future hit.
+                }
+                Some(_) => {
+                    // Row-hit preservation, mirrored for the window: if any
+                    // window request still wants the open row, leave the
+                    // bank alone — otherwise PB would change row-buffer
+                    // outcomes, which the paper's fidelity argument forbids.
+                    if view.future_hit_pending {
+                        continue;
+                    }
+                    let cmd = DramCommand::precharge(req.loc);
+                    if self.dram.can_issue(&cmd, cycle).is_ok() {
+                        self.issue_prep_command(ch, key, cmd, cycle, RowClass::Conflict, true);
+                        return true;
+                    }
+                }
+                None => {
+                    let cmd = DramCommand::activate(req.loc);
+                    if self.dram.can_issue(&cmd, cycle).is_ok() {
+                        self.issue_prep_command(ch, key, cmd, cycle, RowClass::Miss, true);
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Issues the RD/WR for a request and retires it.
+    fn issue_data_command(
+        &mut self,
+        ch: u32,
+        key: (bool, usize),
+        cmd: DramCommand,
+        cycle: u64,
+    ) {
+        let outcome = self.dram.issue(cmd, cycle).expect("checked with can_issue");
+        self.record_trace(cycle, cmd);
+        self.caches[ch as usize].valid = false;
+        let banks_per_rank = self.dram.geometry().banks_per_rank;
+        self.pending_per_bank[ch as usize]
+            [(cmd.loc.rank * banks_per_rank + cmd.loc.bank) as usize] -= 1;
+        let mut req = self.queues[ch as usize].remove(key);
+        req.record_first_command(cycle, RowClass::Hit);
+        let class = req.class.expect("set on first command");
+        let completed = Completed {
+            id: req.id,
+            txn: req.txn,
+            is_write: req.is_write,
+            arrival: req.arrival,
+            first_cmd_at: req.first_cmd_at.expect("set on first command"),
+            issue_at: cycle,
+            data_done_at: outcome.data_done_at.expect("data command"),
+            class,
+        };
+        self.stats.record_completion(&completed);
+        self.stats.per_channel_requests[ch as usize] += 1;
+        self.completed.push(completed);
+    }
+
+    /// Issues a PRE or ACT on behalf of a request (classifying it if this
+    /// is the request's first command) and updates PB statistics.
+    fn issue_prep_command(
+        &mut self,
+        ch: u32,
+        key: (bool, usize),
+        cmd: DramCommand,
+        cycle: u64,
+        class_if_first: RowClass,
+        proactive: bool,
+    ) {
+        self.dram.issue(cmd, cycle).expect("checked with can_issue");
+        self.record_trace(cycle, cmd);
+        self.caches[ch as usize].valid = false;
+        let req = self.queues[ch as usize].get_mut(key);
+        req.record_first_command(cycle, class_if_first);
+        match cmd.kind {
+            CommandKind::Precharge => {
+                self.stats.precharges += 1;
+                if proactive {
+                    self.stats.early_precharges += 1;
+                }
+            }
+            CommandKind::Activate => {
+                self.stats.activates += 1;
+                if proactive {
+                    self.stats.early_activates += 1;
+                }
+            }
+            _ => unreachable!("prep commands are PRE/ACT only"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::geometry::DramGeometry;
+    use dram_sim::timing::TimingParams;
+
+    fn controller(policy: SchedulerPolicy) -> MemoryController {
+        let geometry = DramGeometry::test_small();
+        let mapping = AddressMapping::hpca_default(&geometry);
+        let dram = DramModule::new(geometry, TimingParams::test_fast());
+        MemoryController::new(dram, mapping, policy, 16)
+    }
+
+    /// Builds an address that decodes to the given coordinates.
+    fn addr(c: &MemoryController, channel: u32, bank: u32, row: u64, column: u32) -> PhysAddr {
+        c.mapping.encode(&dram_sim::DramLocation {
+            channel,
+            rank: 0,
+            bank,
+            row,
+            column,
+        })
+    }
+
+    fn run_until_done(c: &mut MemoryController, start: u64, limit: u64) -> (Vec<Completed>, u64) {
+        let mut out = Vec::new();
+        let mut cycle = start;
+        while c.pending() > 0 {
+            c.tick(cycle);
+            out.extend(c.drain_completed());
+            cycle += 1;
+            assert!(cycle < start + limit, "scheduler wedged");
+        }
+        (out, cycle)
+    }
+
+    #[test]
+    fn single_read_completes() {
+        let mut c = controller(SchedulerPolicy::TransactionBased);
+        let a = addr(&c, 0, 0, 3, 1);
+        c.try_enqueue(
+            RequestSpec {
+                addr: a,
+                is_write: false,
+                txn: TxnId(0),
+            },
+            0,
+        )
+        .unwrap();
+        let (done, _) = run_until_done(&mut c, 0, 200);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].class, RowClass::Miss); // cold bank
+        assert!(done[0].data_done_at > 0);
+    }
+
+    #[test]
+    fn same_row_requests_hit() {
+        let mut c = controller(SchedulerPolicy::TransactionBased);
+        for col in 0..3 {
+            c.try_enqueue(
+                RequestSpec {
+                    addr: addr(&c, 0, 0, 3, col),
+                    is_write: false,
+                    txn: TxnId(0),
+                },
+                0,
+            )
+            .unwrap();
+        }
+        let (done, _) = run_until_done(&mut c, 0, 400);
+        let hits = done.iter().filter(|d| d.class == RowClass::Hit).count();
+        let misses = done.iter().filter(|d| d.class == RowClass::Miss).count();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn conflicting_rows_classified_as_conflict() {
+        let mut c = controller(SchedulerPolicy::TransactionBased);
+        c.try_enqueue(
+            RequestSpec {
+                addr: addr(&c, 0, 0, 3, 0),
+                is_write: false,
+                txn: TxnId(0),
+            },
+            0,
+        )
+        .unwrap();
+        c.try_enqueue(
+            RequestSpec {
+                addr: addr(&c, 0, 0, 9, 0),
+                is_write: false,
+                txn: TxnId(0),
+            },
+            0,
+        )
+        .unwrap();
+        let (done, _) = run_until_done(&mut c, 0, 500);
+        let classes: Vec<RowClass> = done.iter().map(|d| d.class).collect();
+        assert!(classes.contains(&RowClass::Miss));
+        assert!(classes.contains(&RowClass::Conflict));
+    }
+
+    #[test]
+    fn transactions_issue_in_order() {
+        let mut c = controller(SchedulerPolicy::TransactionBased);
+        // Transaction 1 is a fast row hit candidate; transaction 0 is a
+        // conflict-heavy one. Ordering must still be 0 before 1.
+        c.try_enqueue(
+            RequestSpec {
+                addr: addr(&c, 0, 0, 3, 0),
+                is_write: false,
+                txn: TxnId(0),
+            },
+            0,
+        )
+        .unwrap();
+        c.try_enqueue(
+            RequestSpec {
+                addr: addr(&c, 0, 1, 5, 0),
+                is_write: false,
+                txn: TxnId(1),
+            },
+            0,
+        )
+        .unwrap();
+        let (done, _) = run_until_done(&mut c, 0, 500);
+        assert_eq!(done.len(), 2);
+        let t0 = done.iter().find(|d| d.txn == TxnId(0)).unwrap();
+        let t1 = done.iter().find(|d| d.txn == TxnId(1)).unwrap();
+        assert!(
+            t0.issue_at < t1.issue_at,
+            "txn 0 data must be issued before txn 1 data"
+        );
+    }
+
+    #[test]
+    fn pb_pulls_pre_act_forward() {
+        // Transaction 0 occupies bank 0 with a long conflict chain while
+        // transaction 1 wants bank 1 (inter-transaction conflict after a
+        // previous row was opened there).
+        let mk = |policy| {
+            let mut c = controller(policy);
+            // Pre-open a wrong row in bank 1 via a txn-0 request, then keep
+            // txn 0 busy in bank 0.
+            let reqs = [
+                (addr(&c, 0, 1, 7, 0), TxnId(0)), // opens bank1 row7
+                (addr(&c, 0, 0, 1, 0), TxnId(0)),
+                (addr(&c, 0, 0, 2, 0), TxnId(0)), // conflict in bank0
+                (addr(&c, 0, 0, 3, 0), TxnId(0)), // conflict in bank0
+                (addr(&c, 0, 1, 9, 0), TxnId(1)), // future: bank1 row9 conflict
+            ];
+            for (a, t) in reqs {
+                c.try_enqueue(
+                    RequestSpec {
+                        addr: a,
+                        is_write: false,
+                        txn: t,
+                    },
+                    0,
+                )
+                .unwrap();
+            }
+            let (done, end) = run_until_done(&mut c, 0, 2000);
+            let early = c.stats().early_precharges + c.stats().early_activates;
+            (done, end, early)
+        };
+        let (done_base, end_base, early_base) = mk(SchedulerPolicy::TransactionBased);
+        let (done_pb, end_pb, early_pb) = mk(SchedulerPolicy::proactive());
+        assert_eq!(early_base, 0);
+        assert!(early_pb > 0, "PB must issue some PRE/ACT early");
+        assert!(
+            end_pb <= end_base,
+            "PB must not be slower: {end_pb} vs {end_base}"
+        );
+        // Row-buffer classification identical under both schedulers.
+        let count = |v: &[Completed], cl: RowClass| v.iter().filter(|d| d.class == cl).count();
+        for cl in [RowClass::Hit, RowClass::Miss, RowClass::Conflict] {
+            assert_eq!(
+                count(&done_base, cl),
+                count(&done_pb, cl),
+                "class {cl:?} count changed under PB"
+            );
+        }
+        // Data commands remain transaction-ordered under PB.
+        let t0_max = done_pb
+            .iter()
+            .filter(|d| d.txn == TxnId(0))
+            .map(|d| d.issue_at)
+            .max()
+            .unwrap();
+        let t1_min = done_pb
+            .iter()
+            .filter(|d| d.txn == TxnId(1))
+            .map(|d| d.issue_at)
+            .min()
+            .unwrap();
+        assert!(t0_max < t1_min, "PB reordered data commands");
+    }
+
+    #[test]
+    fn pb_respects_intra_transaction_guard() {
+        let mut c = controller(SchedulerPolicy::proactive());
+        // txn0 and txn1 both target bank 0 (different rows): PB must not
+        // precharge bank 0 for txn1 while txn0 still needs it.
+        c.try_enqueue(
+            RequestSpec {
+                addr: addr(&c, 0, 0, 1, 0),
+                is_write: false,
+                txn: TxnId(0),
+            },
+            0,
+        )
+        .unwrap();
+        c.try_enqueue(
+            RequestSpec {
+                addr: addr(&c, 0, 0, 2, 0),
+                is_write: false,
+                txn: TxnId(1),
+            },
+            0,
+        )
+        .unwrap();
+        let (done, _) = run_until_done(&mut c, 0, 500);
+        let t0 = done.iter().find(|d| d.txn == TxnId(0)).unwrap();
+        let t1 = done.iter().find(|d| d.txn == TxnId(1)).unwrap();
+        assert!(t0.issue_at < t1.issue_at);
+        // txn0's row must not have been precharged before its read: it was
+        // a cold miss, not a conflict.
+        assert_eq!(t0.class, RowClass::Miss);
+    }
+
+    #[test]
+    fn queue_full_reported() {
+        let mut c = controller(SchedulerPolicy::TransactionBased);
+        let a = addr(&c, 0, 0, 1, 0);
+        for i in 0..16 {
+            c.try_enqueue(
+                RequestSpec {
+                    addr: a,
+                    is_write: false,
+                    txn: TxnId(i),
+                },
+                0,
+            )
+            .unwrap();
+        }
+        assert!(!c.has_room(a, false));
+        assert!(c.has_room(a, true));
+        assert_eq!(
+            c.try_enqueue(
+                RequestSpec {
+                    addr: a,
+                    is_write: false,
+                    txn: TxnId(99),
+                },
+                0
+            ),
+            Err(QueueFull)
+        );
+    }
+
+    #[test]
+    fn writes_and_reads_both_complete() {
+        let mut c = controller(SchedulerPolicy::TransactionBased);
+        c.try_enqueue(
+            RequestSpec {
+                addr: addr(&c, 0, 0, 1, 0),
+                is_write: false,
+                txn: TxnId(0),
+            },
+            0,
+        )
+        .unwrap();
+        c.try_enqueue(
+            RequestSpec {
+                addr: addr(&c, 0, 0, 1, 1),
+                is_write: true,
+                txn: TxnId(0),
+            },
+            0,
+        )
+        .unwrap();
+        let (done, _) = run_until_done(&mut c, 0, 500);
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().any(|d| d.is_write));
+        assert!(done.iter().any(|d| !d.is_write));
+        assert_eq!(c.stats().reads_completed, 1);
+        assert_eq!(c.stats().writes_completed, 1);
+    }
+
+    #[test]
+    fn unconstrained_interleaves_transactions() {
+        // With the barrier removed, a fast row-hit of txn 1 may complete
+        // before txn 0's conflict chain.
+        let mut c = controller(SchedulerPolicy::Unconstrained);
+        c.try_enqueue(
+            RequestSpec {
+                addr: addr(&c, 0, 0, 1, 0),
+                is_write: false,
+                txn: TxnId(0),
+            },
+            0,
+        )
+        .unwrap();
+        c.try_enqueue(
+            RequestSpec {
+                addr: addr(&c, 0, 1, 5, 0),
+                is_write: false,
+                txn: TxnId(1),
+            },
+            0,
+        )
+        .unwrap();
+        let (done, _) = run_until_done(&mut c, 0, 500);
+        // Both are cold misses in different banks: they overlap fully, so
+        // the unconstrained schedule finishes them back to back rather
+        // than serializing txn 1 behind txn 0.
+        let t0 = done.iter().find(|d| d.txn == TxnId(0)).unwrap();
+        let t1 = done.iter().find(|d| d.txn == TxnId(1)).unwrap();
+        assert!((t1.issue_at as i64 - t0.issue_at as i64).abs() <= 2);
+        assert!(!SchedulerPolicy::Unconstrained.preserves_transaction_order());
+        assert!(SchedulerPolicy::proactive().preserves_transaction_order());
+    }
+
+    #[test]
+    fn close_page_precharges_idle_rows() {
+        let mut c = controller(SchedulerPolicy::TransactionBased);
+        c.set_page_policy(PagePolicy::Closed);
+        assert_eq!(c.page_policy(), PagePolicy::Closed);
+        let a = addr(&c, 0, 0, 3, 1);
+        c.try_enqueue(
+            RequestSpec {
+                addr: a,
+                is_write: false,
+                txn: TxnId(0),
+            },
+            0,
+        )
+        .unwrap();
+        let mut cycle = 0;
+        while c.pending() > 0 {
+            c.tick(cycle);
+            let _ = c.drain_completed();
+            cycle += 1;
+        }
+        // Keep ticking: the close-page policy must precharge the row.
+        let loc = c.mapping.decode(a);
+        for _ in 0..100 {
+            c.tick(cycle);
+            cycle += 1;
+        }
+        assert_eq!(c.dram().open_row(&loc), None, "row should be closed");
+        // A second access to the same row is now a miss, not a hit.
+        c.try_enqueue(
+            RequestSpec {
+                addr: addr(&c, 0, 0, 3, 2),
+                is_write: false,
+                txn: TxnId(1),
+            },
+            cycle,
+        )
+        .unwrap();
+        let (done, _) = run_until_done(&mut c, cycle, 500);
+        assert_eq!(done[0].class, RowClass::Miss);
+    }
+
+    #[test]
+    fn open_page_keeps_rows_open() {
+        let mut c = controller(SchedulerPolicy::TransactionBased);
+        let a = addr(&c, 0, 0, 3, 1);
+        c.try_enqueue(
+            RequestSpec {
+                addr: a,
+                is_write: false,
+                txn: TxnId(0),
+            },
+            0,
+        )
+        .unwrap();
+        let (_, end) = run_until_done(&mut c, 0, 500);
+        let loc = c.mapping.decode(a);
+        for cycle in end..end + 100 {
+            c.tick(cycle);
+        }
+        assert_eq!(c.dram().open_row(&loc), Some(3), "row stays open");
+    }
+
+    #[test]
+    fn channels_progress_in_parallel() {
+        let mut c = controller(SchedulerPolicy::TransactionBased);
+        c.try_enqueue(
+            RequestSpec {
+                addr: addr(&c, 0, 0, 1, 0),
+                is_write: false,
+                txn: TxnId(0),
+            },
+            0,
+        )
+        .unwrap();
+        c.try_enqueue(
+            RequestSpec {
+                addr: addr(&c, 1, 0, 1, 0),
+                is_write: false,
+                txn: TxnId(0),
+            },
+            0,
+        )
+        .unwrap();
+        let (done, _) = run_until_done(&mut c, 0, 200);
+        // Both cold misses complete at the same cycle: full channel overlap.
+        assert_eq!(done[0].data_done_at, done[1].data_done_at);
+    }
+}

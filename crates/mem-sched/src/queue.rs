@@ -1,0 +1,165 @@
+//! Per-channel read and write request queues.
+
+use crate::request::{Request, TxnId};
+
+/// Error returned when a queue has no free entry; the ORAM controller must
+/// stall and retry (which, as the paper notes, back-pressures the core
+/// pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "memory request queue is full")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// The two request queues of one channel (Table II: 64 read + 64 write
+/// entries per channel).
+#[derive(Debug, Clone)]
+pub(crate) struct ChannelQueues {
+    pub reads: Vec<Request>,
+    pub writes: Vec<Request>,
+    capacity: usize,
+}
+
+impl ChannelQueues {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            reads: Vec::with_capacity(capacity),
+            writes: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Inserts a request into the appropriate queue.
+    ///
+    /// Requests must arrive in non-decreasing transaction order (the ORAM
+    /// controller's natural order); this keeps both queues sorted by
+    /// transaction so [`Self::min_txn`] is O(1).
+    pub fn push(&mut self, req: Request) -> Result<(), QueueFull> {
+        let q = if req.is_write {
+            &mut self.writes
+        } else {
+            &mut self.reads
+        };
+        if q.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        debug_assert!(
+            q.last().is_none_or(|last| last.txn <= req.txn),
+            "requests must be enqueued in transaction order"
+        );
+        q.push(req);
+        Ok(())
+    }
+
+    /// Whether a request of the given direction would be accepted.
+    pub fn has_room(&self, is_write: bool) -> bool {
+        let q = if is_write { &self.writes } else { &self.reads };
+        q.len() < self.capacity
+    }
+
+    /// Total queued requests.
+    pub fn len(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+
+    /// Smallest transaction id among queued requests, if any. O(1): both
+    /// queues are transaction-sorted (see [`Self::push`]) and removal
+    /// preserves order.
+    pub fn min_txn(&self) -> Option<TxnId> {
+        match (self.reads.first(), self.writes.first()) {
+            (Some(a), Some(b)) => Some(a.txn.min(b.txn)),
+            (Some(a), None) => Some(a.txn),
+            (None, Some(b)) => Some(b.txn),
+            (None, None) => None,
+        }
+    }
+
+    /// Shared access to a request by (is_write, index).
+    pub fn get(&self, key: (bool, usize)) -> &Request {
+        if key.0 {
+            &self.writes[key.1]
+        } else {
+            &self.reads[key.1]
+        }
+    }
+
+    /// Mutable access to a request by (is_write, index).
+    pub fn get_mut(&mut self, key: (bool, usize)) -> &mut Request {
+        if key.0 {
+            &mut self.writes[key.1]
+        } else {
+            &mut self.reads[key.1]
+        }
+    }
+
+    /// Removes and returns a request by (is_write, index).
+    pub fn remove(&mut self, key: (bool, usize)) -> Request {
+        if key.0 {
+            self.writes.remove(key.1)
+        } else {
+            self.reads.remove(key.1)
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::DramLocation;
+
+    fn req(id: u64, txn: u64, is_write: bool, bank: u32) -> Request {
+        Request {
+            id,
+            txn: TxnId(txn),
+            loc: DramLocation {
+                channel: 0,
+                rank: 0,
+                bank,
+                row: 0,
+                column: 0,
+            },
+            is_write,
+            arrival: 0,
+            first_cmd_at: None,
+            class: None,
+        }
+    }
+
+    #[test]
+    fn capacity_enforced_per_direction() {
+        let mut q = ChannelQueues::new(2);
+        q.push(req(0, 0, false, 0)).unwrap();
+        q.push(req(1, 0, false, 0)).unwrap();
+        assert_eq!(q.push(req(2, 0, false, 0)), Err(QueueFull));
+        // Writes have their own capacity.
+        q.push(req(3, 0, true, 0)).unwrap();
+        assert!(q.has_room(true));
+        assert!(!q.has_room(false));
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn min_txn_spans_both_queues() {
+        let mut q = ChannelQueues::new(8);
+        q.push(req(0, 5, false, 0)).unwrap();
+        q.push(req(1, 3, true, 0)).unwrap();
+        assert_eq!(q.min_txn(), Some(TxnId(3)));
+    }
+
+
+    #[test]
+    fn remove_returns_request() {
+        let mut q = ChannelQueues::new(8);
+        q.push(req(7, 1, false, 3)).unwrap();
+        let r = q.remove((false, 0));
+        assert_eq!(r.id, 7);
+        assert_eq!(q.len(), 0);
+    }
+
+}

@@ -1,0 +1,51 @@
+//! # oram-collections — oblivious data structures over Ring ORAM
+//!
+//! The String ORAM paper motivates ORAM with programs whose *data-structure
+//! traversals* leak secrets (searchable encryption, DNN extraction, RSA key
+//! recovery). This crate closes the loop for downstream users: classic
+//! collections whose **physical access pattern is independent of the keys,
+//! indices and operations performed**, built on the `ring-oram` engine's
+//! payload-carrying block API:
+//!
+//! * [`ObliviousArray`] — one ORAM access per `get`/`set`;
+//! * [`ObliviousMap`] — fixed-probe open addressing: every operation walks
+//!   exactly [`ObliviousMap::PROBES`] slots, so hits, misses, inserts and
+//!   updates are indistinguishable;
+//! * [`ObliviousStack`] / [`ObliviousQueue`] — push/pop/enqueue/dequeue with
+//!   on-ORAM headers and dummy accesses on the empty/full paths, hiding
+//!   operation type and occupancy;
+//! * [`ObliviousHeap`] — a priority queue whose push/pop cost a fixed
+//!   number of accesses determined only by the capacity.
+//!
+//! Combined with `string-oram`'s timing stack these let you price an
+//! oblivious workload end to end: protocol accesses per operation here,
+//! DRAM cycles per access there.
+//!
+//! # Example
+//!
+//! ```
+//! use oram_collections::ObliviousMap;
+//! use ring_oram::RingConfig;
+//!
+//! let mut index = ObliviousMap::new(RingConfig::test_small(), 128, 1);
+//! index.put(b"patient-993", b"record-17")?;
+//! assert_eq!(index.get(b"patient-993")?, Some(b"record-17".to_vec()));
+//! // A miss costs exactly the same accesses as the hit above.
+//! assert_eq!(index.get(b"patient-000")?, None);
+//! # Ok::<(), oram_collections::CollectionError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod array;
+pub mod heap;
+pub mod map;
+pub mod queue;
+pub mod stack;
+
+pub use array::{CollectionError, ObliviousArray};
+pub use heap::ObliviousHeap;
+pub use map::ObliviousMap;
+pub use queue::ObliviousQueue;
+pub use stack::ObliviousStack;

@@ -1,0 +1,259 @@
+//! AES-128, implemented from FIPS-197 first principles.
+//!
+//! The S-box is *derived* (multiplicative inverse in GF(2^8) followed by
+//! the affine transform) rather than transcribed, so correctness rests on
+//! the algebra plus the FIPS-197 / SP 800-38A test vectors below — not on
+//! a 256-entry table being typed correctly.
+//!
+//! # Security
+//!
+//! This is a straightforward table-based software implementation: it is
+//! **not constant-time** (S-box lookups are data-dependent) and therefore
+//! unsuitable for protecting real secrets on shared hardware. Within this
+//! simulator it provides *functionally real* encryption for the ORAM's
+//! E/D logic; see `crate::crypto` for how it is used in CTR mode.
+
+/// GF(2^8) multiplication modulo the AES polynomial `x^8+x^4+x^3+x+1`.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut out = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            out ^= a;
+        }
+        let hi = a & 0x80 != 0;
+        a <<= 1;
+        if hi {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    out
+}
+
+/// Builds the AES S-box from its definition: `S(x) = affine(x^-1)` with
+/// `S(0) = affine(0) = 0x63`.
+fn build_sbox() -> [u8; 256] {
+    // Multiplicative inverses via log/antilog tables over generator 3.
+    let mut sbox = [0u8; 256];
+    for x in 0..=255u8 {
+        let inv = if x == 0 {
+            0
+        } else {
+            // Brute-force inverse: the domain is tiny and this runs once.
+            (1..=255u8)
+                .find(|&y| gf_mul(x, y) == 1)
+                .expect("every nonzero element has an inverse")
+        };
+        let b = inv;
+        sbox[x as usize] = b
+            ^ b.rotate_left(1)
+            ^ b.rotate_left(2)
+            ^ b.rotate_left(3)
+            ^ b.rotate_left(4)
+            ^ 0x63;
+    }
+    sbox
+}
+
+/// AES-128 block cipher (encryption direction only — CTR mode needs no
+/// decryption direction).
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    /// 11 round keys of 16 bytes each.
+    round_keys: [[u8; 16]; 11],
+    sbox: [u8; 256],
+}
+
+impl Aes128 {
+    /// Expands `key` into the round-key schedule.
+    #[must_use]
+    pub fn new(key: [u8; 16]) -> Self {
+        let sbox = build_sbox();
+        let mut w = [[0u8; 4]; 44];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            w[i].copy_from_slice(chunk);
+        }
+        let mut rcon = 1u8;
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Self { round_keys, sbox }
+    }
+
+    fn sub_bytes(&self, state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = self.sbox[*b as usize];
+        }
+    }
+
+    /// State layout: column-major (byte `state[4c + r]` is row r, col c),
+    /// matching the FIPS-197 input ordering.
+    fn shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+            state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+        }
+    }
+
+    fn add_round_key(&self, state: &mut [u8; 16], round: usize) {
+        for (b, k) in state.iter_mut().zip(&self.round_keys[round]) {
+            *b ^= k;
+        }
+    }
+
+    /// Encrypts one 16-byte block.
+    #[must_use]
+    pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let mut state = block;
+        self.add_round_key(&mut state, 0);
+        for round in 1..10 {
+            self.sub_bytes(&mut state);
+            Self::shift_rows(&mut state);
+            Self::mix_columns(&mut state);
+            self.add_round_key(&mut state, round);
+        }
+        self.sub_bytes(&mut state);
+        Self::shift_rows(&mut state);
+        self.add_round_key(&mut state, 10);
+        state
+    }
+
+    /// XORs `data` with the CTR keystream for `(nonce, starting counter 0)`:
+    /// block `i` of the keystream is `AES(nonce || i)`.
+    pub fn ctr_xor(&self, nonce: u64, data: &mut [u8]) {
+        for (i, chunk) in data.chunks_mut(16).enumerate() {
+            let mut ctr_block = [0u8; 16];
+            ctr_block[..8].copy_from_slice(&nonce.to_le_bytes());
+            ctr_block[8..].copy_from_slice(&(i as u64).to_le_bytes());
+            let ks = self.encrypt_block(ctr_block);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex"))
+            .collect()
+    }
+
+    #[test]
+    fn sbox_matches_known_anchors() {
+        let sbox = build_sbox();
+        // Canonical anchors from FIPS-197 Figure 7.
+        assert_eq!(sbox[0x00], 0x63);
+        assert_eq!(sbox[0x01], 0x7c);
+        assert_eq!(sbox[0x53], 0xed);
+        assert_eq!(sbox[0xff], 0x16);
+        // The S-box is a permutation.
+        let mut seen = [false; 256];
+        for &v in &sbox {
+            assert!(!seen[v as usize], "duplicate {v:#x}");
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // FIPS-197 Appendix B: the fully worked example.
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let pt: [u8; 16] = hex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        let aes = Aes128::new(key);
+        let ct = aes.encrypt_block(pt);
+        assert_eq!(ct.to_vec(), hex("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        // FIPS-197 Appendix C.1: key 000102...0f, plaintext 001122...ff.
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let pt: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes128::new(key);
+        let ct = aes.encrypt_block(pt);
+        assert_eq!(ct.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn sp800_38a_ecb_vector() {
+        // NIST SP 800-38A F.1.1, block #1.
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let pt: [u8; 16] = hex("6bc1bee22e409f96e93d7e117393172a").try_into().unwrap();
+        let aes = Aes128::new(key);
+        assert_eq!(
+            aes.encrypt_block(pt).to_vec(),
+            hex("3ad77bb40d7a3660a89ecaf32466ef97")
+        );
+    }
+
+    #[test]
+    fn ctr_xor_is_an_involution() {
+        let aes = Aes128::new([7u8; 16]);
+        let original: Vec<u8> = (0..100).collect();
+        let mut data = original.clone();
+        aes.ctr_xor(42, &mut data);
+        assert_ne!(data, original, "keystream must change the data");
+        aes.ctr_xor(42, &mut data);
+        assert_eq!(data, original, "CTR is its own inverse");
+    }
+
+    #[test]
+    fn ctr_nonces_produce_distinct_streams() {
+        let aes = Aes128::new([7u8; 16]);
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        aes.ctr_xor(1, &mut a);
+        aes.ctr_xor(2, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gf_mul_basics() {
+        // x * x^-1 = 1 spot checks and the classic 0x57 * 0x83 = 0xc1
+        // example from FIPS-197 §4.2.
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(1, 0xab), 0xab);
+        assert_eq!(gf_mul(0, 0xab), 0);
+    }
+}

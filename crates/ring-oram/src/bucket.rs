@@ -1,0 +1,509 @@
+//! Bucket state and the Compact Bucket (CB) access rules.
+//!
+//! A Ring ORAM bucket has `Z` real-block slots and, in baseline Ring ORAM,
+//! `S` reserved dummy slots; it may be touched `S` times between shuffles
+//! because every touch invalidates one slot. The paper's **Compact Bucket**
+//! keeps the access budget at `S` but provisions only `S - Y` physical dummy
+//! slots: up to `Y` of the touches may fetch a *green* block — a real block
+//! consumed as if it were a dummy and parked in the stash.
+//!
+//! On the memory bus every touch is a single indistinguishable block read,
+//! so the green/dummy distinction is invisible to the adversary; it only
+//! changes how fast the stash fills (analyzed in the paper's §VII-D/E).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::config::RingConfig;
+use crate::types::{BlockId, FetchKind};
+
+/// Owned payload of a real block (ciphertext when encryption is enabled).
+pub type BlockData = Box<[u8]>;
+
+/// A real block together with its (optional) payload, as moved between
+/// buckets and the stash.
+pub type BlockEntry = (BlockId, Option<BlockData>);
+
+/// One physical slot of a bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Slot {
+    /// `Some` when the slot holds a real block, `None` for a dummy.
+    block: Option<BlockId>,
+    /// Whether the slot may still be read before the next shuffle.
+    valid: bool,
+    /// Stored payload; `Some` only when `block` is `Some` and the caller
+    /// supplied data (timing-only simulations leave payloads out).
+    data: Option<BlockData>,
+}
+
+/// A bucket: `Z + S - Y` permuted slots plus the metadata the paper's Fig. 2
+/// and Fig. 7 describe (valid/real bits, access counter, green counter).
+#[derive(Debug, Clone)]
+pub struct Bucket {
+    slots: Vec<Slot>,
+    /// Touches since the last shuffle (the paper's per-bucket counter).
+    accesses: u32,
+    /// Green fetches since the last shuffle (the paper's green counter,
+    /// `log2(Y)` bits of metadata).
+    greens_used: u32,
+}
+
+impl Bucket {
+    /// A freshly shuffled bucket holding `blocks` (at most `Z` of them,
+    /// without payloads), with the remaining slots as valid dummies, in a
+    /// random permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `cfg.z` blocks are supplied.
+    #[must_use]
+    pub fn with_blocks<R: Rng + ?Sized>(
+        cfg: &RingConfig,
+        blocks: &[BlockId],
+        rng: &mut R,
+    ) -> Self {
+        Self::with_entries(cfg, blocks.iter().map(|&b| (b, None)).collect(), rng)
+    }
+
+    /// A freshly shuffled bucket holding `entries` (blocks with optional
+    /// payloads), with the remaining slots as valid dummies, in a random
+    /// permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `cfg.z` entries are supplied.
+    #[must_use]
+    pub fn with_entries<R: Rng + ?Sized>(
+        cfg: &RingConfig,
+        entries: Vec<BlockEntry>,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            entries.len() <= cfg.z as usize,
+            "bucket can hold at most Z = {} real blocks, got {}",
+            cfg.z,
+            entries.len()
+        );
+        let slot_count = cfg.bucket_slots() as usize;
+        let mut slots: Vec<Slot> = entries
+            .into_iter()
+            .map(|(b, data)| Slot {
+                block: Some(b),
+                valid: true,
+                data,
+            })
+            .collect();
+        slots.resize_with(slot_count, || Slot {
+            block: None,
+            valid: true,
+            data: None,
+        });
+        slots.shuffle(rng);
+        Self {
+            slots,
+            accesses: 0,
+            greens_used: 0,
+        }
+    }
+
+    /// An empty, freshly shuffled bucket (all dummies).
+    #[must_use]
+    pub fn empty<R: Rng + ?Sized>(cfg: &RingConfig, rng: &mut R) -> Self {
+        Self::with_blocks(cfg, &[], rng)
+    }
+
+    /// Touches since the last shuffle.
+    #[must_use]
+    pub fn accesses(&self) -> u32 {
+        self.accesses
+    }
+
+    /// Green fetches since the last shuffle.
+    #[must_use]
+    pub fn greens_used(&self) -> u32 {
+        self.greens_used
+    }
+
+    /// Number of valid real blocks currently stored.
+    #[must_use]
+    pub fn real_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.valid && s.block.is_some())
+            .count()
+    }
+
+    /// Number of valid dummy slots remaining.
+    #[must_use]
+    pub fn valid_dummies(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.valid && s.block.is_none())
+            .count()
+    }
+
+    /// The valid real blocks currently stored.
+    #[must_use]
+    pub fn real_blocks(&self) -> Vec<BlockId> {
+        self.slots
+            .iter()
+            .filter(|s| s.valid)
+            .filter_map(|s| s.block)
+            .collect()
+    }
+
+    /// Slot index of `block` if it is present and still valid.
+    #[must_use]
+    pub fn find(&self, block: BlockId) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.valid && s.block == Some(block))
+    }
+
+    /// Whether the bucket must be reshuffled *before* it can absorb another
+    /// touch: either its access budget `S` is exhausted, or — a CB-specific
+    /// condition — it can serve neither a dummy nor a green fetch.
+    ///
+    /// The second condition cannot arise in baseline Ring ORAM (`Y = 0`
+    /// guarantees `S` physical dummies) but can under CB when the bucket
+    /// holds fewer real blocks than the green budget assumes. The simulator
+    /// counts these *forced reshuffles* separately; see
+    /// `RingOram`'s statistics.
+    #[must_use]
+    pub fn needs_reshuffle(&self, cfg: &RingConfig) -> bool {
+        if self.accesses >= cfg.s {
+            return true;
+        }
+        self.valid_dummies() == 0 && !self.green_available(cfg)
+    }
+
+    fn green_available(&self, cfg: &RingConfig) -> bool {
+        self.greens_used < cfg.y && self.real_count() > 0
+    }
+
+    /// Serves one read-path touch.
+    ///
+    /// * If `target` is present and valid, its slot is read: the block moves
+    ///   to the caller (stash) and the slot is invalidated.
+    /// * Otherwise a valid **dummy** is preferred; when no valid dummy
+    ///   remains and the green budget allows, a valid real block is fetched
+    ///   as a **green** block (dummy-first policy — the paper allows "freely
+    ///   choosing", and dummy-first maximizes the bucket's usable lifetime
+    ///   while keeping stash pressure minimal).
+    ///
+    /// Background-eviction dummy read paths (which the paper specifies as
+    /// "reading specifically dummy blocks") call this with `target = None`;
+    /// dummy-first makes them consume greens only as a last resort.
+    ///
+    /// Returns the slot index read, what it carried, and the payload when
+    /// a real block (target or green) was fetched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket cannot serve the touch;
+    /// callers must check [`Self::needs_reshuffle`] first.
+    pub fn serve_read<R: Rng + ?Sized>(
+        &mut self,
+        cfg: &RingConfig,
+        target: Option<BlockId>,
+        rng: &mut R,
+    ) -> (usize, FetchKind, Option<BlockData>) {
+        debug_assert!(!self.needs_reshuffle(cfg), "bucket exhausted");
+        self.accesses += 1;
+        if let Some(t) = target {
+            if let Some(idx) = self.find(t) {
+                self.slots[idx].valid = false;
+                self.slots[idx].block = None;
+                let data = self.slots[idx].data.take();
+                return (idx, FetchKind::Target(t), data);
+            }
+        }
+        // Dummy-first policy.
+        let dummies: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.valid && s.block.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        if let Some(&idx) = dummies.as_slice().choose(rng) {
+            self.slots[idx].valid = false;
+            return (idx, FetchKind::Dummy, None);
+        }
+        // Fall back to a green block.
+        let reals: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.valid && s.block.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let idx = *reals
+            .as_slice()
+            .choose(rng)
+            .expect("needs_reshuffle() guaranteed a candidate");
+        assert!(
+            self.greens_used < cfg.y,
+            "green budget exceeded; needs_reshuffle() should have fired"
+        );
+        let block = self.slots[idx].block.take().expect("real slot has block");
+        let data = self.slots[idx].data.take();
+        self.slots[idx].valid = false;
+        self.greens_used += 1;
+        (idx, FetchKind::Green(block), data)
+    }
+
+    /// Removes and returns every valid real block with its payload (the
+    /// eviction/reshuffle read phase: the controller reads the `Z` real
+    /// slots of the bucket).
+    pub fn take_real_blocks(&mut self) -> Vec<BlockEntry> {
+        let mut out = Vec::new();
+        for s in &mut self.slots {
+            if s.valid {
+                if let Some(b) = s.block.take() {
+                    out.push((b, s.data.take()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Reshuffles the bucket: installs `entries` (at most `Z`), resets all
+    /// metadata and re-permutes the slots (the eviction/reshuffle write
+    /// phase: `Z + S - Y` encrypted blocks are written back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `cfg.z` entries are supplied.
+    pub fn reload<R: Rng + ?Sized>(
+        &mut self,
+        cfg: &RingConfig,
+        entries: Vec<BlockEntry>,
+        rng: &mut R,
+    ) {
+        *self = Self::with_entries(cfg, entries, rng);
+    }
+
+    /// Number of physical slots.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether `slot` currently holds a valid real block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn slot_holds_real(&self, slot: usize) -> bool {
+        let s = &self.slots[slot];
+        s.valid && s.block.is_some()
+    }
+
+    /// Removes the block stored in `slot`, if any, returning its payload
+    /// (used when the tree-top cache serves a target directly: an on-chip
+    /// read with no protocol side effects).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn clear_slot(&mut self, slot: usize) -> Option<BlockData> {
+        self.slots[slot].block = None;
+        self.slots[slot].data.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn cfg() -> RingConfig {
+        RingConfig::test_small() // Z=4, S=4, Y=0
+    }
+
+    fn cb_cfg() -> RingConfig {
+        RingConfig::test_small_cb() // Z=4, S=4, Y=2
+    }
+
+    #[test]
+    fn fresh_bucket_shape() {
+        let mut r = rng();
+        let b = Bucket::with_blocks(&cfg(), &[BlockId(1), BlockId(2)], &mut r);
+        assert_eq!(b.slot_count(), 8); // Z + S - Y = 4 + 4 - 0
+        assert_eq!(b.real_count(), 2);
+        assert_eq!(b.valid_dummies(), 6);
+        assert_eq!(b.accesses(), 0);
+        assert_eq!(b.greens_used(), 0);
+    }
+
+    #[test]
+    fn cb_bucket_is_smaller() {
+        let mut r = rng();
+        let b = Bucket::empty(&cb_cfg(), &mut r);
+        assert_eq!(b.slot_count(), 6); // 4 + 4 - 2
+    }
+
+    #[test]
+    #[should_panic(expected = "at most Z")]
+    fn overfull_bucket_rejected() {
+        let mut r = rng();
+        let blocks: Vec<BlockId> = (0..5).map(BlockId).collect();
+        let _ = Bucket::with_blocks(&cfg(), &blocks, &mut r);
+    }
+
+    #[test]
+    fn target_read_removes_block() {
+        let mut r = rng();
+        let mut b = Bucket::with_blocks(&cfg(), &[BlockId(42)], &mut r);
+        let (slot, kind, _) = b.serve_read(&cfg(), Some(BlockId(42)), &mut r);
+        assert_eq!(kind, FetchKind::Target(BlockId(42)));
+        assert!(slot < b.slot_count());
+        assert_eq!(b.real_count(), 0);
+        assert_eq!(b.accesses(), 1);
+        assert_eq!(b.find(BlockId(42)), None);
+    }
+
+    #[test]
+    fn non_target_read_prefers_dummies() {
+        let mut r = rng();
+        let c = cb_cfg(); // Z=4, S=4, Y=2 -> 6 slots
+        let blocks: Vec<BlockId> = (0..4).map(BlockId).collect();
+        let mut b = Bucket::with_blocks(&c, &blocks, &mut r);
+        // A full bucket leaves 2 physical dummies: the first two non-target
+        // reads must consume them even though greens are allowed.
+        for _ in 0..2 {
+            let (_, kind, _) = b.serve_read(&c, None, &mut r);
+            assert_eq!(kind, FetchKind::Dummy);
+        }
+        // Third non-target read must fall back to a green block.
+        let (_, kind, _) = b.serve_read(&c, None, &mut r);
+        assert!(matches!(kind, FetchKind::Green(_)), "{kind:?}");
+        assert_eq!(b.greens_used(), 1);
+        assert_eq!(b.real_count(), 3);
+    }
+
+    #[test]
+    fn underfull_bucket_has_extra_dummies() {
+        // Unoccupied real slots physically hold dummies, so an underfull
+        // CB bucket can serve more dummy touches than S - Y.
+        let mut r = rng();
+        let c = cb_cfg(); // 6 slots
+        let mut b = Bucket::with_blocks(&c, &[BlockId(1)], &mut r);
+        assert_eq!(b.valid_dummies(), 5);
+        // S = 4 touches are all served by dummies; no green needed.
+        for _ in 0..4 {
+            let (_, kind, _) = b.serve_read(&c, None, &mut r);
+            assert_eq!(kind, FetchKind::Dummy);
+        }
+        assert_eq!(b.greens_used(), 0);
+        assert!(b.needs_reshuffle(&c), "budget S exhausted");
+    }
+
+    #[test]
+    fn budget_exhaustion_triggers_reshuffle_signal() {
+        let mut r = rng();
+        let c = cfg(); // S = 4
+        let mut b = Bucket::with_blocks(&c, &[BlockId(1)], &mut r);
+        for _ in 0..4 {
+            assert!(!b.needs_reshuffle(&c));
+            let _ = b.serve_read(&c, None, &mut r);
+        }
+        assert!(b.needs_reshuffle(&c), "S touches exhaust the budget");
+    }
+
+    #[test]
+    fn forced_exhaustion_cannot_occur_with_valid_configs() {
+        // With Y <= Z (enforced by RingConfig::validate), every bucket can
+        // always serve its full budget of S touches: the number of touchable
+        // slots is (slots - reals) dummies + min(Y, reals) greens >= S for
+        // any real count 0..=Z. Exhaustive check over all occupancies.
+        let mut r = rng();
+        let c = cb_cfg(); // Z=4, S=4, Y=2
+        for reals in 0..=c.z {
+            let blocks: Vec<BlockId> = (0..u64::from(reals)).map(BlockId).collect();
+            let mut b = Bucket::with_blocks(&c, &blocks, &mut r);
+            for touch in 0..c.s {
+                assert!(
+                    !b.needs_reshuffle(&c),
+                    "bucket with {reals} reals exhausted after {touch} touches"
+                );
+                let _ = b.serve_read(&c, None, &mut r);
+            }
+            assert!(b.needs_reshuffle(&c), "budget S must be the binding limit");
+        }
+    }
+
+    #[test]
+    fn green_budget_is_capped() {
+        let mut r = rng();
+        let c = cb_cfg(); // Y = 2
+        let blocks: Vec<BlockId> = (0..4).map(BlockId).collect();
+        let mut b = Bucket::with_blocks(&c, &blocks, &mut r);
+        // Use up 2 dummies + 2 greens = S touches.
+        let mut greens = 0;
+        for _ in 0..4 {
+            let (_, kind, _) = b.serve_read(&c, None, &mut r);
+            if matches!(kind, FetchKind::Green(_)) {
+                greens += 1;
+            }
+        }
+        assert_eq!(greens, 2);
+        assert!(b.needs_reshuffle(&c));
+        // Two real blocks survived untouched.
+        assert_eq!(b.real_count(), 2);
+    }
+
+    #[test]
+    fn take_real_blocks_empties_bucket() {
+        let mut r = rng();
+        let blocks: Vec<BlockId> = (10..13).map(BlockId).collect();
+        let mut b = Bucket::with_blocks(&cfg(), &blocks, &mut r);
+        let mut taken: Vec<BlockId> = b.take_real_blocks().into_iter().map(|(b, _)| b).collect();
+        taken.sort();
+        assert_eq!(taken, blocks);
+        assert_eq!(b.real_count(), 0);
+    }
+
+    #[test]
+    fn reload_resets_metadata() {
+        let mut r = rng();
+        let c = cfg();
+        let mut b = Bucket::with_blocks(&c, &[BlockId(1)], &mut r);
+        let _ = b.serve_read(&c, None, &mut r);
+        b.reload(&c, vec![(BlockId(9), None)], &mut r);
+        assert_eq!(b.accesses(), 0);
+        assert_eq!(b.greens_used(), 0);
+        assert_eq!(b.real_blocks(), vec![BlockId(9)]);
+        assert_eq!(b.valid_dummies(), 7);
+    }
+
+    #[test]
+    fn invalid_slots_are_never_reread() {
+        let mut r = rng();
+        let c = cfg();
+        let mut b = Bucket::empty(&c, &mut r);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..c.s {
+            let (slot, _, _) = b.serve_read(&c, None, &mut r);
+            assert!(seen.insert(slot), "slot {slot} read twice");
+        }
+    }
+
+    #[test]
+    fn target_miss_falls_back_to_dummy() {
+        let mut r = rng();
+        let c = cfg();
+        let mut b = Bucket::with_blocks(&c, &[BlockId(1)], &mut r);
+        // Ask for a block the bucket does not hold.
+        let (_, kind, _) = b.serve_read(&c, Some(BlockId(99)), &mut r);
+        assert_eq!(kind, FetchKind::Dummy);
+        assert_eq!(b.real_count(), 1, "stored block untouched");
+    }
+}

@@ -1,0 +1,326 @@
+//! Mapping tree buckets to flat physical addresses.
+//!
+//! The **subtree layout** (Ren et al., adopted by the paper) groups
+//! `k` consecutive tree levels into subtrees and stores each subtree's
+//! buckets contiguously, sized so one subtree fits the memory system's
+//! natural locality window (a DRAM row per channel — with the paper's
+//! channel-striped address mapping that window is `row_bytes x channels`).
+//! A root-to-leaf path then touches one window per `k` levels instead of a
+//! scattered row per bucket.
+//!
+//! A naive breadth-first layout is provided for the ablation study: it keeps
+//! each *level* contiguous, so a path touches a different row at almost
+//! every level.
+
+use crate::config::RingConfig;
+use crate::tree::TreeGeometry;
+use crate::types::BucketId;
+
+/// A placement of `(bucket, slot)` pairs at flat byte addresses.
+///
+/// Implementations must be injective (no two slots share an address) and
+/// keep every address below [`TreeLayout::total_bytes`].
+pub trait TreeLayout: std::fmt::Debug {
+    /// Byte address of `slot` within `bucket`.
+    fn addr_of(&self, bucket: BucketId, slot: u32) -> u64;
+
+    /// Total bytes of the address range the layout occupies (including
+    /// alignment padding).
+    fn total_bytes(&self) -> u64;
+
+    /// Levels grouped per subtree (1 for layouts without grouping).
+    fn levels_per_subtree(&self) -> u32;
+}
+
+/// The subtree layout of Ren et al., parameterized by the locality window.
+#[derive(Debug, Clone)]
+pub struct SubtreeLayout {
+    geometry: TreeGeometry,
+    bucket_bytes: u64,
+    block_bytes: u64,
+    /// Levels per subtree (`k`).
+    k: u32,
+    /// Padded byte size of one subtree slot.
+    subtree_slot_bytes: u64,
+    /// `prefix[g]` = number of subtree instances in groups `0..g`.
+    group_prefix: Vec<u64>,
+    /// Total number of subtree instances.
+    total_subtrees: u64,
+}
+
+impl SubtreeLayout {
+    /// Builds a subtree layout for `cfg`'s tree inside a locality window of
+    /// `locality_bytes` (the row-set size: DRAM row bytes times channels
+    /// under the paper's striped mapping).
+    ///
+    /// Each subtree slot is padded to the next power of two, which keeps
+    /// slots aligned so no subtree ever straddles a window boundary. The
+    /// group height `k` is chosen to maximize `k x packing-efficiency`
+    /// among all `k` whose padded slot fits the window — balancing fewer
+    /// windows per path (larger `k`) against padding waste (`(2^k - 1)`
+    /// buckets never fill a power-of-two slot exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locality_bytes` is zero or `cfg` fails validation.
+    #[must_use]
+    pub fn new(cfg: &RingConfig, locality_bytes: u64) -> Self {
+        assert!(locality_bytes > 0, "locality_bytes must be nonzero");
+        cfg.validate().expect("invalid RingConfig");
+        let geometry = TreeGeometry::new(cfg.levels);
+        let bucket_bytes = cfg.bucket_bytes();
+        let mut best: Option<(u32, u64, f64)> = None; // (k, padded, score)
+        for k in 1..=cfg.levels {
+            let raw = ((1u64 << k) - 1).saturating_mul(bucket_bytes);
+            let padded = raw.next_power_of_two();
+            if padded > locality_bytes {
+                break;
+            }
+            let efficiency = raw as f64 / padded as f64;
+            let score = f64::from(k) * efficiency;
+            if best.is_none_or(|(_, _, s)| score > s) {
+                best = Some((k, padded, score));
+            }
+        }
+        let (k, subtree_slot_bytes, _) = best.unwrap_or_else(|| {
+            // A single bucket exceeds the window: fall back to k = 1 with
+            // bucket-granular power-of-two slots.
+            (1, bucket_bytes.next_power_of_two(), 0.0)
+        });
+
+        let groups = cfg.levels.div_ceil(k);
+        let mut group_prefix = Vec::with_capacity(groups as usize + 1);
+        let mut total: u64 = 0;
+        for g in 0..groups {
+            group_prefix.push(total);
+            total += 1u64 << (g * k);
+        }
+        group_prefix.push(total);
+        Self {
+            geometry,
+            bucket_bytes,
+            block_bytes: u64::from(cfg.block_bytes),
+            k,
+            subtree_slot_bytes,
+            group_prefix,
+            total_subtrees: total,
+        }
+    }
+
+    /// Index of the subtree instance containing `bucket` (0-based, in
+    /// group-major breadth-first order).
+    #[must_use]
+    pub fn subtree_index(&self, bucket: BucketId) -> u64 {
+        let level = self.geometry.level_of(bucket).0;
+        let group = level / self.k;
+        let root_level = group * self.k;
+        let pos_in_level = bucket.0 - ((1u64 << level) - 1);
+        let root_pos = pos_in_level >> (level - root_level);
+        self.group_prefix[group as usize] + root_pos
+    }
+
+    /// Index of `bucket` inside its subtree (local breadth-first order).
+    #[must_use]
+    pub fn local_index(&self, bucket: BucketId) -> u64 {
+        let level = self.geometry.level_of(bucket).0;
+        let group = level / self.k;
+        let depth = level - group * self.k;
+        let pos_in_level = bucket.0 - ((1u64 << level) - 1);
+        let local_path = pos_in_level & ((1u64 << depth) - 1);
+        ((1u64 << depth) - 1) + local_path
+    }
+}
+
+impl TreeLayout for SubtreeLayout {
+    fn addr_of(&self, bucket: BucketId, slot: u32) -> u64 {
+        debug_assert!(bucket.0 < self.geometry.bucket_count(), "bucket range");
+        self.subtree_index(bucket) * self.subtree_slot_bytes
+            + self.local_index(bucket) * self.bucket_bytes
+            + u64::from(slot) * self.block_bytes
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.total_subtrees * self.subtree_slot_bytes
+    }
+
+    fn levels_per_subtree(&self) -> u32 {
+        self.k
+    }
+}
+
+/// Naive breadth-first layout: bucket `b` at `b * bucket_bytes`. Keeps each
+/// level contiguous but scatters a path across the module; the ablation
+/// baseline.
+#[derive(Debug, Clone)]
+pub struct NaiveLayout {
+    bucket_count: u64,
+    bucket_bytes: u64,
+    block_bytes: u64,
+}
+
+impl NaiveLayout {
+    /// Builds the naive layout for `cfg`'s tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    #[must_use]
+    pub fn new(cfg: &RingConfig) -> Self {
+        cfg.validate().expect("invalid RingConfig");
+        Self {
+            bucket_count: cfg.bucket_count(),
+            bucket_bytes: cfg.bucket_bytes(),
+            block_bytes: u64::from(cfg.block_bytes),
+        }
+    }
+}
+
+impl TreeLayout for NaiveLayout {
+    fn addr_of(&self, bucket: BucketId, slot: u32) -> u64 {
+        debug_assert!(bucket.0 < self.bucket_count, "bucket range");
+        bucket.0 * self.bucket_bytes + u64::from(slot) * self.block_bytes
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.bucket_count * self.bucket_bytes
+    }
+
+    fn levels_per_subtree(&self) -> u32 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeGeometry;
+    use crate::types::PathId;
+
+    fn cfg() -> RingConfig {
+        RingConfig::test_small() // 8 levels, Z=4, S=4, Y=0 -> 8 slots, 512 B
+    }
+
+    #[test]
+    fn k_matches_locality_window() {
+        let c = cfg();
+        // Bucket = 512 B. With a 4 KiB window: 2^3 - 1 = 7 buckets = 3.5 KiB
+        // fits, 15 buckets = 7.5 KiB does not.
+        let l = SubtreeLayout::new(&c, 4096);
+        assert_eq!(l.levels_per_subtree(), 3);
+        // With a 16 KiB window, 31 buckets = 15.5 KiB fits.
+        let l = SubtreeLayout::new(&c, 16384);
+        assert_eq!(l.levels_per_subtree(), 5);
+    }
+
+    #[test]
+    fn hpca_default_grouping() {
+        // Paper default: bucket = 12 slots x 64 B = 768 B (Y=8). Four
+        // levels (15 buckets = 11.25 KiB in a 16 KiB slot) win the
+        // locality-vs-padding tradeoff.
+        let c = RingConfig::hpca_default();
+        let l = SubtreeLayout::new(&c, 16384);
+        assert_eq!(l.levels_per_subtree(), 4);
+        // Baseline (Y=0): bucket = 20 x 64 = 1280 B. Three levels would pad
+        // 8.75 KiB up to 16 KiB (45 % waste, and a 20 GB tree would no
+        // longer fit the 32 GB module); two levels pack 3.75 KiB into 4 KiB.
+        let b = RingConfig::hpca_baseline();
+        let l = SubtreeLayout::new(&b, 16384);
+        assert_eq!(l.levels_per_subtree(), 2);
+        // Both trees fit the paper's 32 GB module.
+        assert!(SubtreeLayout::new(&c, 16384).total_bytes() <= 32 * (1 << 30));
+        assert!(SubtreeLayout::new(&b, 16384).total_bytes() <= 32 * (1 << 30));
+    }
+
+    #[test]
+    fn addresses_are_unique_and_in_range() {
+        let c = cfg();
+        let l = SubtreeLayout::new(&c, 4096);
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..c.bucket_count() {
+            for s in 0..c.bucket_slots() {
+                let a = l.addr_of(BucketId(b), s);
+                assert!(a < l.total_bytes(), "addr {a} out of range");
+                assert!(seen.insert(a), "duplicate addr {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn slots_within_bucket_are_contiguous() {
+        let c = cfg();
+        let l = SubtreeLayout::new(&c, 4096);
+        let a0 = l.addr_of(BucketId(3), 0);
+        let a1 = l.addr_of(BucketId(3), 1);
+        assert_eq!(a1 - a0, u64::from(c.block_bytes));
+    }
+
+    #[test]
+    fn path_touches_one_window_per_group() {
+        let c = cfg(); // 8 levels
+        let window = 4096;
+        let l = SubtreeLayout::new(&c, window);
+        let k = l.levels_per_subtree(); // 3
+        let g = TreeGeometry::new(c.levels);
+        let path = PathId(93);
+        let mut windows = Vec::new();
+        for b in g.path_buckets(path) {
+            windows.push(l.addr_of(b, 0) / window);
+        }
+        // Levels in the same group share a window.
+        for (lvl, w) in windows.iter().enumerate() {
+            let group = lvl as u32 / k;
+            assert_eq!(
+                *w, windows[(group * k) as usize],
+                "level {lvl} strayed from its group window"
+            );
+        }
+        // Distinct groups use distinct windows.
+        let distinct: std::collections::HashSet<_> = windows.iter().collect();
+        assert_eq!(distinct.len(), c.levels.div_ceil(k) as usize);
+    }
+
+    #[test]
+    fn subtree_padding_aligns_windows() {
+        let c = cfg();
+        let window = 4096;
+        let l = SubtreeLayout::new(&c, window);
+        for b in [0u64, 1, 7, 100, 254] {
+            let a = l.addr_of(BucketId(b), 0);
+            let end = l.addr_of(BucketId(b), c.bucket_slots() - 1) + 64;
+            assert_eq!(a / window, (end - 1) / window, "bucket {b} straddles");
+        }
+    }
+
+    #[test]
+    fn naive_layout_is_dense_and_unique() {
+        let c = cfg();
+        let l = NaiveLayout::new(&c);
+        assert_eq!(l.total_bytes(), c.bucket_count() * c.bucket_bytes());
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..c.bucket_count() {
+            for s in 0..c.bucket_slots() {
+                assert!(seen.insert(l.addr_of(BucketId(b), s)));
+            }
+        }
+        assert_eq!(seen.len() as u64, c.bucket_count() * 8);
+    }
+
+    #[test]
+    fn total_bytes_includes_padding() {
+        let c = cfg();
+        let l = SubtreeLayout::new(&c, 4096);
+        // 3-level subtrees over 8 levels: groups of sizes 1, 8, 64 subtrees
+        // (last group has 2 levels but still one slot each).
+        assert_eq!(l.total_bytes(), (1 + 8 + 64) * 4096);
+    }
+
+    #[test]
+    fn cb_improves_packing_density() {
+        // Fewer slots per bucket lets more levels share a window — the
+        // secondary spatial benefit of the Compact Bucket.
+        let baseline = SubtreeLayout::new(&RingConfig::hpca_baseline(), 16384);
+        let cb = SubtreeLayout::new(&RingConfig::hpca_default(), 16384);
+        assert!(cb.levels_per_subtree() > baseline.levels_per_subtree());
+        assert!(cb.total_bytes() < baseline.total_bytes());
+    }
+}

@@ -1,0 +1,58 @@
+//! # ring-oram — Ring ORAM and String ORAM protocol engine
+//!
+//! This crate implements the protocol layer of the String ORAM reproduction
+//! (HPCA 2021, "Streamline Ring ORAM Accesses through Spatial and Temporal
+//! Optimization"):
+//!
+//! * **Ring ORAM** (Ren et al., USENIX Security'15): buckets of `Z` real +
+//!   `S` dummy slots, selective one-block-per-bucket read paths, periodic
+//!   evictions in reverse lexicographic order, and early reshuffles —
+//!   [`RingOram`];
+//! * the paper's **Compact Bucket (CB)** spatial optimization: `Y` of the
+//!   `S` dummy accesses served by *green* real blocks, shrinking each bucket
+//!   by `Y` slots ([`config::RingConfig::y`]) and shortening evictions;
+//! * leakage-free **background eviction** via dummy read paths;
+//! * the **subtree layout** address mapping ([`layout::SubtreeLayout`]);
+//! * a **Path ORAM** baseline ([`path_oram::PathOram`]) for the bandwidth
+//!   ablation.
+//!
+//! The protocol layer is *untimed*: every logical access expands into
+//! [`plan::AccessPlan`]s — ordered lists of physical slot touches — which
+//! the `mem-sched`/`string-oram` crates execute against the `dram-sim`
+//! timing model as atomic ORAM transactions.
+//!
+//! # Example
+//!
+//! ```
+//! use ring_oram::{RingOram, RingConfig};
+//! use ring_oram::types::BlockId;
+//!
+//! let mut oram = RingOram::new(RingConfig::test_small(), 42);
+//! let outcome = oram.access(BlockId(7));
+//! // A read path touches one block per tree level.
+//! let reads: usize = outcome.plans.iter().map(|p| p.reads()).sum();
+//! assert!(reads >= oram.config().levels as usize);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod aes;
+pub mod bucket;
+pub mod config;
+pub mod crypto;
+pub mod layout;
+pub mod path_oram;
+pub mod plan;
+pub mod position_map;
+pub mod protocol;
+pub mod recursive;
+pub mod stash;
+pub mod tree;
+pub mod types;
+
+pub use config::RingConfig;
+pub use plan::{AccessPlan, OpKind, SlotTouch};
+pub use protocol::{AccessOutcome, ProtocolStats, RingOram, TargetSource};
+pub use tree::TreeGeometry;
+pub use types::{BlockId, BucketId, FetchKind, Level, PathId};

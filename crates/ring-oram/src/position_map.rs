@@ -1,0 +1,189 @@
+//! The position map: program block → path label.
+//!
+//! In hardware the position map is a (recursively compressible) on-chip
+//! table inside the secure processor; here it is a hash map that assigns
+//! fresh uniform paths lazily and on every remap.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::types::{BlockId, PathId};
+
+/// Lazy position map over `2^L` paths.
+///
+/// # Examples
+///
+/// ```
+/// use ring_oram::position_map::PositionMap;
+/// use ring_oram::types::BlockId;
+/// use rand::SeedableRng;
+///
+/// let mut pm = PositionMap::new(128);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let p = pm.lookup_or_assign(BlockId(7), &mut rng);
+/// assert!(p.0 < 128);
+/// // Stable until remapped.
+/// assert_eq!(pm.lookup_or_assign(BlockId(7), &mut rng), p);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PositionMap {
+    paths: u64,
+    map: HashMap<BlockId, PathId>,
+}
+
+impl PositionMap {
+    /// A position map over `paths` leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` is zero.
+    #[must_use]
+    pub fn new(paths: u64) -> Self {
+        assert!(paths > 0, "paths must be nonzero");
+        Self {
+            paths,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Number of leaves the map draws from.
+    #[must_use]
+    pub fn path_count(&self) -> u64 {
+        self.paths
+    }
+
+    /// Number of blocks currently tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no blocks are tracked yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The path currently assigned to `block`, if any.
+    #[must_use]
+    pub fn lookup(&self, block: BlockId) -> Option<PathId> {
+        self.map.get(&block).copied()
+    }
+
+    /// The path assigned to `block`, drawing a fresh uniform path on first
+    /// use (lazy initialization of an untouched block).
+    pub fn lookup_or_assign<R: Rng + ?Sized>(&mut self, block: BlockId, rng: &mut R) -> PathId {
+        let paths = self.paths;
+        *self
+            .map
+            .entry(block)
+            .or_insert_with(|| PathId(rng.gen_range(0..paths)))
+    }
+
+    /// Remaps `block` to a fresh uniform path (called on every real access,
+    /// per the ORAM protocol) and returns the new path.
+    pub fn remap<R: Rng + ?Sized>(&mut self, block: BlockId, rng: &mut R) -> PathId {
+        let p = PathId(rng.gen_range(0..self.paths));
+        self.map.insert(block, p);
+        p
+    }
+
+    /// Snapshot of all `(block, path)` entries, in unspecified order (used
+    /// by invariant checks and debugging; hardware has no such operation).
+    #[must_use]
+    pub fn entries(&self) -> Vec<(BlockId, PathId)> {
+        self.map.iter().map(|(&b, &p)| (b, p)).collect()
+    }
+
+    /// Pins `block` to `path` without randomness (used when materializing
+    /// pre-loaded "cold" tree contents, whose position must match the bucket
+    /// they were placed in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` is out of range.
+    pub fn insert(&mut self, block: BlockId, path: PathId) {
+        assert!(path.0 < self.paths, "path out of range");
+        self.map.insert(block, path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lazy_assignment_is_stable() {
+        let mut pm = PositionMap::new(64);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p1 = pm.lookup_or_assign(BlockId(1), &mut rng);
+        let p2 = pm.lookup_or_assign(BlockId(1), &mut rng);
+        assert_eq!(p1, p2);
+        assert_eq!(pm.len(), 1);
+    }
+
+    #[test]
+    fn remap_changes_distribution_not_identity() {
+        let mut pm = PositionMap::new(1 << 16);
+        let mut rng = StdRng::seed_from_u64(4);
+        let p0 = pm.lookup_or_assign(BlockId(9), &mut rng);
+        let mut changed = false;
+        for _ in 0..8 {
+            if pm.remap(BlockId(9), &mut rng) != p0 {
+                changed = true;
+            }
+        }
+        assert!(changed, "8 remaps over 2^16 paths must move the block");
+        assert_eq!(pm.len(), 1);
+    }
+
+    #[test]
+    fn paths_are_in_range_and_roughly_uniform() {
+        let mut pm = PositionMap::new(16);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 16];
+        for b in 0..4096 {
+            let p = pm.lookup_or_assign(BlockId(b), &mut rng);
+            assert!(p.0 < 16);
+            counts[p.0 as usize] += 1;
+        }
+        // Each bin expects 256; a loose 3-sigma style bound suffices.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((150..400).contains(&c), "bin {i} has {c}");
+        }
+    }
+
+    #[test]
+    fn insert_pins_path() {
+        let mut pm = PositionMap::new(8);
+        pm.insert(BlockId(2), PathId(5));
+        assert_eq!(pm.lookup(BlockId(2)), Some(PathId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "path out of range")]
+    fn insert_checks_range() {
+        let mut pm = PositionMap::new(8);
+        pm.insert(BlockId(2), PathId(8));
+    }
+
+    #[test]
+    fn entries_snapshot_everything() {
+        let mut pm = PositionMap::new(8);
+        pm.insert(BlockId(1), PathId(2));
+        pm.insert(BlockId(5), PathId(7));
+        let mut e = pm.entries();
+        e.sort();
+        assert_eq!(e, vec![(BlockId(1), PathId(2)), (BlockId(5), PathId(7))]);
+    }
+
+    #[test]
+    fn lookup_absent_is_none() {
+        let pm = PositionMap::new(8);
+        assert_eq!(pm.lookup(BlockId(1)), None);
+        assert!(pm.is_empty());
+    }
+}

@@ -1,0 +1,340 @@
+//! Whole-system configuration.
+
+use dram_sim::geometry::DramGeometry;
+use dram_sim::timing::TimingParams;
+use mem_sched::{PagePolicy, SchedulerPolicy};
+use ring_oram::RingConfig;
+
+/// The four design points the paper's evaluation compares (Fig. 10-12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// State-of-the-art Ring ORAM: no Compact Bucket, transaction-based
+    /// scheduling.
+    Baseline,
+    /// Compact Bucket only (spatial optimization).
+    Cb,
+    /// Proactive Bank only (temporal optimization).
+    Pb,
+    /// The full String ORAM framework: CB + PB.
+    All,
+}
+
+impl Scheme {
+    /// All four schemes in the paper's presentation order.
+    pub const ALL: [Scheme; 4] = [Scheme::Baseline, Scheme::Cb, Scheme::Pb, Scheme::All];
+
+    /// Label used in figures ("1. Baseline", "2. CB", ...).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Baseline => "Baseline",
+            Self::Cb => "CB",
+            Self::Pb => "PB",
+            Self::All => "ALL",
+        }
+    }
+
+    /// Whether the Compact Bucket is enabled.
+    #[must_use]
+    pub fn uses_cb(self) -> bool {
+        matches!(self, Self::Cb | Self::All)
+    }
+
+    /// Whether the Proactive Bank scheduler is enabled.
+    #[must_use]
+    pub fn uses_pb(self) -> bool {
+        matches!(self, Self::Pb | Self::All)
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which physical address mapping the memory controller uses (ablation
+/// knob; the paper fixes `row:bank:column:rank:channel:offset`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingKind {
+    /// The paper's channel-striped mapping (consecutive lines alternate
+    /// channels; subtree row sets span all channels).
+    PaperStriped,
+    /// Channel-in-MSBs mapping: each channel owns a contiguous region, so
+    /// a path gets no channel-level parallelism.
+    Sequential,
+}
+
+/// Which tree-to-memory layout the system uses (ablation knob; the paper
+/// always uses the subtree layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutKind {
+    /// Subtree layout (Ren et al.) sized to the row set.
+    Subtree,
+    /// Naive breadth-first layout (each level contiguous).
+    Naive,
+}
+
+/// Full-system parameters: processor (Table I), memory subsystem (Table II)
+/// and ORAM (Table III).
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Ring ORAM parameters. `ring.y` is forced to 0 by [`Self::for_scheme`]
+    /// when the scheme disables CB.
+    pub ring: RingConfig,
+    /// DRAM geometry (channels/ranks/banks/rows/columns).
+    pub geometry: DramGeometry,
+    /// DRAM timing parameters.
+    pub timing: TimingParams,
+    /// Memory scheduling policy.
+    pub policy: SchedulerPolicy,
+    /// Entries per direction per channel in the controller queues.
+    pub queue_capacity: usize,
+    /// Number of cores (Table I: 4).
+    pub cores: usize,
+    /// Instructions retired per CPU cycle per core (Table I: 4).
+    pub retire_width: u32,
+    /// CPU cycles per memory bus cycle (3.2 GHz over DDR3-1600's 800 MHz
+    /// bus = 4).
+    pub cpu_cycles_per_mem_cycle: u32,
+    /// Maximum unfinished ORAM transactions before the controller stops
+    /// planning new accesses (keeps transaction *i+1* visible for PB).
+    pub max_inflight_txns: usize,
+    /// Outstanding LLC misses a core may keep in flight before stalling
+    /// (the ROB's memory-level parallelism; 1 = blocking misses).
+    pub core_mlp: usize,
+    /// Tree pre-load factor (see `ring_oram::protocol`).
+    pub load_factor: f64,
+    /// Seed for all protocol and layout randomness.
+    pub seed: u64,
+    /// Tree-to-memory layout (the paper always uses [`LayoutKind::Subtree`];
+    /// [`LayoutKind::Naive`] exists for the layout ablation).
+    pub layout: LayoutKind,
+    /// Row-buffer management policy (the paper assumes open-page; §II-C).
+    pub page_policy: PagePolicy,
+    /// Recursive position-map settings. `None` (the paper's assumption)
+    /// keeps the full position map on-chip; `Some` stores it in a stack of
+    /// smaller ORAMs whose traffic the simulation then carries.
+    pub recursion: Option<RecursionSettings>,
+    /// Physical address mapping (paper default: channel-striped).
+    pub mapping: MappingKind,
+}
+
+/// Parameters of the recursive position-map extension (see
+/// `ring_oram::recursive`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecursionSettings {
+    /// Blocks whose positions are tracked.
+    pub tracked_blocks: u64,
+    /// Position entries per map block.
+    pub positions_per_block: u32,
+    /// Entries the innermost on-chip map may hold.
+    pub max_onchip_entries: u64,
+}
+
+impl SystemConfig {
+    /// The paper's full default configuration (Tables I-III) for a scheme.
+    #[must_use]
+    pub fn hpca_default(scheme: Scheme) -> Self {
+        Self::for_scheme(
+            Self {
+                ring: RingConfig::hpca_default(),
+                geometry: DramGeometry::hpca_default(),
+                timing: TimingParams::ddr3_1600(),
+                policy: SchedulerPolicy::TransactionBased,
+                queue_capacity: 64,
+                cores: 4,
+                retire_width: 4,
+                cpu_cycles_per_mem_cycle: 4,
+                max_inflight_txns: 6,
+                core_mlp: 1,
+                load_factor: ring_oram::RingOram::DEFAULT_LOAD_FACTOR,
+                seed: 0xD15EA5E,
+                layout: LayoutKind::Subtree,
+                page_policy: PagePolicy::Open,
+                recursion: None,
+                mapping: MappingKind::PaperStriped,
+            },
+            scheme,
+        )
+    }
+
+    /// A scaled-down configuration for tests and quick experiments: the
+    /// paper's structure (Z=8, S=12, A=8, Y=8) over a 14-level tree with
+    /// fast DRAM timing.
+    #[must_use]
+    pub fn test_small(scheme: Scheme) -> Self {
+        let ring = RingConfig {
+            levels: 14,
+            tree_top_cached_levels: 4,
+            stash_capacity: 200,
+            ..RingConfig::hpca_default()
+        };
+        Self::for_scheme(
+            Self {
+                ring,
+                geometry: DramGeometry::test_medium(),
+                timing: TimingParams::test_fast(),
+                policy: SchedulerPolicy::TransactionBased,
+                queue_capacity: 64,
+                cores: 2,
+                retire_width: 4,
+                cpu_cycles_per_mem_cycle: 4,
+                max_inflight_txns: 6,
+                core_mlp: 1,
+                load_factor: 0.5,
+                seed: 0xD15EA5E,
+                layout: LayoutKind::Subtree,
+                page_policy: PagePolicy::Open,
+                recursion: None,
+                mapping: MappingKind::PaperStriped,
+            },
+            scheme,
+        )
+    }
+
+    /// Applies a scheme to a base configuration: CB on/off toggles `ring.y`
+    /// (off forces 0), PB on/off selects the scheduler policy.
+    #[must_use]
+    pub fn for_scheme(mut base: Self, scheme: Scheme) -> Self {
+        if !scheme.uses_cb() {
+            base.ring.y = 0;
+        }
+        base.policy = if scheme.uses_pb() {
+            SchedulerPolicy::proactive()
+        } else {
+            SchedulerPolicy::TransactionBased
+        };
+        base
+    }
+
+    /// Instructions one core can retire per memory cycle.
+    #[must_use]
+    pub fn instructions_per_mem_cycle(&self) -> u64 {
+        u64::from(self.retire_width) * u64::from(self.cpu_cycles_per_mem_cycle)
+    }
+
+    /// The row-set size: DRAM row bytes times channels — the natural
+    /// locality window under the paper's channel-striped address mapping,
+    /// used to size subtree-layout groups.
+    #[must_use]
+    pub fn row_set_bytes(&self) -> u64 {
+        self.geometry.row_bytes() * u64::from(self.geometry.channels)
+    }
+
+    /// Validates the composite configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint across all components, plus
+    /// cross-component checks (the ORAM tree must fit the DRAM module).
+    pub fn validate(&self) -> Result<(), String> {
+        self.ring.validate()?;
+        self.geometry.validate()?;
+        self.timing.validate()?;
+        if self.cores == 0 {
+            return Err("cores must be nonzero".into());
+        }
+        if self.retire_width == 0 || self.cpu_cycles_per_mem_cycle == 0 {
+            return Err("retire_width and cpu_cycles_per_mem_cycle must be nonzero".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be nonzero".into());
+        }
+        if self.max_inflight_txns < 2 {
+            return Err("max_inflight_txns must be at least 2 (PB needs i+1 visible)".into());
+        }
+        if self.core_mlp == 0 {
+            return Err("core_mlp must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.load_factor) {
+            return Err("load_factor must be in [0, 1]".into());
+        }
+        use ring_oram::layout::TreeLayout;
+        let total = match self.layout {
+            LayoutKind::Subtree => {
+                ring_oram::layout::SubtreeLayout::new(&self.ring, self.row_set_bytes())
+                    .total_bytes()
+            }
+            LayoutKind::Naive => ring_oram::layout::NaiveLayout::new(&self.ring).total_bytes(),
+        };
+        if total > self.geometry.capacity_bytes() {
+            return Err(format!(
+                "ORAM tree ({} B laid out) exceeds DRAM capacity ({} B)",
+                total,
+                self.geometry.capacity_bytes()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemes_toggle_the_right_knobs() {
+        let base = SystemConfig::hpca_default(Scheme::Baseline);
+        assert_eq!(base.ring.y, 0);
+        assert_eq!(base.policy, SchedulerPolicy::TransactionBased);
+
+        let cb = SystemConfig::hpca_default(Scheme::Cb);
+        assert_eq!(cb.ring.y, 8);
+        assert_eq!(cb.policy, SchedulerPolicy::TransactionBased);
+
+        let pb = SystemConfig::hpca_default(Scheme::Pb);
+        assert_eq!(pb.ring.y, 0);
+        assert_eq!(pb.policy, SchedulerPolicy::proactive());
+
+        let all = SystemConfig::hpca_default(Scheme::All);
+        assert_eq!(all.ring.y, 8);
+        assert_eq!(all.policy, SchedulerPolicy::proactive());
+    }
+
+    #[test]
+    fn defaults_validate() {
+        for s in Scheme::ALL {
+            SystemConfig::hpca_default(s).validate().unwrap();
+            SystemConfig::test_small(s).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn default_tree_fits_module() {
+        // The paper's 20 GB baseline tree (and 12 GB CB tree) must fit the
+        // 32 GB module even with subtree padding.
+        let cfg = SystemConfig::hpca_default(Scheme::Baseline);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn instructions_per_mem_cycle_matches_tables() {
+        let cfg = SystemConfig::hpca_default(Scheme::Baseline);
+        // 4-wide at 3.2 GHz against an 800 MHz bus: 16 instructions.
+        assert_eq!(cfg.instructions_per_mem_cycle(), 16);
+        assert_eq!(cfg.row_set_bytes(), 16384);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Scheme::Baseline.label(), "Baseline");
+        assert_eq!(Scheme::All.to_string(), "ALL");
+        assert!(Scheme::All.uses_cb() && Scheme::All.uses_pb());
+        assert!(!Scheme::Baseline.uses_cb() && !Scheme::Baseline.uses_pb());
+    }
+
+    #[test]
+    fn cross_component_check_fires() {
+        let mut cfg = SystemConfig::test_small(Scheme::Baseline);
+        cfg.ring.levels = 20; // far larger than the small module
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn inflight_floor_enforced() {
+        let mut cfg = SystemConfig::test_small(Scheme::Pb);
+        cfg.max_inflight_txns = 1;
+        assert!(cfg.validate().is_err());
+    }
+}

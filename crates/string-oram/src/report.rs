@@ -1,0 +1,256 @@
+//! Simulation reports: everything the paper's figures are drawn from.
+
+use std::collections::BTreeMap;
+
+use dram_sim::power::EnergyBreakdown;
+use mem_sched::RowClass;
+use ring_oram::{OpKind, ProtocolStats};
+
+/// Execution-cycle attribution by ORAM operation kind (the stacked bars of
+/// the paper's Fig. 10). Each memory cycle is attributed to the kind of the
+/// oldest unfinished ORAM transaction; cycles with no transaction in flight
+/// (and dummy read paths) fall into `other`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCycles {
+    /// Cycles attributed to program read paths.
+    pub read: u64,
+    /// Cycles attributed to evictions.
+    pub evict: u64,
+    /// Cycles attributed to early reshuffles.
+    pub reshuffle: u64,
+    /// Dummy read paths, idle and everything else.
+    pub other: u64,
+}
+
+impl KindCycles {
+    /// Total attributed cycles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.read + self.evict + self.reshuffle + self.other
+    }
+
+    /// Adds one cycle to the bucket for `kind` (`None` = no transaction in
+    /// flight).
+    pub fn add(&mut self, kind: Option<OpKind>) {
+        match kind {
+            Some(OpKind::ReadPath) => self.read += 1,
+            Some(OpKind::Eviction) => self.evict += 1,
+            Some(OpKind::EarlyReshuffle) => self.reshuffle += 1,
+            Some(OpKind::DummyReadPath) | None => self.other += 1,
+        }
+    }
+}
+
+/// Row-buffer outcome counts for one operation kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RowClassCounts {
+    /// Requests that found their row open.
+    pub hits: u64,
+    /// Requests that found the bank precharged.
+    pub misses: u64,
+    /// Requests that found a different row open.
+    pub conflicts: u64,
+}
+
+impl RowClassCounts {
+    /// Folds in one request outcome.
+    pub fn add(&mut self, class: RowClass) {
+        match class {
+            RowClass::Hit => self.hits += 1,
+            RowClass::Miss => self.misses += 1,
+            RowClass::Conflict => self.conflicts += 1,
+        }
+    }
+
+    /// Total classified requests.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses + self.conflicts
+    }
+
+    /// Fraction of requests that were conflicts (Fig. 5(b)'s metric).
+    #[must_use]
+    pub fn conflict_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of requests that needed any row activation (miss or
+    /// conflict).
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            (self.misses + self.conflicts) as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Latency percentiles over a sample population, in memory-bus cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Number of samples.
+    pub samples: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum observed.
+    pub max: u64,
+}
+
+impl LatencyPercentiles {
+    /// Computes percentiles from raw samples (empty input yields zeros).
+    #[must_use]
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut v = samples.to_vec();
+        v.sort_unstable();
+        let at = |q: f64| v[((v.len() - 1) as f64 * q) as usize];
+        Self {
+            samples: v.len() as u64,
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+            max: *v.last().expect("nonempty"),
+        }
+    }
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Free-form run label (workload / scheme).
+    pub label: String,
+    /// Total memory-bus cycles simulated.
+    pub total_cycles: u64,
+    /// Cycle attribution by operation kind.
+    pub cycles_by_kind: KindCycles,
+    /// Total instructions retired across cores.
+    pub instructions: u64,
+    /// Program (LLC-miss) accesses served by the ORAM.
+    pub oram_accesses: u64,
+    /// ORAM transactions executed, by kind.
+    pub transactions_by_kind: BTreeMap<&'static str, u64>,
+    /// Row-buffer outcomes per operation kind.
+    pub row_class_by_kind: BTreeMap<&'static str, RowClassCounts>,
+    /// Mean read-queue wait in cycles.
+    pub mean_read_queue_wait: f64,
+    /// Mean write-queue wait in cycles.
+    pub mean_write_queue_wait: f64,
+    /// Mean queued requests per tick.
+    pub mean_queue_occupancy: f64,
+    /// Average bank idle proportion over the whole run (all bank-cycles,
+    /// whether or not work was pending).
+    pub bank_idle_proportion: f64,
+    /// Of the bank-cycles with pending requests, the fraction spent idle —
+    /// the Fig. 12(a) metric: idleness the scheduling barrier causes.
+    pub pending_bank_idle_proportion: f64,
+    /// Fraction of PRE commands issued early by PB (Fig. 12(b)).
+    pub early_precharge_fraction: f64,
+    /// Fraction of ACT commands issued early by PB (Fig. 12(b)).
+    pub early_activate_fraction: f64,
+    /// Protocol statistics (greens, stash samples, background evictions).
+    pub protocol: ProtocolStats,
+    /// Total memory requests completed.
+    pub requests_completed: u64,
+    /// DRAM energy estimate (Micron-style model; see `dram_sim::power`).
+    pub energy: EnergyBreakdown,
+    /// Channel imbalance (max/mean of per-channel completed requests).
+    pub channel_imbalance: f64,
+    /// Program read-path latency percentiles (plan to data availability).
+    pub read_latency: LatencyPercentiles,
+}
+
+impl SimReport {
+    /// Row-class counts for an operation kind label (e.g. `"read"`).
+    #[must_use]
+    pub fn row_class(&self, kind: OpKind) -> RowClassCounts {
+        self.row_class_by_kind
+            .get(kind.label())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Instructions per memory cycle (higher = faster for a fixed trace).
+    #[must_use]
+    pub fn ipc_mem(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Execution time of this run normalized to `baseline` (< 1 = faster),
+    /// comparing cycles to complete the same trace.
+    #[must_use]
+    pub fn normalized_time(&self, baseline: &SimReport) -> f64 {
+        if baseline.total_cycles == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / baseline.total_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_cycles_bucketing() {
+        let mut k = KindCycles::default();
+        k.add(Some(OpKind::ReadPath));
+        k.add(Some(OpKind::Eviction));
+        k.add(Some(OpKind::EarlyReshuffle));
+        k.add(Some(OpKind::DummyReadPath));
+        k.add(None);
+        assert_eq!(k.read, 1);
+        assert_eq!(k.evict, 1);
+        assert_eq!(k.reshuffle, 1);
+        assert_eq!(k.other, 2);
+        assert_eq!(k.total(), 5);
+    }
+
+    #[test]
+    fn row_class_rates() {
+        let mut c = RowClassCounts::default();
+        c.add(RowClass::Hit);
+        c.add(RowClass::Conflict);
+        c.add(RowClass::Conflict);
+        c.add(RowClass::Miss);
+        assert_eq!(c.total(), 4);
+        assert!((c.conflict_rate() - 0.5).abs() < 1e-12);
+        assert!((c.miss_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let p = LatencyPercentiles::from_samples(&[]);
+        assert_eq!(p.samples, 0);
+        assert_eq!(p.max, 0);
+        let samples: Vec<u64> = (1..=100).collect();
+        let p = LatencyPercentiles::from_samples(&samples);
+        assert_eq!(p.samples, 100);
+        assert_eq!(p.p50, 50);
+        assert_eq!(p.p95, 95);
+        assert_eq!(p.p99, 99);
+        assert_eq!(p.max, 100);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let c = RowClassCounts::default();
+        assert_eq!(c.conflict_rate(), 0.0);
+        assert_eq!(c.miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,818 @@
+//! The full-system simulator: cores → ORAM controller → memory controller
+//! → DRAM, advanced in lockstep at memory-bus granularity.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use dram_sim::{AddressMapping, DramModule, PhysAddr};
+use mem_sched::{MemoryController, RequestSpec, TxnId};
+use ring_oram::layout::{NaiveLayout, SubtreeLayout, TreeLayout};
+use ring_oram::recursive::{RecursiveConfig, RecursiveOram};
+use ring_oram::{AccessPlan, BlockId, OpKind, RingOram};
+use trace_synth::TraceRecord;
+
+use crate::config::SystemConfig;
+use crate::cpu::{Core, CoreRequest};
+use crate::report::{KindCycles, RowClassCounts, SimReport};
+
+/// Live state of one ORAM transaction.
+#[derive(Debug)]
+struct TxnState {
+    kind: OpKind,
+    /// Cycle the transaction was planned (latency measurement origin).
+    planned_at: u64,
+    /// Requests not yet completed (enqueued or still waiting to enqueue).
+    outstanding: usize,
+    /// Core waiting for this transaction's target read, if any.
+    waiting_core: Option<usize>,
+    /// Request id of the target read once enqueued.
+    target_req_id: Option<u64>,
+    /// Whether the waiting core is released at transaction completion
+    /// rather than at the target read (stash/tree-top/first-touch hits).
+    release_on_completion: bool,
+}
+
+/// Counter snapshot taken at [`Simulation::begin_measurement`]; `report`
+/// subtracts it so warm-up activity is excluded from every rate.
+#[derive(Debug)]
+struct MeasurementStart {
+    cycle: u64,
+    instructions: u64,
+    oram_accesses: u64,
+    cycles_by_kind: KindCycles,
+    transactions_by_kind: BTreeMap<&'static str, u64>,
+    row_class_by_kind: BTreeMap<&'static str, RowClassCounts>,
+    sched: mem_sched::SchedulerStats,
+    dram: dram_sim::DramStats,
+    bank_busy: Vec<u64>,
+    refreshes: u64,
+    protocol: ring_oram::ProtocolStats,
+    read_latency_idx: usize,
+}
+
+/// An entry awaiting queue space at the memory controller.
+#[derive(Debug, Clone, Copy)]
+struct PendingSpec {
+    txn: TxnId,
+    spec: RequestSpec,
+    is_target: bool,
+}
+
+/// Error returned when a run exceeds its cycle budget (wedged or just too
+/// slow for the limit given).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleLimitExceeded {
+    /// The limit that was hit.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for CycleLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulation exceeded {} cycles", self.limit)
+    }
+}
+
+impl std::error::Error for CycleLimitExceeded {}
+
+/// The protocol engine driving the simulation: a single data ORAM (the
+/// paper's setup) or a recursive stack with per-ORAM memory regions.
+#[derive(Debug)]
+enum Engine {
+    Flat {
+        oram: Box<RingOram>,
+        layout: Box<dyn TreeLayout>,
+    },
+    Recursive {
+        stack: Box<RecursiveOram>,
+        /// Per-stack-index layout and base address (disjoint regions).
+        regions: Vec<(Box<dyn TreeLayout>, u64)>,
+    },
+}
+
+impl Engine {
+    fn data_oram(&self) -> &RingOram {
+        match self {
+            Engine::Flat { oram, .. } => oram,
+            Engine::Recursive { stack, .. } => stack.oram(0),
+        }
+    }
+}
+
+/// The integrated String ORAM system simulator: cores, ORAM controller,
+/// memory controller and DRAM advanced in lockstep.
+///
+/// # Examples
+///
+/// ```
+/// use string_oram::{Simulation, SystemConfig, Scheme};
+/// use trace_synth::{TraceGenerator, by_name};
+///
+/// let cfg = SystemConfig::test_small(Scheme::All);
+/// let traces = (0..cfg.cores)
+///     .map(|c| TraceGenerator::new(by_name("black").unwrap(), 1, c as u32).take_records(50))
+///     .collect();
+/// let mut sim = Simulation::new(cfg, traces);
+/// let report = sim.run(10_000_000).unwrap();
+/// assert!(report.oram_accesses >= 100);
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    engine: Engine,
+    memctrl: MemoryController,
+    /// FIFO of memory operations emitted by cores, awaiting ORAM planning.
+    core_requests: VecDeque<CoreRequest>,
+    /// Planned requests awaiting queue space, in strict transaction order.
+    enqueue_fifo: VecDeque<PendingSpec>,
+    /// Unfinished transactions, keyed by id (ordered: oldest first).
+    txns: BTreeMap<u64, TxnState>,
+    next_txn: u64,
+    /// Pending per-core completion times (one entry per in-flight miss
+    /// whose data has a known arrival cycle).
+    core_unblock_at: Vec<Vec<u64>>,
+    cycle: u64,
+    cycles_by_kind: KindCycles,
+    row_class_by_kind: BTreeMap<&'static str, RowClassCounts>,
+    transactions_by_kind: BTreeMap<&'static str, u64>,
+    oram_accesses: u64,
+    /// Completion latency of every program read path, in cycles from plan
+    /// to data availability (for the latency percentiles in the report).
+    read_latencies: Vec<u64>,
+    /// Snapshot delimiting the measurement window, if one was begun.
+    measurement_start: Option<MeasurementStart>,
+    label: String,
+}
+
+impl Simulation {
+    /// Builds a simulation of `cfg` running one trace per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation or the number of traces does not
+    /// match `cfg.cores`.
+    #[must_use]
+    pub fn new(cfg: SystemConfig, traces: Vec<Vec<TraceRecord>>) -> Self {
+        cfg.validate().expect("invalid SystemConfig");
+        assert_eq!(
+            traces.len(),
+            cfg.cores,
+            "need exactly one trace per core"
+        );
+        let cores: Vec<Core> = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Core::with_mlp(i, t, cfg.core_mlp))
+            .collect();
+        let mk_layout = |ring: &ring_oram::RingConfig| -> Box<dyn TreeLayout> {
+            match cfg.layout {
+                crate::config::LayoutKind::Subtree => {
+                    Box::new(SubtreeLayout::new(ring, cfg.row_set_bytes()))
+                }
+                crate::config::LayoutKind::Naive => Box::new(NaiveLayout::new(ring)),
+            }
+        };
+        let engine = match cfg.recursion {
+            None => Engine::Flat {
+                oram: Box::new(RingOram::with_load_factor(
+                    cfg.ring.clone(),
+                    cfg.seed,
+                    cfg.load_factor,
+                )),
+                layout: mk_layout(&cfg.ring),
+            },
+            Some(r) => {
+                let rec_cfg = RecursiveConfig {
+                    data: cfg.ring.clone(),
+                    tracked_blocks: r.tracked_blocks,
+                    positions_per_block: r.positions_per_block,
+                    max_onchip_entries: r.max_onchip_entries,
+                };
+                let stack = Box::new(RecursiveOram::new(rec_cfg.clone(), cfg.seed));
+                // Allocate disjoint, row-set-aligned regions: data ORAM at
+                // 0, each map ORAM after the previous region.
+                let mut regions: Vec<(Box<dyn TreeLayout>, u64)> = Vec::new();
+                let align = cfg.row_set_bytes();
+                let mut base = 0u64;
+                let push = |ring: &ring_oram::RingConfig, base: &mut u64,
+                                regions: &mut Vec<(Box<dyn TreeLayout>, u64)>| {
+                    let l = mk_layout(ring);
+                    let total = l.total_bytes().div_ceil(align) * align;
+                    regions.push((l, *base));
+                    *base += total;
+                };
+                push(&cfg.ring, &mut base, &mut regions);
+                for i in 0..rec_cfg.map_levels() {
+                    push(&rec_cfg.map_config(i), &mut base, &mut regions);
+                }
+                assert!(
+                    base <= cfg.geometry.capacity_bytes(),
+                    "recursive ORAM stack ({base} B) exceeds DRAM capacity"
+                );
+                Engine::Recursive { stack, regions }
+            }
+        };
+        let mapping = match cfg.mapping {
+            crate::config::MappingKind::PaperStriped => {
+                AddressMapping::hpca_default(&cfg.geometry)
+            }
+            crate::config::MappingKind::Sequential => {
+                AddressMapping::sequential(&cfg.geometry)
+            }
+        };
+        let dram = DramModule::new(cfg.geometry.clone(), cfg.timing.clone());
+        let mut memctrl = MemoryController::new(dram, mapping, cfg.policy, cfg.queue_capacity);
+        memctrl.set_page_policy(cfg.page_policy);
+        let n = cfg.cores;
+        Self {
+            cfg,
+            cores,
+            engine,
+            memctrl,
+            core_requests: VecDeque::new(),
+            enqueue_fifo: VecDeque::new(),
+            txns: BTreeMap::new(),
+            next_txn: 0,
+            core_unblock_at: vec![Vec::new(); n],
+            cycle: 0,
+            cycles_by_kind: KindCycles::default(),
+            row_class_by_kind: BTreeMap::new(),
+            transactions_by_kind: BTreeMap::new(),
+            oram_accesses: 0,
+            read_latencies: Vec::new(),
+            measurement_start: None,
+            label: String::new(),
+        }
+    }
+
+    /// Sets the report label (workload / scheme).
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = label.into();
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The (data) protocol engine, for inspection in tests and harnesses.
+    #[must_use]
+    pub fn oram(&self) -> &RingOram {
+        self.engine.data_oram()
+    }
+
+    /// Program accesses planned so far (cheap mid-run progress probe).
+    #[must_use]
+    pub fn oram_accesses(&self) -> u64 {
+        self.oram_accesses
+    }
+
+    /// Memory-bus cycles elapsed so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether every core finished its trace and all memory work drained.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.cores.iter().all(Core::is_done)
+            && self.core_requests.is_empty()
+            && self.enqueue_fifo.is_empty()
+            && self.txns.is_empty()
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`CycleLimitExceeded`] if completion needs more than `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> Result<SimReport, CycleLimitExceeded> {
+        while !self.is_finished() {
+            if self.cycle >= max_cycles {
+                return Err(CycleLimitExceeded { limit: max_cycles });
+            }
+            self.step();
+        }
+        Ok(self.report())
+    }
+
+    /// Advances the system by one memory-bus cycle.
+    pub fn step(&mut self) {
+        let cycle = self.cycle;
+
+        // 1. Release cores whose data arrived.
+        for core in 0..self.cores.len() {
+            let pending = &mut self.core_unblock_at[core];
+            let before = pending.len();
+            pending.retain(|&at| at > cycle);
+            for _ in pending.len()..before {
+                self.cores[core].complete_memory_op();
+            }
+        }
+
+        // 2. Advance cores; collect new LLC misses.
+        let budget = self.cfg.instructions_per_mem_cycle();
+        for core in &mut self.cores {
+            if let Some(req) = core.tick(budget) {
+                self.core_requests.push_back(req);
+            }
+        }
+
+        // 3. ORAM controller: plan accesses while the transaction window
+        //    has room (keeps transaction i+1 visible for PB).
+        while self.txns.len() < self.cfg.max_inflight_txns {
+            let Some(req) = self.core_requests.pop_front() else {
+                break;
+            };
+            self.plan_access(req);
+        }
+
+        // 4. Feed the memory controller in strict transaction order.
+        while let Some(head) = self.enqueue_fifo.front().copied() {
+            match self.memctrl.try_enqueue(head.spec, cycle) {
+                Ok(id) => {
+                    if head.is_target {
+                        if let Some(t) = self.txns.get_mut(&head.txn.0) {
+                            t.target_req_id = Some(id);
+                        }
+                    }
+                    self.enqueue_fifo.pop_front();
+                }
+                Err(_) => break, // queue full: retry next cycle
+            }
+        }
+
+        // 5. Schedule DRAM commands.
+        self.memctrl.tick(cycle);
+
+        // 6. Retire completed requests.
+        for done in self.memctrl.drain_completed() {
+            let Some(t) = self.txns.get_mut(&done.txn.0) else {
+                continue;
+            };
+            t.outstanding -= 1;
+            self.row_class_by_kind
+                .entry(t.kind.label())
+                .or_default()
+                .add(done.class);
+            if t.target_req_id == Some(done.id) {
+                if let Some(core) = t.waiting_core.take() {
+                    let at = done.data_done_at.max(cycle + 1);
+                    self.core_unblock_at[core].push(at);
+                    self.read_latencies.push(at - t.planned_at);
+                }
+            }
+            if t.outstanding == 0 {
+                if let Some(core) = t.waiting_core.take() {
+                    // Stash / tree-top / first-touch hits release here.
+                    debug_assert!(t.release_on_completion);
+                    let at = done.data_done_at.max(cycle + 1);
+                    self.core_unblock_at[core].push(at);
+                    self.read_latencies.push(at - t.planned_at);
+                }
+                self.txns.remove(&done.txn.0);
+            }
+        }
+
+        // 7. Attribute this cycle to the oldest unfinished transaction.
+        let oldest_kind = self.txns.values().next().map(|t| t.kind);
+        self.cycles_by_kind.add(oldest_kind);
+
+        self.cycle += 1;
+    }
+
+    /// Expands one core request into ORAM transactions. Under recursion the
+    /// position-map ORAM accesses precede the data access; only the data
+    /// ORAM's read path carries the core's wakeup.
+    fn plan_access(&mut self, req: CoreRequest) {
+        self.oram_accesses += 1;
+        match &mut self.engine {
+            Engine::Flat { oram, .. } => {
+                let outcome = oram.access(BlockId(req.block));
+                let served_from_tree =
+                    matches!(outcome.source, ring_oram::TargetSource::Tree(_));
+                let plans = outcome.plans;
+                for plan in plans {
+                    self.push_plan(plan, 0, Some((req.core, served_from_tree)));
+                }
+            }
+            Engine::Recursive { stack, .. } => {
+                let steps = stack.access(BlockId(req.block));
+                for step in steps {
+                    let waiting = if step.oram_index == 0 {
+                        let from_tree = matches!(
+                            step.outcome.source,
+                            ring_oram::TargetSource::Tree(_)
+                        );
+                        Some((req.core, from_tree))
+                    } else {
+                        None
+                    };
+                    for plan in step.outcome.plans {
+                        self.push_plan(plan, step.oram_index, waiting);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Registers one transaction: assigns an id, converts slot touches to
+    /// physical requests in the right memory region and records who waits.
+    fn push_plan(
+        &mut self,
+        plan: AccessPlan,
+        oram_index: usize,
+        waiting: Option<(usize, bool)>,
+    ) {
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        *self
+            .transactions_by_kind
+            .entry(plan.kind.label())
+            .or_default() += 1;
+
+        let is_program_read = plan.kind == OpKind::ReadPath && waiting.is_some();
+        let mut state = TxnState {
+            kind: plan.kind,
+            planned_at: self.cycle,
+            outstanding: plan.touches.len(),
+            waiting_core: None,
+            target_req_id: None,
+            release_on_completion: false,
+        };
+        if is_program_read {
+            let (core, served_from_tree) = waiting.expect("checked");
+            state.waiting_core = Some(core);
+            state.release_on_completion =
+                !(served_from_tree && plan.target_index.is_some());
+        }
+        for (i, touch) in plan.touches.iter().enumerate() {
+            let addr = match &self.engine {
+                Engine::Flat { layout, .. } => {
+                    PhysAddr(layout.addr_of(touch.bucket, touch.slot))
+                }
+                Engine::Recursive { regions, .. } => {
+                    let (layout, base) = &regions[oram_index];
+                    PhysAddr(base + layout.addr_of(touch.bucket, touch.slot))
+                }
+            };
+            self.enqueue_fifo.push_back(PendingSpec {
+                txn,
+                spec: RequestSpec {
+                    addr,
+                    is_write: touch.write,
+                    txn,
+                },
+                is_target: is_program_read && plan.target_index == Some(i),
+            });
+        }
+        if state.outstanding == 0 {
+            // Degenerate (fully on-chip) transaction: complete at once.
+            if let Some(core) = state.waiting_core {
+                self.core_unblock_at[core].push(self.cycle + 1);
+            }
+        } else {
+            self.txns.insert(txn.0, state);
+        }
+    }
+
+    /// Starts the measurement window: everything simulated so far becomes
+    /// warm-up and is excluded from [`Self::report`]'s counters and rates.
+    /// May be called at most once, typically after stepping through a
+    /// warm-up prefix of the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a measurement window was already begun.
+    pub fn begin_measurement(&mut self) {
+        assert!(
+            self.measurement_start.is_none(),
+            "measurement window already begun"
+        );
+        let sched = self.memctrl.stats().clone();
+        let dram = self.memctrl.dram();
+        self.measurement_start = Some(MeasurementStart {
+            cycle: self.cycle,
+            instructions: self.cores.iter().map(Core::instructions_retired).sum(),
+            oram_accesses: self.oram_accesses,
+            cycles_by_kind: self.cycles_by_kind,
+            transactions_by_kind: self.transactions_by_kind.clone(),
+            row_class_by_kind: self.row_class_by_kind.clone(),
+            dram: dram.stats().clone(),
+            bank_busy: dram.bank_busy_cycles(),
+            refreshes: dram.total_refreshes(),
+            protocol: self.engine.data_oram().stats().clone(),
+            read_latency_idx: self.read_latencies.len(),
+            sched,
+        });
+    }
+
+    /// Builds the final report (also callable mid-run for progress). When a
+    /// measurement window is active, every counter and rate covers only the
+    /// window (see [`Self::begin_measurement`]).
+    #[must_use]
+    pub fn report(&self) -> SimReport {
+        let full_sched = self.memctrl.stats();
+        let dram = self.memctrl.dram();
+        let start = self.measurement_start.as_ref();
+
+        let sched = match start {
+            Some(m) => full_sched.delta(&m.sched),
+            None => full_sched.clone(),
+        };
+        let dram_stats = match start {
+            Some(m) => dram.stats().delta(&m.dram),
+            None => dram.stats().clone(),
+        };
+        let base_cycle = start.map_or(0, |m| m.cycle);
+        let elapsed = self.cycle - base_cycle;
+        let protocol = match start {
+            Some(m) => self.engine.data_oram().stats().delta(&m.protocol),
+            None => self.engine.data_oram().stats().clone(),
+        };
+        let mut cycles_by_kind = self.cycles_by_kind;
+        let mut transactions_by_kind = self.transactions_by_kind.clone();
+        let mut row_class_by_kind = self.row_class_by_kind.clone();
+        let mut instructions: u64 =
+            self.cores.iter().map(Core::instructions_retired).sum();
+        let mut oram_accesses = self.oram_accesses;
+        let mut latencies: &[u64] = &self.read_latencies;
+        let bank_idle = match start {
+            Some(m) => {
+                cycles_by_kind = KindCycles {
+                    read: cycles_by_kind.read - m.cycles_by_kind.read,
+                    evict: cycles_by_kind.evict - m.cycles_by_kind.evict,
+                    reshuffle: cycles_by_kind.reshuffle - m.cycles_by_kind.reshuffle,
+                    other: cycles_by_kind.other - m.cycles_by_kind.other,
+                };
+                for (k, v) in &m.transactions_by_kind {
+                    *transactions_by_kind.entry(k).or_default() -= v;
+                }
+                for (k, v) in &m.row_class_by_kind {
+                    let e = row_class_by_kind.entry(k).or_default();
+                    e.hits -= v.hits;
+                    e.misses -= v.misses;
+                    e.conflicts -= v.conflicts;
+                }
+                instructions -= m.instructions;
+                oram_accesses -= m.oram_accesses;
+                latencies = &self.read_latencies[m.read_latency_idx..];
+                // Idle over the window: per-bank busy delta vs elapsed.
+                let busy_now = dram.bank_busy_cycles();
+                if elapsed == 0 {
+                    0.0
+                } else {
+                    let total: f64 = busy_now
+                        .iter()
+                        .zip(&m.bank_busy)
+                        .map(|(&b, &b0)| 1.0 - ((b - b0).min(elapsed) as f64 / elapsed as f64))
+                        .sum();
+                    total / busy_now.len() as f64
+                }
+            }
+            None => dram.average_bank_idle_proportion(self.cycle),
+        };
+        let refreshes = dram.total_refreshes() - start.map_or(0, |m| m.refreshes);
+
+        SimReport {
+            label: self.label.clone(),
+            total_cycles: elapsed,
+            cycles_by_kind,
+            instructions,
+            oram_accesses,
+            transactions_by_kind,
+            row_class_by_kind,
+            mean_read_queue_wait: sched.mean_read_queue_wait(),
+            mean_write_queue_wait: sched.mean_write_queue_wait(),
+            mean_queue_occupancy: sched.mean_queue_occupancy(),
+            bank_idle_proportion: bank_idle,
+            pending_bank_idle_proportion: sched.pending_bank_idle_proportion(),
+            early_precharge_fraction: sched.early_precharge_fraction(),
+            early_activate_fraction: sched.early_activate_fraction(),
+            protocol,
+            requests_completed: sched.reads_completed + sched.writes_completed,
+            channel_imbalance: sched.channel_imbalance(),
+            read_latency: crate::report::LatencyPercentiles::from_samples(latencies),
+            energy: dram_sim::power::energy(
+                &dram_sim::power::PowerParams::ddr3_1600(),
+                dram.timing(),
+                &dram_stats,
+                self.cfg.geometry.channels * self.cfg.geometry.ranks_per_channel,
+                elapsed,
+                sched.open_bank_fraction(),
+                refreshes,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+    use trace_synth::by_name;
+    use trace_synth::TraceGenerator;
+
+    fn traces(cfg: &SystemConfig, n: usize, workload: &str) -> Vec<Vec<TraceRecord>> {
+        (0..cfg.cores)
+            .map(|c| {
+                TraceGenerator::new(by_name(workload).unwrap(), 11, c as u32)
+                    .take_records(n)
+            })
+            .collect()
+    }
+
+    fn run(scheme: Scheme, n: usize) -> SimReport {
+        let cfg = SystemConfig::test_small(scheme);
+        let t = traces(&cfg, n, "black");
+        let mut sim = Simulation::new(cfg, t);
+        sim.run(50_000_000).expect("run completes")
+    }
+
+    #[test]
+    fn baseline_completes_and_accounts_every_cycle() {
+        let r = run(Scheme::Baseline, 60);
+        assert_eq!(r.oram_accesses, 120); // 2 cores x 60 records
+        assert_eq!(r.cycles_by_kind.total(), r.total_cycles);
+        assert!(r.total_cycles > 0);
+        assert!(r.requests_completed > 0);
+        assert!(r.instructions > 0);
+    }
+
+    #[test]
+    fn read_paths_conflict_more_than_evictions() {
+        // The paper's Fig. 5(b): selective reads defeat the subtree layout,
+        // full-path evictions exploit it.
+        let r = run(Scheme::Baseline, 150);
+        let read = r.row_class(OpKind::ReadPath);
+        let evict = r.row_class(OpKind::Eviction);
+        assert!(read.total() > 0 && evict.total() > 0);
+        assert!(
+            read.conflict_rate() > evict.conflict_rate(),
+            "read {:.2} vs evict {:.2}",
+            read.conflict_rate(),
+            evict.conflict_rate()
+        );
+    }
+
+    #[test]
+    fn pb_is_faster_than_baseline() {
+        let base = run(Scheme::Baseline, 150);
+        let pb = run(Scheme::Pb, 150);
+        assert!(
+            pb.total_cycles < base.total_cycles,
+            "PB {} vs baseline {}",
+            pb.total_cycles,
+            base.total_cycles
+        );
+        assert!(pb.early_precharge_fraction > 0.0);
+        assert!(pb.early_activate_fraction > 0.0);
+        assert_eq!(base.early_precharge_fraction, 0.0);
+    }
+
+    #[test]
+    fn cb_is_faster_than_baseline() {
+        let base = run(Scheme::Baseline, 150);
+        let cb = run(Scheme::Cb, 150);
+        assert!(
+            cb.total_cycles < base.total_cycles,
+            "CB {} vs baseline {}",
+            cb.total_cycles,
+            base.total_cycles
+        );
+        assert!(cb.protocol.greens_fetched > 0);
+    }
+
+    #[test]
+    fn all_is_fastest() {
+        let base = run(Scheme::Baseline, 150);
+        let cb = run(Scheme::Cb, 150);
+        let pb = run(Scheme::Pb, 150);
+        let all = run(Scheme::All, 150);
+        assert!(all.total_cycles < base.total_cycles);
+        assert!(all.total_cycles <= cb.total_cycles);
+        assert!(all.total_cycles <= pb.total_cycles);
+    }
+
+    #[test]
+    fn pb_reduces_bank_idle_time() {
+        let base = run(Scheme::Baseline, 150);
+        let pb = run(Scheme::Pb, 150);
+        assert!(
+            pb.bank_idle_proportion < base.bank_idle_proportion,
+            "PB idle {:.3} vs baseline {:.3}",
+            pb.bank_idle_proportion,
+            base.bank_idle_proportion
+        );
+    }
+
+    #[test]
+    fn pb_preserves_row_class_counts() {
+        // The security argument: PB changes *when* PRE/ACT go out, never
+        // how many requests conflict.
+        let base = run(Scheme::Baseline, 100);
+        let pb = run(Scheme::Pb, 100);
+        for kind in ["read", "evict"] {
+            let b = base.row_class_by_kind.get(kind).copied().unwrap_or_default();
+            let p = pb.row_class_by_kind.get(kind).copied().unwrap_or_default();
+            assert_eq!(b.total(), p.total(), "{kind}: request counts differ");
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run(Scheme::All, 60);
+        let b = run(Scheme::All, 60);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.requests_completed, b.requests_completed);
+    }
+
+    #[test]
+    fn eviction_fires_at_the_paper_rate() {
+        let r = run(Scheme::Baseline, 160);
+        let evicts = *r.transactions_by_kind.get("evict").unwrap_or(&0);
+        let reads = *r.transactions_by_kind.get("read").unwrap_or(&0);
+        // One eviction per A = 8 read paths (within one in-flight access).
+        let expected = reads / 8;
+        assert!(
+            (evicts as i64 - expected as i64).unsigned_abs() <= 1,
+            "evictions {evicts} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn recursion_generates_extra_transactions_and_slows_down() {
+        let flat = run(Scheme::Baseline, 60);
+        let mut cfg = SystemConfig::test_small(Scheme::Baseline);
+        cfg.recursion = Some(crate::config::RecursionSettings {
+            tracked_blocks: 1 << 12,
+            positions_per_block: 8,
+            max_onchip_entries: 1 << 6,
+        });
+        let t = traces(&cfg, 60, "black");
+        let mut sim = Simulation::new(cfg, t);
+        let rec = sim.run(100_000_000).expect("completes");
+        sim.oram().check_invariants();
+        assert_eq!(rec.oram_accesses, flat.oram_accesses);
+        assert!(
+            rec.transactions_by_kind["read"] > flat.transactions_by_kind["read"],
+            "map ORAM read paths must appear"
+        );
+        assert!(
+            rec.total_cycles > flat.total_cycles,
+            "recursion costs time: {} vs {}",
+            rec.total_cycles,
+            flat.total_cycles
+        );
+    }
+
+    #[test]
+    fn measurement_window_excludes_warmup() {
+        let cfg = SystemConfig::test_small(Scheme::All);
+        let t = traces(&cfg, 120, "black");
+        let mut sim = Simulation::new(cfg, t);
+        // Warm up through half the accesses, then measure the rest.
+        while sim.oram_accesses() < 120 && !sim.is_finished() {
+            sim.step();
+        }
+        // A step may plan more than one access; capture the actual count.
+        let warmed = sim.oram_accesses();
+        sim.begin_measurement();
+        let at_start = sim.report();
+        assert_eq!(at_start.oram_accesses, 0, "window starts empty");
+        assert_eq!(at_start.total_cycles, 0);
+        assert_eq!(at_start.requests_completed, 0);
+        while !sim.is_finished() {
+            sim.step();
+        }
+        let r = sim.report();
+        assert_eq!(r.oram_accesses, 240 - warmed, "rest measured");
+        assert!(r.total_cycles > 0);
+        assert_eq!(r.cycles_by_kind.total(), r.total_cycles);
+        let classified: u64 = r.row_class_by_kind.values().map(|c| c.total()).sum();
+        assert_eq!(classified, r.requests_completed);
+        assert!(r.instructions > 0);
+        assert!(r.energy.total_uj() > 0.0);
+        assert!(r.bank_idle_proportion > 0.0 && r.bank_idle_proportion < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already begun")]
+    fn measurement_window_is_single_use() {
+        let cfg = SystemConfig::test_small(Scheme::Baseline);
+        let t = traces(&cfg, 10, "black");
+        let mut sim = Simulation::new(cfg, t);
+        sim.begin_measurement();
+        sim.begin_measurement();
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        let cfg = SystemConfig::test_small(Scheme::Baseline);
+        let t = traces(&cfg, 200, "black");
+        let mut sim = Simulation::new(cfg, t);
+        let err = sim.run(10).unwrap_err();
+        assert_eq!(err, CycleLimitExceeded { limit: 10 });
+    }
+}

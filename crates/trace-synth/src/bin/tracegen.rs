@@ -1,0 +1,125 @@
+//! `tracegen` — emit synthetic workloads as USIMM-format trace files.
+//!
+//! ```text
+//! tracegen --workload libq --records 100000 --seed 7 --core 0 -o libq.usimm
+//! tracegen --list
+//! ```
+//!
+//! The emitted files are interchangeable with MSC-2012 traces: feed them to
+//! `stringoram --trace <file>` or any USIMM-compatible tool.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use trace_synth::{all_workloads, by_name, summarize, usimm, TraceGenerator};
+
+struct Options {
+    workload: String,
+    records: usize,
+    seed: u64,
+    core: u32,
+    output: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            workload: "black".into(),
+            records: 10_000,
+            seed: 42,
+            core: 0,
+            output: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--workload" | "-w" => opts.workload = value("--workload")?,
+            "--records" | "-n" => {
+                opts.records = value("--records")?
+                    .parse()
+                    .map_err(|e| format!("bad --records: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--core" => {
+                opts.core = value("--core")?
+                    .parse()
+                    .map_err(|e| format!("bad --core: {e}"))?;
+            }
+            "--output" | "-o" => opts.output = Some(value("--output")?),
+            "--list" => {
+                for w in all_workloads() {
+                    println!("{:<8} {:<9} MPKI {:.2}", w.name, w.suite, w.mpki);
+                }
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: tracegen [--workload NAME] [--records N] [--seed N]\n\
+                     \x20               [--core N] [--output FILE] [--list]"
+                );
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(o)) => o,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(spec) = by_name(&opts.workload) else {
+        eprintln!("error: unknown workload {:?} (try --list)", opts.workload);
+        return ExitCode::FAILURE;
+    };
+    let mut generator = TraceGenerator::new(spec, opts.seed, opts.core);
+    let records = generator.take_records(opts.records);
+    let summary = summarize(&records);
+
+    let result = match &opts.output {
+        Some(path) => std::fs::File::create(path)
+            .map_err(|e| format!("cannot create {path}: {e}"))
+            .and_then(|f| {
+                let mut w = std::io::BufWriter::new(f);
+                usimm::emit(&records, &mut w)
+                    .and_then(|()| w.flush())
+                    .map_err(|e| format!("write failed: {e}"))
+            }),
+        None => {
+            let stdout = std::io::stdout();
+            let mut w = std::io::BufWriter::new(stdout.lock());
+            usimm::emit(&records, &mut w)
+                .and_then(|()| w.flush())
+                .map_err(|e| format!("write failed: {e}"))
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let target_mpki = by_name(&opts.workload).map_or(0.0, |w| w.mpki);
+    eprintln!(
+        "emitted {} records: MPKI {:.2} (target {target_mpki:.2}), write fraction {:.2}, {} unique blocks",
+        summary.ops, summary.mpki, summary.write_fraction, summary.unique_blocks
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,36 @@
+//! # trace-synth — synthetic memory-trace workloads
+//!
+//! The String ORAM paper evaluates on MSC-2012 traces (Simpoints of PARSEC,
+//! SPEC and BIOBENCH applications) which are not redistributable. This
+//! crate substitutes **deterministic synthetic traces** matched to each
+//! workload's published MPKI (the paper's Table IV), plus read/write mix
+//! and a locality model per workload — the properties that survive ORAM
+//! randomization. It also reads and writes the original USIMM trace format
+//! ([`usimm`]) so real MSC traces can be dropped in where available.
+//!
+//! # Example
+//!
+//! ```
+//! use trace_synth::workloads::by_name;
+//! use trace_synth::generator::TraceGenerator;
+//! use trace_synth::record::summarize;
+//!
+//! let spec = by_name("libq").expect("known workload");
+//! let mut gen = TraceGenerator::new(spec, 42, 0);
+//! let trace = gen.take_records(10_000);
+//! let summary = summarize(&trace);
+//! assert!((summary.mpki - 20.20).abs() / 20.20 < 0.1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod generator;
+pub mod record;
+pub mod usimm;
+pub mod workloads;
+pub mod zipf;
+
+pub use generator::{LocalityModel, TraceGenerator};
+pub use record::{summarize, MemOp, TraceRecord, TraceSummary};
+pub use workloads::{all_workloads, by_name, WorkloadSpec};

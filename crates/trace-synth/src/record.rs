@@ -1,0 +1,119 @@
+//! Trace records: the unit of work a simulated core consumes.
+
+/// One memory operation at cache-line granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemOp {
+    /// Cache-line (block) address — already normalized to a block index,
+    /// not a byte address.
+    pub block: u64,
+    /// `true` for a store (write-back to memory), `false` for a load.
+    pub is_write: bool,
+}
+
+/// One trace record, USIMM style: the number of non-memory instructions the
+/// core executes before the memory operation, then the operation itself.
+///
+/// Traces are post-LLC: every [`MemOp`] is an LLC miss that reaches main
+/// memory (and therefore, in a protected system, the ORAM controller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceRecord {
+    /// Non-memory instructions preceding the operation.
+    pub gap_instructions: u32,
+    /// The memory operation.
+    pub op: MemOp,
+}
+
+impl TraceRecord {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(gap_instructions: u32, block: u64, is_write: bool) -> Self {
+        Self {
+            gap_instructions,
+            op: MemOp { block, is_write },
+        }
+    }
+
+    /// Total instructions this record represents (the gap plus the memory
+    /// instruction itself).
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        u64::from(self.gap_instructions) + 1
+    }
+}
+
+/// Aggregate properties of a trace, used to verify generated workloads hit
+/// their targets (e.g. MPKI within tolerance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSummary {
+    /// Number of memory operations.
+    pub ops: u64,
+    /// Total instructions (gaps + memory instructions).
+    pub instructions: u64,
+    /// Fraction of operations that are writes.
+    pub write_fraction: f64,
+    /// Misses (memory ops) per kilo-instruction.
+    pub mpki: f64,
+    /// Number of distinct blocks touched.
+    pub unique_blocks: u64,
+}
+
+/// Computes a [`TraceSummary`] over records.
+pub fn summarize<'a, I: IntoIterator<Item = &'a TraceRecord>>(records: I) -> TraceSummary {
+    let mut ops = 0u64;
+    let mut instructions = 0u64;
+    let mut writes = 0u64;
+    let mut blocks = std::collections::HashSet::new();
+    for r in records {
+        ops += 1;
+        instructions += r.instructions();
+        if r.op.is_write {
+            writes += 1;
+        }
+        blocks.insert(r.op.block);
+    }
+    TraceSummary {
+        ops,
+        instructions,
+        write_fraction: if ops == 0 { 0.0 } else { writes as f64 / ops as f64 },
+        mpki: if instructions == 0 {
+            0.0
+        } else {
+            ops as f64 * 1000.0 / instructions as f64
+        },
+        unique_blocks: blocks.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_instruction_count() {
+        let r = TraceRecord::new(99, 5, false);
+        assert_eq!(r.instructions(), 100);
+    }
+
+    #[test]
+    fn summary_over_simple_trace() {
+        let records = vec![
+            TraceRecord::new(99, 1, false),
+            TraceRecord::new(99, 2, true),
+            TraceRecord::new(99, 1, false),
+        ];
+        let s = summarize(&records);
+        assert_eq!(s.ops, 3);
+        assert_eq!(s.instructions, 300);
+        assert!((s.write_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.mpki - 10.0).abs() < 1e-12);
+        assert_eq!(s.unique_blocks, 2);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = summarize(&[]);
+        assert_eq!(s.ops, 0);
+        assert_eq!(s.mpki, 0.0);
+        assert_eq!(s.write_fraction, 0.0);
+    }
+}

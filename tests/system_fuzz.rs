@@ -1,0 +1,159 @@
+//! Whole-system fuzzing: random configurations x random traces must always
+//! complete, keep every invariant, and account for every cycle and request.
+
+use proptest::prelude::*;
+
+use mem_sched::{PagePolicy, SchedulerPolicy};
+use string_oram::{LayoutKind, Scheme, Simulation, SystemConfig};
+use trace_synth::TraceRecord;
+
+#[derive(Debug, Clone)]
+struct FuzzConfig {
+    scheme_sel: u8,
+    levels: u32,
+    z: u32,
+    s_extra: u32,
+    a: u32,
+    y_frac: u8,
+    cached: u32,
+    stash: usize,
+    cores: usize,
+    mlp: usize,
+    layout_naive: bool,
+    page_closed: bool,
+    load: u8,
+    lookahead: u64,
+}
+
+fn fuzz_config() -> impl Strategy<Value = FuzzConfig> {
+    (
+        (0u8..4, 10u32..=13, 2u32..=8, 0u32..=6, 1u32..=8),
+        (0u8..=2, 0u32..=4, 30usize..200, 1usize..=2, 1usize..=4),
+        (any::<bool>(), any::<bool>(), 0u8..=9, 1u64..=3),
+    )
+        .prop_map(
+            |(
+                (scheme_sel, levels, z, s_extra, a),
+                (y_frac, cached, stash, cores, mlp),
+                (layout_naive, page_closed, load, lookahead),
+            )| FuzzConfig {
+                scheme_sel,
+                levels,
+                z,
+                s_extra,
+                a,
+                y_frac,
+                cached,
+                stash,
+                cores,
+                mlp,
+                layout_naive,
+                page_closed,
+                load,
+                lookahead,
+            },
+        )
+}
+
+fn build(f: &FuzzConfig) -> SystemConfig {
+    let scheme = match f.scheme_sel {
+        0 => Scheme::Baseline,
+        1 => Scheme::Cb,
+        2 => Scheme::Pb,
+        _ => Scheme::All,
+    };
+    let mut cfg = SystemConfig::test_small(scheme);
+    cfg.ring.levels = f.levels;
+    cfg.ring.z = f.z;
+    cfg.ring.s = f.a + f.s_extra; // S = A + X, the paper's rule
+    cfg.ring.a = f.a;
+    // y applied only when the scheme uses CB; bounded by min(z, s).
+    if scheme.uses_cb() {
+        cfg.ring.y = (f.z.min(cfg.ring.s) * u32::from(f.y_frac)) / 2;
+        cfg.ring.y = cfg.ring.y.min(f.z).min(cfg.ring.s);
+    } else {
+        cfg.ring.y = 0;
+    }
+    cfg.ring.tree_top_cached_levels = f.cached.min(f.levels - 1);
+    cfg.ring.stash_capacity = f.stash;
+    cfg.cores = f.cores;
+    cfg.core_mlp = f.mlp;
+    cfg.layout = if f.layout_naive {
+        LayoutKind::Naive
+    } else {
+        LayoutKind::Subtree
+    };
+    cfg.page_policy = if f.page_closed {
+        PagePolicy::Closed
+    } else {
+        PagePolicy::Open
+    };
+    cfg.load_factor = f64::from(f.load) / 10.0 * 0.8; // 0.0..=0.72
+    if scheme.uses_pb() {
+        cfg.policy = SchedulerPolicy::ProactiveBank {
+            lookahead: f.lookahead,
+        };
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_configuration_completes_consistently(
+        f in fuzz_config(),
+        blocks in proptest::collection::vec(0u64..128, 5..40),
+        seed in any::<u64>(),
+    ) {
+        let cfg = build(&f);
+        prop_assume!(cfg.validate().is_ok());
+        let trace: Vec<TraceRecord> = blocks
+            .iter()
+            .map(|&b| TraceRecord::new((b % 7) as u32, b, b % 2 == 0))
+            .collect();
+        let traces: Vec<Vec<TraceRecord>> =
+            (0..cfg.cores).map(|_| trace.clone()).collect();
+        let mut sim = Simulation::new(cfg.clone(), traces);
+        sim.set_label(format!("fuzz-{seed}"));
+        let r = sim.run(500_000_000).expect("must complete");
+
+        // Conservation laws.
+        prop_assert_eq!(r.oram_accesses, (blocks.len() * cfg.cores) as u64);
+        prop_assert_eq!(r.cycles_by_kind.total(), r.total_cycles);
+        let classified: u64 = r.row_class_by_kind.values().map(|c| c.total()).sum();
+        prop_assert_eq!(classified, r.requests_completed);
+        prop_assert!(r.instructions > 0);
+
+        // Protocol-level invariants after the run.
+        sim.oram().check_invariants();
+
+        // Baseline schedulers never issue early commands.
+        if !matches!(cfg.policy, SchedulerPolicy::ProactiveBank { .. }) {
+            prop_assert_eq!(r.early_precharge_fraction, 0.0);
+            prop_assert_eq!(r.early_activate_fraction, 0.0);
+        }
+    }
+
+    #[test]
+    fn identical_runs_are_bit_identical(
+        f in fuzz_config(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = build(&f);
+        prop_assume!(cfg.validate().is_ok());
+        let trace: Vec<TraceRecord> =
+            (0..25).map(|i| TraceRecord::new(3, seed % 50 + i, i % 3 == 0)).collect();
+        let run = || {
+            let traces: Vec<Vec<TraceRecord>> =
+                (0..cfg.cores).map(|_| trace.clone()).collect();
+            let mut sim = Simulation::new(cfg.clone(), traces);
+            sim.run(500_000_000).expect("completes")
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.total_cycles, b.total_cycles);
+        prop_assert_eq!(a.requests_completed, b.requests_completed);
+        prop_assert_eq!(a.cycles_by_kind, b.cycles_by_kind);
+    }
+}
