@@ -19,7 +19,8 @@ fn main() {
     print_row(
         "MLP",
         ["base cycles", "ALL cycles", "ALL saving"]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
     );
     for cores in [1usize, 4] {
         for mlp in [1usize, 2, 4, 8] {

@@ -22,7 +22,8 @@ fn main() {
     print_row(
         "config",
         ["cycles", "vs open/base", "evict hits", "read hits"]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
     );
     let mut base = None;
     for (label, policy, scheme) in [

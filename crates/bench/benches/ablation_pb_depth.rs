@@ -18,7 +18,8 @@ fn main() {
     print_row(
         "lookahead",
         ["cycles", "vs base", "early PRE", "early ACT"]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
     );
     let base_cfg = SystemConfig::hpca_default(Scheme::Baseline);
     let base = run_config(base_cfg, workload, n, "base");

@@ -36,7 +36,8 @@ fn main() {
     print_row(
         "scheme",
         ["blocks/access", "online blocks", "total x64B KiB/access"]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
     );
     let per = |t: u64| t as f64 / accesses as f64;
     print_row(

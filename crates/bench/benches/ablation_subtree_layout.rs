@@ -18,7 +18,8 @@ fn main() {
     print_row(
         "config",
         ["cycles", "vs subtree", "read-conflict", "evict-conflict"]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
     );
     let mut base = None;
     for (label, layout, scheme) in [
@@ -36,8 +37,14 @@ fn main() {
             &[
                 r.total_cycles.to_string(),
                 format!("{:.3}", r.total_cycles as f64 / b),
-                format!("{:.1}%", r.row_class(OpKind::ReadPath).conflict_rate() * 100.0),
-                format!("{:.1}%", r.row_class(OpKind::Eviction).conflict_rate() * 100.0),
+                format!(
+                    "{:.1}%",
+                    r.row_class(OpKind::ReadPath).conflict_rate() * 100.0
+                ),
+                format!(
+                    "{:.1}%",
+                    r.row_class(OpKind::Eviction).conflict_rate() * 100.0
+                ),
             ],
         );
     }

@@ -17,7 +17,8 @@ fn main() {
     print_row(
         "cached lvls",
         ["cycles", "vs 6", "sram KiB", "reads/path"]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
     );
     let mut reference = None;
     for cached in [0u32, 2, 4, 6, 8] {

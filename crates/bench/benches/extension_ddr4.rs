@@ -23,8 +23,16 @@ fn main() {
             .as_ref(),
     );
     for (gen, geometry, timing) in [
-        ("ddr3", DramGeometry::hpca_default(), TimingParams::ddr3_1600()),
-        ("ddr4", DramGeometry::ddr4_default(), TimingParams::ddr4_2400()),
+        (
+            "ddr3",
+            DramGeometry::hpca_default(),
+            TimingParams::ddr3_1600(),
+        ),
+        (
+            "ddr4",
+            DramGeometry::ddr4_default(),
+            TimingParams::ddr4_2400(),
+        ),
     ] {
         let mut base_cycles = None;
         for scheme in Scheme::ALL {

@@ -17,7 +17,8 @@ fn main() {
     print_row(
         "scheme",
         ["total uJ", "vs base", "ACT uJ", "RD/WR uJ", "bkgnd uJ"]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
     );
     let mut base = None;
     for scheme in Scheme::ALL {

@@ -60,11 +60,7 @@ fn drive(policy: SchedulerPolicy, txns: &[Vec<(u64, bool)>]) -> (u64, f64, f64) 
         assert!(cycle < 1_000_000_000, "wedged");
     }
     let s = ctrl.stats();
-    (
-        finish,
-        s.conflict_rate(),
-        s.early_precharge_fraction(),
-    )
+    (finish, s.conflict_rate(), s.early_precharge_fraction())
 }
 
 fn main() {

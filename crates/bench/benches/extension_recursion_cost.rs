@@ -23,7 +23,9 @@ fn main() {
     ));
     print_row(
         "config",
-        ["cycles", "vs flat/base", "read txns"].map(String::from).as_ref(),
+        ["cycles", "vs flat/base", "read txns"]
+            .map(String::from)
+            .as_ref(),
     );
     let mut base = None;
     for (label, scheme, rec) in [

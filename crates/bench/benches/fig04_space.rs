@@ -11,8 +11,17 @@ fn main() {
     print_header("Fig. 4: memory space utilization of Ring ORAM (L = 23, 64 B blocks)");
     print_row(
         "config",
-        ["Z", "A", "S", "real GiB", "dummy GiB", "total GiB", "space eff."]
-            .map(String::from).as_ref(),
+        [
+            "Z",
+            "A",
+            "S",
+            "real GiB",
+            "dummy GiB",
+            "total GiB",
+            "space eff.",
+        ]
+        .map(String::from)
+        .as_ref(),
     );
     for row in fig4_rows() {
         print_row(

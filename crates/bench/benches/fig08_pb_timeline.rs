@@ -80,7 +80,8 @@ fn main() {
     print_row(
         "scheduler",
         ["finish cycle", "early PRE", "early ACT"]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
     );
     let (base_finish, _, _) = run(SchedulerPolicy::TransactionBased);
     print_row(
@@ -99,5 +100,8 @@ fn main() {
          transaction's critical path.",
         saved as f64 / base_finish as f64 * 100.0
     );
-    assert!(pb_finish <= base_finish, "PB must not lose on the didactic case");
+    assert!(
+        pb_finish <= base_finish,
+        "PB must not lose on the didactic case"
+    );
 }

@@ -45,7 +45,8 @@ fn main() {
     print_row(
         "scheme",
         ["read", "evict", "reshuffle", "other"]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
     );
     for scheme in Scheme::ALL {
         let r = run_scheme(scheme, "black", n);

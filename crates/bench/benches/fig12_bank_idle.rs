@@ -45,7 +45,10 @@ fn main() {
     );
 
     print_header("Fig. 12(b): proportion of PRE/ACT issued ahead of their transaction (PB)");
-    print_row("workload", ["PRE early", "ACT early"].map(String::from).as_ref());
+    print_row(
+        "workload",
+        ["PRE early", "ACT early"].map(String::from).as_ref(),
+    );
     for (w, p) in &rows_b {
         print_row(
             w,

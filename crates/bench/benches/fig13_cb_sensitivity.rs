@@ -11,7 +11,9 @@
 //! evictions, so early accesses under-count green availability.
 
 use string_oram::{Scheme, Simulation, SystemConfig};
-use string_oram_bench::{accesses_per_core, geomean, print_header, print_row, traces_for, workload_names};
+use string_oram_bench::{
+    accesses_per_core, geomean, print_header, print_row, traces_for, workload_names,
+};
 
 /// Runs to completion, returning (total cycles, second-half greens/read).
 fn run_with_green_window(cfg: SystemConfig, workload: &str, n: usize) -> (u64, f64) {
@@ -47,7 +49,8 @@ fn main() {
     print_row(
         "Y",
         ["CB time", "CB+PB time", "greens/read"]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
     );
     // A 3-workload panel keeps the 33-run sweep affordable; the paper
     // itself notes workload insensitivity.

@@ -29,11 +29,8 @@ fn main() {
         let mut row = Vec::new();
         let mut evict_row = Vec::new();
         for y in ys {
-            let mut cfg = SystemConfig::hpca_default(if y == 0 {
-                Scheme::Baseline
-            } else {
-                Scheme::Cb
-            });
+            let mut cfg =
+                SystemConfig::hpca_default(if y == 0 { Scheme::Baseline } else { Scheme::Cb });
             cfg.ring.y = y;
             cfg.ring.stash_capacity = stash;
             let r = run_config(cfg, workload, n, "fig14");

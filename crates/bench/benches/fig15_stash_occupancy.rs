@@ -22,14 +22,12 @@ fn main() {
         print_row(
             "Y",
             ["mean", "p95", "max", "bg evictions"]
-                .map(String::from).as_ref(),
+                .map(String::from)
+                .as_ref(),
         );
         for y in ys {
-            let mut cfg = SystemConfig::hpca_default(if y == 0 {
-                Scheme::Baseline
-            } else {
-                Scheme::Cb
-            });
+            let mut cfg =
+                SystemConfig::hpca_default(if y == 0 { Scheme::Baseline } else { Scheme::Cb });
             cfg.ring.y = y;
             cfg.ring.stash_capacity = stash;
             let r = run_config(cfg, workload, n, "fig15");

@@ -1,7 +1,12 @@
-//! Criterion microbenchmarks of the individual substrates: protocol access
-//! planning, DRAM command issue, scheduler ticks and trace generation.
+//! Microbenchmarks of the individual substrates: protocol access planning,
+//! DRAM command issue, scheduler ticks, trace generation, crypto and the
+//! whole-system step loop.
+//!
+//! Self-timed (no external harness, so the workspace builds offline): each
+//! case is warmed up, then run for a fixed iteration budget, reporting
+//! mean ns/op. `STRING_ORAM_MICRO_ITERS` scales the budget.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
 
 use dram_sim::geometry::DramGeometry;
 use dram_sim::timing::TimingParams;
@@ -12,179 +17,164 @@ use ring_oram::crypto::BlockCipher;
 use ring_oram::recursive::{RecursiveConfig, RecursiveOram};
 use ring_oram::{BlockId, RingConfig, RingOram};
 use string_oram::{Scheme, Simulation, SystemConfig};
+use string_oram_bench::{print_header, print_row};
 use trace_synth::{by_name, TraceGenerator};
 
-fn bench_protocol_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocol");
+fn iters() -> u64 {
+    std::env::var("STRING_ORAM_MICRO_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000)
+}
+
+/// Times `f` over the iteration budget (plus a 10 % warm-up) and prints
+/// one row with the mean ns/op.
+fn bench<F: FnMut(u64)>(name: &str, mut f: F) {
+    let n = iters();
+    for i in 0..n / 10 + 1 {
+        f(i);
+    }
+    let start = Instant::now();
+    for i in 0..n {
+        f(i);
+    }
+    let ns = start.elapsed().as_nanos() as f64 / n as f64;
+    print_row(name, &[format!("{ns:>10.0} ns/op")]);
+}
+
+fn bench_protocol_access() {
     for (name, cfg) in [
-        ("ring_access_baseline", RingConfig::hpca_baseline()),
-        ("ring_access_cb", RingConfig::hpca_default()),
+        ("ring_baseline", RingConfig::hpca_baseline()),
+        ("ring_cb", RingConfig::hpca_default()),
     ] {
-        group.bench_function(name, |b| {
-            let mut oram = RingOram::new(cfg.clone(), 1);
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                std::hint::black_box(oram.access(BlockId(i % 4096)))
-            });
+        let mut oram = RingOram::new(cfg, 1);
+        bench(name, |i| {
+            std::hint::black_box(oram.access(BlockId(i % 4096)));
         });
     }
-    group.finish();
 }
 
-fn bench_dram_issue(c: &mut Criterion) {
-    c.bench_function("dram/act_read_pre_cycle", |b| {
-        let geometry = DramGeometry::test_medium();
-        let timing = TimingParams::ddr3_1600();
-        b.iter_batched(
-            || DramModule::new(geometry.clone(), timing.clone()),
-            |mut dram| {
-                let loc = DramLocation {
-                    channel: 0,
-                    rank: 0,
-                    bank: 0,
-                    row: 5,
-                    column: 1,
-                };
-                let t = dram.timing().clone();
-                dram.issue(DramCommand::activate(loc), 0).unwrap();
-                dram.issue(DramCommand::read(loc), t.t_rcd).unwrap();
-                let pre_at = t.t_ras.max(t.t_rcd + t.t_rtp);
-                dram.issue(DramCommand::precharge(loc), pre_at).unwrap();
-                std::hint::black_box(dram.stats().total_commands())
-            },
-            BatchSize::SmallInput,
-        );
+fn bench_dram_issue() {
+    let geometry = DramGeometry::test_medium();
+    let timing = TimingParams::ddr3_1600();
+    bench("dram_act_rd_pre", |_| {
+        let mut dram = DramModule::new(geometry.clone(), timing.clone());
+        let loc = DramLocation {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row: 5,
+            column: 1,
+        };
+        let t = dram.timing().clone();
+        dram.issue(DramCommand::activate(loc), 0).unwrap();
+        dram.issue(DramCommand::read(loc), t.t_rcd).unwrap();
+        let pre_at = t.t_ras.max(t.t_rcd + t.t_rtp);
+        dram.issue(DramCommand::precharge(loc), pre_at).unwrap();
+        std::hint::black_box(dram.stats().total_commands());
     });
 }
 
-fn bench_scheduler_tick(c: &mut Criterion) {
+fn bench_scheduler_tick() {
     for (name, policy) in [
-        ("sched/txn_based_64req", SchedulerPolicy::TransactionBased),
-        ("sched/proactive_64req", SchedulerPolicy::proactive()),
+        ("sched_txn_64req", SchedulerPolicy::TransactionBased),
+        ("sched_pb_64req", SchedulerPolicy::proactive()),
     ] {
-        c.bench_function(name, |b| {
-            let geometry = DramGeometry::test_medium();
-            let mapping = AddressMapping::hpca_default(&geometry);
-            b.iter_batched(
-                || {
-                    let dram =
-                        DramModule::new(geometry.clone(), TimingParams::ddr3_1600());
-                    let mut ctrl =
-                        MemoryController::new(dram, mapping.clone(), policy, 64);
-                    for i in 0..64u64 {
-                        ctrl.try_enqueue(
-                            RequestSpec {
-                                addr: dram_sim::PhysAddr(i * 4096 * 7),
-                                is_write: i % 3 == 0,
-                                txn: TxnId(i / 16),
-                            },
-                            0,
-                        )
-                        .unwrap();
-                    }
-                    ctrl
-                },
-                |mut ctrl| {
-                    let mut cycle = 0;
-                    while ctrl.pending() > 0 {
-                        ctrl.tick(cycle);
-                        cycle += 1;
-                    }
-                    std::hint::black_box(cycle)
-                },
-                BatchSize::SmallInput,
-            );
+        let geometry = DramGeometry::test_medium();
+        let mapping = AddressMapping::hpca_default(&geometry);
+        bench(name, |_| {
+            let dram = DramModule::new(geometry.clone(), TimingParams::ddr3_1600());
+            let mut ctrl = MemoryController::new(dram, mapping.clone(), policy, 64);
+            for i in 0..64u64 {
+                ctrl.try_enqueue(
+                    RequestSpec {
+                        addr: dram_sim::PhysAddr(i * 4096 * 7),
+                        is_write: i % 3 == 0,
+                        txn: TxnId(i / 16),
+                    },
+                    0,
+                )
+                .unwrap();
+            }
+            let mut cycle = 0;
+            while ctrl.pending() > 0 {
+                ctrl.tick(cycle);
+                cycle += 1;
+            }
+            std::hint::black_box(cycle);
         });
     }
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
-    c.bench_function("trace/libq_1k_records", |b| {
-        let spec = by_name("libq").unwrap();
-        b.iter_batched(
-            || TraceGenerator::new(spec.clone(), 5, 0),
-            |mut g| std::hint::black_box(g.take_records(1000)),
-            BatchSize::SmallInput,
-        );
+fn bench_trace_generation() {
+    let spec = by_name("libq").unwrap();
+    bench("trace_libq_1k", |i| {
+        let mut g = TraceGenerator::new(spec.clone(), 5 + i, 0);
+        std::hint::black_box(g.take_records(1000));
     });
 }
 
-fn bench_data_path(c: &mut Criterion) {
-    c.bench_function("protocol/write_read_block_64b", |b| {
-        let mut oram = RingOram::new(RingConfig::test_small(), 3);
-        oram.enable_encryption(0xFEED);
-        let data = [7u8; 64];
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let id = BlockId(i % 128);
-            let _ = oram.write_block(id, &data);
-            std::hint::black_box(oram.read_block(id).1)
-        });
+fn bench_data_path() {
+    let mut oram = RingOram::new(RingConfig::test_small(), 3);
+    oram.enable_encryption(0xFEED);
+    let data = [7u8; 64];
+    bench("wr_rd_block_64b", |i| {
+        let id = BlockId(i % 128);
+        let _ = oram.write_block(id, &data);
+        std::hint::black_box(oram.read_block(id).1);
     });
 }
 
-fn bench_crypto(c: &mut Criterion) {
-    c.bench_function("crypto/seal_open_64b", |b| {
-        let cipher = BlockCipher::new(42);
-        let data = [9u8; 64];
-        let mut nonce = 0u64;
-        b.iter(|| {
-            nonce += 1;
-            let sealed = cipher.seal(nonce, &data);
-            std::hint::black_box(cipher.open(&sealed).expect("well formed"))
-        });
+fn bench_crypto() {
+    let cipher = BlockCipher::new(42);
+    let data = [9u8; 64];
+    bench("seal_open_64b", |nonce| {
+        let sealed = cipher.seal(nonce, &data);
+        std::hint::black_box(cipher.open(&sealed).expect("well formed"));
     });
 }
 
-fn bench_recursive_access(c: &mut Criterion) {
-    c.bench_function("protocol/recursive_access_3maps", |b| {
-        let mut rec = RecursiveOram::new(RecursiveConfig::test_small(), 5);
-        // Keep the program working set well under the data tree's spare
-        // real capacity (cold pre-load takes ~70 % of it).
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            std::hint::black_box(rec.access(BlockId(i % 128)))
-        });
+fn bench_recursive_access() {
+    let mut rec = RecursiveOram::new(RecursiveConfig::test_small(), 5);
+    // Keep the program working set well under the data tree's spare real
+    // capacity (cold pre-load takes ~70 % of it).
+    bench("recursive_3maps", |i| {
+        std::hint::black_box(rec.access(BlockId(i % 128)));
     });
 }
 
-fn bench_collections(c: &mut Criterion) {
-    c.bench_function("collections/map_get", |b| {
-        let mut map = ObliviousMap::new(RingConfig::test_small(), 256, 1);
-        for i in 0..32u32 {
-            map.put(format!("k{i}").as_bytes(), b"value").expect("room");
-        }
-        let mut i = 0u32;
-        b.iter(|| {
-            i += 1;
-            std::hint::black_box(map.get(format!("k{}", i % 64).as_bytes()))
-        });
+fn bench_collections() {
+    let mut map = ObliviousMap::new(RingConfig::test_small(), 256, 1);
+    for i in 0..32u32 {
+        map.put(format!("k{i}").as_bytes(), b"value").expect("room");
+    }
+    bench("map_get", |i| {
+        std::hint::black_box(map.get(format!("k{}", i % 64).as_bytes()).expect("sized"));
     });
 }
 
-fn bench_system_step(c: &mut Criterion) {
-    c.bench_function("system/step_paper_default", |b| {
-        let cfg = SystemConfig::hpca_default(Scheme::All);
-        let spec = by_name("black").unwrap();
-        let traces = (0..cfg.cores)
-            .map(|c| TraceGenerator::new(spec.clone(), 1, c as u32).take_records(100_000))
-            .collect();
-        let mut sim = Simulation::new(cfg, traces);
-        b.iter(|| {
-            sim.step();
-            std::hint::black_box(sim.cycles())
-        });
+fn bench_system_step() {
+    let cfg = SystemConfig::hpca_default(Scheme::All);
+    let spec = by_name("black").unwrap();
+    let traces = (0..cfg.cores)
+        .map(|c| TraceGenerator::new(spec.clone(), 1, c as u32).take_records(100_000))
+        .collect();
+    let mut sim = Simulation::new(cfg, traces);
+    bench("system_step", |_| {
+        sim.step();
+        std::hint::black_box(sim.cycles());
     });
 }
 
-criterion_group!(
-    name = micro;
-    config = Criterion::default().sample_size(20);
-    targets = bench_protocol_access, bench_dram_issue, bench_scheduler_tick,
-              bench_trace_generation, bench_data_path, bench_crypto,
-              bench_recursive_access, bench_collections, bench_system_step
-);
-criterion_main!(micro);
+fn main() {
+    print_header("Microbenchmarks (mean over self-timed iterations)");
+    bench_protocol_access();
+    bench_dram_issue();
+    bench_scheduler_tick();
+    bench_trace_generation();
+    bench_data_path();
+    bench_crypto();
+    bench_recursive_access();
+    bench_collections();
+    bench_system_step();
+}

@@ -3,15 +3,22 @@
 //! Verifies that each synthetic workload generator converges to the MPKI
 //! the paper's Table IV lists, and reports the measured value alongside.
 
-use trace_synth::{all_workloads, summarize, TraceGenerator};
 use string_oram_bench::{print_header, print_row};
+use trace_synth::{all_workloads, summarize, TraceGenerator};
 
 fn main() {
     print_header("Table IV: workloads and their MPKIs (paper value vs synthesized)");
     print_row(
         "workload",
-        ["suite", "paper MPKI", "synth MPKI", "wr frac", "uniq blocks"]
-            .map(String::from).as_ref(),
+        [
+            "suite",
+            "paper MPKI",
+            "synth MPKI",
+            "wr frac",
+            "uniq blocks",
+        ]
+        .map(String::from)
+        .as_ref(),
     );
     for spec in all_workloads() {
         let mut g = TraceGenerator::new(spec.clone(), 1234, 0);

@@ -9,7 +9,8 @@ fn main() {
     print_row(
         "config",
         ["Y (CB rate)", "total GiB", "dummy %", "saved vs base"]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
     );
     let rows = table5_rows();
     let base = rows[0].total_bytes() as f64;

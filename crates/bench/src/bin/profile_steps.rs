@@ -12,7 +12,10 @@ fn main() {
     for c in 0..2_000_000u64 {
         dram.tick(c);
     }
-    println!("dram.tick: {:.0} ns/tick", t0.elapsed().as_nanos() as f64 / 2e6);
+    println!(
+        "dram.tick: {:.0} ns/tick",
+        t0.elapsed().as_nanos() as f64 / 2e6
+    );
 
     // 2. Full system step with empty queues (CPU-bound phase).
     let cfg = string_oram::SystemConfig::hpca_default(string_oram::Scheme::Baseline);
@@ -27,5 +30,8 @@ fn main() {
         sim.step();
         steps += 1;
     }
-    println!("sim.step: {:.0} ns/step over {steps} steps", t0.elapsed().as_nanos() as f64 / steps as f64);
+    println!(
+        "sim.step: {:.0} ns/step over {steps} steps",
+        t0.elapsed().as_nanos() as f64 / steps as f64
+    );
 }

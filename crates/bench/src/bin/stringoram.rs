@@ -75,11 +75,7 @@ fn parse_args() -> Result<Option<Options>, String> {
                     .map_err(|e| format!("bad --accesses: {e}"))?;
             }
             "--y" => {
-                opts.y = Some(
-                    value("--y")?
-                        .parse()
-                        .map_err(|e| format!("bad --y: {e}"))?,
-                );
+                opts.y = Some(value("--y")?.parse().map_err(|e| format!("bad --y: {e}"))?);
             }
             "--stash" => {
                 opts.stash = Some(
@@ -229,7 +225,9 @@ fn main() -> ExitCode {
     );
     println!(
         "cycles by kind  read {} | evict {} | reshuffle {} | other {}",
-        r.cycles_by_kind.read, r.cycles_by_kind.evict, r.cycles_by_kind.reshuffle,
+        r.cycles_by_kind.read,
+        r.cycles_by_kind.evict,
+        r.cycles_by_kind.reshuffle,
         r.cycles_by_kind.other
     );
     for kind in [OpKind::ReadPath, OpKind::Eviction, OpKind::EarlyReshuffle] {

@@ -20,7 +20,13 @@ static CSV_SINK: Mutex<Option<std::fs::File>> = Mutex::new(None);
 fn slugify(title: &str) -> String {
     title
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect::<String>()
         .split('_')
         .filter(|s| !s.is_empty())
@@ -44,7 +50,12 @@ pub fn accesses_per_core() -> usize {
 
 /// Generates the per-core traces for a workload under a config.
 #[must_use]
-pub fn traces_for(cfg: &SystemConfig, workload: &str, n: usize, seed: u64) -> Vec<Vec<TraceRecord>> {
+pub fn traces_for(
+    cfg: &SystemConfig,
+    workload: &str,
+    n: usize,
+    seed: u64,
+) -> Vec<Vec<TraceRecord>> {
     let spec = by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}"));
     (0..cfg.cores)
         .map(|c| TraceGenerator::new(spec.clone(), seed, c as u32).take_records(n))
@@ -115,7 +126,10 @@ pub fn run_scheme(scheme: Scheme, workload: &str, n: usize) -> SimReport {
 /// The paper's ten workload names, figure order.
 #[must_use]
 pub fn workload_names() -> Vec<&'static str> {
-    trace_synth::all_workloads().iter().map(|w| w.name).collect()
+    trace_synth::all_workloads()
+        .iter()
+        .map(|w| w.name)
+        .collect()
 }
 
 /// Prints a separator + centered title, figure-style. When the

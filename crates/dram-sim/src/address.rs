@@ -294,8 +294,7 @@ mod tests {
     #[test]
     fn row_changes_after_banks_exhaust() {
         let (g, m) = default_pair();
-        let per_row_index =
-            g.row_bytes() * u64::from(g.channels) * u64::from(g.banks_per_rank);
+        let per_row_index = g.row_bytes() * u64::from(g.channels) * u64::from(g.banks_per_rank);
         let loc = m.decode(PhysAddr(per_row_index));
         assert_eq!(loc.row, 1);
         assert_eq!(loc.bank, 0);

@@ -108,9 +108,7 @@ impl Bank {
     pub fn can_column(&self, cycle: u64, row: u64, is_write: bool) -> Result<(), IssueError> {
         match self.open_row {
             None => return Err(IssueError::BankClosed),
-            Some(open) if open != row => {
-                return Err(IssueError::RowMismatch { open_row: open })
-            }
+            Some(open) if open != row => return Err(IssueError::RowMismatch { open_row: open }),
             Some(_) => {}
         }
         let ready = if is_write { self.next_wr } else { self.next_rd };
@@ -238,9 +236,7 @@ mod tests {
         b.apply_activate(0, 5, &tp);
         assert_eq!(
             b.can_column(tp.t_rcd - 1, 5, false),
-            Err(IssueError::BankTiming {
-                ready_at: tp.t_rcd
-            })
+            Err(IssueError::BankTiming { ready_at: tp.t_rcd })
         );
         assert!(b.can_column(tp.t_rcd, 5, false).is_ok());
     }
@@ -263,9 +259,7 @@ mod tests {
         b.apply_activate(0, 5, &tp);
         assert_eq!(
             b.can_precharge(tp.t_ras - 1),
-            Err(IssueError::BankTiming {
-                ready_at: tp.t_ras
-            })
+            Err(IssueError::BankTiming { ready_at: tp.t_ras })
         );
         assert!(b.can_precharge(tp.t_ras).is_ok());
     }

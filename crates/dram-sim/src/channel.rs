@@ -87,7 +87,9 @@ impl Channel {
     /// [`IssueError::RankTiming`] with `ready_at` of the next free slot.
     pub fn can_use_cmd_bus(&self, cycle: u64) -> Result<(), IssueError> {
         match self.last_cmd_cycle {
-            Some(c) if c == cycle => Err(IssueError::RankTiming { ready_at: cycle + 1 }),
+            Some(c) if c == cycle => Err(IssueError::RankTiming {
+                ready_at: cycle + 1,
+            }),
             _ => Ok(()),
         }
     }
@@ -110,15 +112,17 @@ impl Channel {
         is_write: bool,
         t: &TimingParams,
     ) -> Result<(), IssueError> {
-        let dir = if is_write { BusDir::Write } else { BusDir::Read };
+        let dir = if is_write {
+            BusDir::Write
+        } else {
+            BusDir::Read
+        };
         let mut earliest = self.data_busy_until;
         if self.last_dir != BusDir::Idle && self.last_dir != dir {
             earliest += t.t_turnaround;
         }
         if data_start < earliest {
-            Err(IssueError::DataBusBusy {
-                ready_at: earliest,
-            })
+            Err(IssueError::DataBusBusy { ready_at: earliest })
         } else {
             Ok(())
         }
@@ -129,7 +133,11 @@ impl Channel {
     pub fn reserve_burst(&mut self, data_start: u64, is_write: bool, t: &TimingParams) {
         debug_assert!(self.can_burst(data_start, is_write, t).is_ok());
         self.data_busy_until = data_start + t.t_burst;
-        self.last_dir = if is_write { BusDir::Write } else { BusDir::Read };
+        self.last_dir = if is_write {
+            BusDir::Write
+        } else {
+            BusDir::Read
+        };
         self.data_busy_cycles += t.t_burst;
     }
 }

@@ -97,7 +97,11 @@ impl std::fmt::Display for DramCommand {
         write!(
             f,
             "{} ch{} rk{} bk{} row{} col{}",
-            self.kind, self.loc.channel, self.loc.rank, self.loc.bank, self.loc.row,
+            self.kind,
+            self.loc.channel,
+            self.loc.rank,
+            self.loc.bank,
+            self.loc.row,
             self.loc.column
         )
     }

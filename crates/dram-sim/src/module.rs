@@ -337,7 +337,9 @@ mod tests {
         let err = m.can_issue(&DramCommand::activate(loc(0, 1, 1, 0)), 0);
         assert_eq!(err, Err(IssueError::RankTiming { ready_at: 1 }));
         // Different channel is independent.
-        assert!(m.can_issue(&DramCommand::activate(loc(1, 0, 1, 0)), 0).is_ok());
+        assert!(m
+            .can_issue(&DramCommand::activate(loc(1, 0, 1, 0)), 0)
+            .is_ok());
     }
 
     #[test]
@@ -385,7 +387,8 @@ mod tests {
         // No activity: fully idle.
         assert!((m.average_bank_idle_proportion(100) - 1.0).abs() < 1e-12);
         m.issue(DramCommand::activate(loc(0, 0, 1, 0)), 0).unwrap();
-        m.issue(DramCommand::read(loc(0, 0, 1, 0)), t.t_rcd).unwrap();
+        m.issue(DramCommand::read(loc(0, 0, 1, 0)), t.t_rcd)
+            .unwrap();
         let idle = m.average_bank_idle_proportion(100);
         assert!(idle < 1.0);
         assert!(idle > 0.8, "only one of 8 banks was briefly busy: {idle}");

@@ -121,12 +121,20 @@ impl Rank {
     /// actually split into groups (DDR4); with a single group the rank is
     /// plain DDR3 and tRRD applies.
     fn rrd_l(&self, t: &TimingParams) -> u64 {
-        if self.groups == 1 { t.t_rrd } else { t.t_rrd_l }
+        if self.groups == 1 {
+            t.t_rrd
+        } else {
+            t.t_rrd_l
+        }
     }
 
     /// Effective same-group column spacing (see [`Self::rrd_l`]).
     fn ccd_l(&self, t: &TimingParams) -> u64 {
-        if self.groups == 1 { t.t_ccd } else { t.t_ccd_l }
+        if self.groups == 1 {
+            t.t_ccd
+        } else {
+            t.t_ccd_l
+        }
     }
 
     /// Rank-level legality of an ACT to `bank` at `cycle`
@@ -246,7 +254,6 @@ impl Rank {
         self.next_rd = self.next_rd.max(data_end + t.t_wtr);
         data_end
     }
-
 }
 
 #[cfg(test)]
@@ -268,9 +275,7 @@ mod tests {
         r.apply_activate(0, 0, 1, &tp);
         assert_eq!(
             r.can_activate(tp.t_rrd - 1, &tp, 1),
-            Err(IssueError::RankTiming {
-                ready_at: tp.t_rrd
-            })
+            Err(IssueError::RankTiming { ready_at: tp.t_rrd })
         );
         assert!(r.can_activate(tp.t_rrd, &tp, 1).is_ok());
     }
@@ -356,7 +361,9 @@ mod tests {
         // Same-group ACT: gated by tRRD_L.
         assert_eq!(
             r.can_activate(tp.t_rrd, &tp, 4),
-            Err(IssueError::RankTiming { ready_at: tp.t_rrd_l })
+            Err(IssueError::RankTiming {
+                ready_at: tp.t_rrd_l
+            })
         );
         assert!(r.can_activate(tp.t_rrd_l, &tp, 4).is_ok());
     }
@@ -372,7 +379,9 @@ mod tests {
         // Same-group read must wait tCCD_L; the bank itself is different.
         assert_eq!(
             r.can_read(rd_at + tp.t_ccd - 1, 4),
-            Err(IssueError::RankTiming { ready_at: rd_at + tp.t_ccd_l })
+            Err(IssueError::RankTiming {
+                ready_at: rd_at + tp.t_ccd_l
+            })
         );
         assert!(r.can_read(rd_at + tp.t_ccd_l, 4).is_ok());
     }

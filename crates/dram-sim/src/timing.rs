@@ -88,8 +88,8 @@ impl TimingParams {
             t_wtr: 6,
             t_rtp: 6,
             t_turnaround: 2,
-            t_refi: 6240,  // 7.8 us / 1.25 ns
-            t_rfc: 208,    // 260 ns (4 Gb device) / 1.25 ns
+            t_refi: 6240, // 7.8 us / 1.25 ns
+            t_rfc: 208,   // 260 ns (4 Gb device) / 1.25 ns
             clock_ps: 1250,
         }
     }
@@ -115,8 +115,8 @@ impl TimingParams {
             t_wtr: 9,
             t_rtp: 9,
             t_turnaround: 2,
-            t_refi: 9360,  // 7.8 us / 0.833 ns
-            t_rfc: 421,    // 350 ns (8 Gb device)
+            t_refi: 9360, // 7.8 us / 0.833 ns
+            t_rfc: 421,   // 350 ns (8 Gb device)
             clock_ps: 833,
         }
     }

@@ -1,12 +1,15 @@
-//! Property-based tests of the DRAM timing model: a random but legal
+//! Property-style tests of the DRAM timing model: a random but legal
 //! command driver must never observe a protocol violation, and latencies
-//! must respect the JEDEC bounds.
+//! must respect the JEDEC bounds. Cases come from the in-repo deterministic
+//! PRNG so the suite runs identically offline.
 
-use proptest::prelude::*;
+use oram_rng::{Rng, StdRng};
 
 use dram_sim::geometry::DramGeometry;
 use dram_sim::timing::TimingParams;
 use dram_sim::{CommandKind, DramCommand, DramLocation, DramModule, IssueError};
+
+const CASES: u64 = 64;
 
 /// A randomized driver action: which bank to poke and what to attempt.
 #[derive(Debug, Clone, Copy)]
@@ -18,19 +21,17 @@ struct Action {
     kind_sel: u8,
 }
 
-fn actions() -> impl Strategy<Value = Vec<Action>> {
-    proptest::collection::vec(
-        (0u32..2, 0u32..4, 0u64..8, 0u32..8, 0u8..4).prop_map(
-            |(channel, bank, row, column, kind_sel)| Action {
-                channel,
-                bank,
-                row,
-                column,
-                kind_sel,
-            },
-        ),
-        1..200,
-    )
+fn actions(rng: &mut StdRng) -> Vec<Action> {
+    let n = rng.gen_range(1usize..200);
+    (0..n)
+        .map(|_| Action {
+            channel: rng.gen_range(0u32..2),
+            bank: rng.gen_range(0u32..4),
+            row: rng.gen_range(0u64..8),
+            column: rng.gen_range(0u32..8),
+            kind_sel: rng.gen_range(0u8..4),
+        })
+        .collect()
 }
 
 fn kind_of(sel: u8) -> CommandKind {
@@ -42,14 +43,14 @@ fn kind_of(sel: u8) -> CommandKind {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Fuzz the module with arbitrary commands: `can_issue` gating must be
-    /// exact (an approved command must apply without panicking), errors
-    /// must carry usable `ready_at` hints, and time never goes backwards.
-    #[test]
-    fn can_issue_gating_is_exact(acts in actions()) {
+/// Fuzz the module with arbitrary commands: `can_issue` gating must be
+/// exact (an approved command must apply without panicking), errors must
+/// carry usable `ready_at` hints, and time never goes backwards.
+#[test]
+fn can_issue_gating_is_exact() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let acts = actions(&mut rng);
         let mut dram = DramModule::new(DramGeometry::test_small(), TimingParams::test_fast());
         let mut cycle = 0u64;
         #[allow(clippy::explicit_counter_loop)]
@@ -62,31 +63,38 @@ proptest! {
                 row: a.row,
                 column: a.column,
             };
-            let cmd = DramCommand { kind: kind_of(a.kind_sel), loc };
+            let cmd = DramCommand {
+                kind: kind_of(a.kind_sel),
+                loc,
+            };
             match dram.can_issue(&cmd, cycle) {
                 Ok(()) => {
                     let out = dram.issue(cmd, cycle).expect("approved commands apply");
                     if cmd.kind.carries_data() {
                         let done = out.data_done_at.expect("data command returns time");
-                        prop_assert!(done > cycle);
+                        assert!(done > cycle);
                     } else {
-                        prop_assert!(out.data_done_at.is_none());
+                        assert!(out.data_done_at.is_none());
                     }
                 }
                 Err(e) => {
                     if let Some(ready) = e.ready_at() {
-                        prop_assert!(ready > cycle, "hint {ready} not in the future");
+                        assert!(ready > cycle, "hint {ready} not in the future");
                     }
                 }
             }
             cycle += 1;
         }
     }
+}
 
-    /// Retrying a timing-blocked command at its `ready_at` hint must make
-    /// progress (the same constraint no longer fires).
-    #[test]
-    fn ready_at_hints_are_honest(acts in actions()) {
+/// Retrying a timing-blocked command at its `ready_at` hint must make
+/// progress (the same constraint no longer fires).
+#[test]
+fn ready_at_hints_are_honest() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0xA0A0);
+        let acts = actions(&mut rng);
         let mut dram = DramModule::new(DramGeometry::test_small(), TimingParams::test_fast());
         let mut cycle = 0u64;
         for a in acts {
@@ -98,20 +106,18 @@ proptest! {
                 row: a.row,
                 column: a.column,
             };
-            let cmd = DramCommand { kind: kind_of(a.kind_sel), loc };
+            let cmd = DramCommand {
+                kind: kind_of(a.kind_sel),
+                loc,
+            };
             if let Err(first) = dram.can_issue(&cmd, cycle) {
                 if let Some(ready) = first.ready_at() {
                     // At the hinted cycle, the command is either legal or
                     // blocked by a *different* (or later-expiring) constraint.
                     dram.tick(ready);
                     if let Err(second) = dram.can_issue(&cmd, ready) {
-                        if let (Some(r2), Some(_r1)) = (second.ready_at(), first.ready_at()) {
-                            prop_assert!(
-                                r2 >= ready,
-                                "second hint {} before retry time {}",
-                                r2,
-                                ready
-                            );
+                        if let Some(r2) = second.ready_at() {
+                            assert!(r2 >= ready, "second hint {r2} before retry time {ready}");
                         }
                     }
                     cycle = ready;
@@ -121,38 +127,70 @@ proptest! {
             cycle += 1;
         }
     }
+}
 
-    /// Data completion time for a read on an open row is exactly CL + BL/2.
-    #[test]
-    fn read_latency_is_exact(row in 0u64..8, column in 0u32..8) {
+/// Data completion time for a read on an open row is exactly CL + BL/2.
+#[test]
+fn read_latency_is_exact() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0xB0B0);
+        let row = rng.gen_range(0u64..8);
+        let column = rng.gen_range(0u32..8);
         let t = TimingParams::test_fast();
         let mut dram = DramModule::new(DramGeometry::test_small(), t.clone());
-        let loc = DramLocation { channel: 0, rank: 0, bank: 0, row, column };
+        let loc = DramLocation {
+            channel: 0,
+            rank: 0,
+            bank: 0,
+            row,
+            column,
+        };
         dram.issue(DramCommand::activate(loc), 0).unwrap();
         let rd_at = t.t_rcd;
         let out = dram.issue(DramCommand::read(loc), rd_at).unwrap();
-        prop_assert_eq!(out.data_done_at, Some(rd_at + t.cl + t.t_burst));
+        assert_eq!(out.data_done_at, Some(rd_at + t.cl + t.t_burst));
     }
+}
 
-    /// Driving a full conflict sequence (ACT-RD-PRE-ACT-RD) to any pair of
-    /// rows always succeeds within the analytic worst-case latency bound.
-    #[test]
-    fn conflict_sequence_bounded(row_a in 0u64..8, row_b in 0u64..8, bank in 0u32..4) {
-        prop_assume!(row_a != row_b);
+/// Driving a full conflict sequence (ACT-RD-PRE-ACT-RD) to any pair of
+/// rows always succeeds within the analytic worst-case latency bound.
+#[test]
+fn conflict_sequence_bounded() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0xC0C0);
+        let row_a = rng.gen_range(0u64..8);
+        let mut row_b = rng.gen_range(0u64..8);
+        if row_a == row_b {
+            row_b = (row_b + 1) % 8;
+        }
+        let bank = rng.gen_range(0u32..4);
         let t = TimingParams::test_fast();
         let mut dram = DramModule::new(DramGeometry::test_small(), t.clone());
-        let la = DramLocation { channel: 0, rank: 0, bank, row: row_a, column: 0 };
-        let lb = DramLocation { channel: 0, rank: 0, bank, row: row_b, column: 0 };
+        let la = DramLocation {
+            channel: 0,
+            rank: 0,
+            bank,
+            row: row_a,
+            column: 0,
+        };
+        let lb = DramLocation {
+            channel: 0,
+            rank: 0,
+            bank,
+            row: row_b,
+            column: 0,
+        };
         let mut cycle = 0;
-        let issue = |dram: &mut DramModule, cmd: DramCommand, cycle: &mut u64| {
-            loop {
-                dram.tick(*cycle);
-                match dram.issue(cmd, *cycle) {
-                    Ok(out) => return out,
-                    Err(IssueError::RowMismatch { .. } | IssueError::BankNotPrecharged
-                        | IssueError::BankClosed) => panic!("state error for {cmd}"),
-                    Err(_) => *cycle += 1,
-                }
+        let issue = |dram: &mut DramModule, cmd: DramCommand, cycle: &mut u64| loop {
+            dram.tick(*cycle);
+            match dram.issue(cmd, *cycle) {
+                Ok(out) => return out,
+                Err(
+                    IssueError::RowMismatch { .. }
+                    | IssueError::BankNotPrecharged
+                    | IssueError::BankClosed,
+                ) => panic!("state error for {cmd}"),
+                Err(_) => *cycle += 1,
             }
         };
         issue(&mut dram, DramCommand::activate(la), &mut cycle);
@@ -163,18 +201,23 @@ proptest! {
         // Analytic worst case: tRCD + tRTP gate the PRE, then tRP + tRCD +
         // CL + burst; allow tRAS/tRC slack.
         let bound = t.t_rc + t.t_rp + t.t_rcd + t.cl + t.t_burst + t.t_ras;
-        prop_assert!(
+        assert!(
             out.data_done_at.unwrap() <= bound,
             "conflict latency {} exceeds bound {}",
             out.data_done_at.unwrap(),
             bound
         );
     }
+}
 
-    /// Banks are independent: activity in one bank never makes a command in
-    /// another bank illegal for *bank-level* reasons (only rank/bus-level).
-    #[test]
-    fn cross_bank_interference_is_rank_level_only(rows in proptest::collection::vec(0u64..8, 1..20)) {
+/// Banks are independent: activity in one bank never makes a command in
+/// another bank illegal for *bank-level* reasons (only rank/bus-level).
+#[test]
+fn cross_bank_interference_is_rank_level_only() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0xD0D0);
+        let n = rng.gen_range(1usize..20);
+        let rows: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..8)).collect();
         let t = TimingParams::test_fast();
         let mut dram = DramModule::new(DramGeometry::test_small(), t.clone());
         let mut cycle = 0;
@@ -187,14 +230,22 @@ proptest! {
                 row,
                 column: 0,
             };
-            // Drive bank 0 and bank 1 alternately; bank 2 stays fresh and
-            // must always accept ACT modulo rank-level constraints.
-            let probe = DramLocation { channel: 1, rank: 0, bank: 2, row: 0, column: 0 };
+            // Drive bank 0 and bank 1 alternately; bank 2 on the other
+            // channel stays fresh and must always accept ACT modulo
+            // rank-level constraints.
+            let probe = DramLocation {
+                channel: 1,
+                rank: 0,
+                bank: 2,
+                row: 0,
+                column: 0,
+            };
             match dram.can_issue(&DramCommand::activate(probe), cycle) {
-                Ok(()) | Err(IssueError::RankTiming { .. })
-                | Err(IssueError::RefreshInProgress { .. }) => {}
-                Err(IssueError::BankNotPrecharged) => {} // we may have opened it? no
-                Err(e) => prop_assert!(false, "unexpected cross-bank error {e:?}"),
+                Ok(())
+                | Err(IssueError::RankTiming { .. })
+                | Err(IssueError::RefreshInProgress { .. })
+                | Err(IssueError::BankNotPrecharged) => {}
+                Err(e) => panic!("unexpected cross-bank error {e:?}"),
             }
             dram.tick(cycle);
             let cmd = if dram.open_row(&loc) == Some(row) {

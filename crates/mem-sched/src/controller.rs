@@ -15,8 +15,8 @@
 //!   remain strictly transaction-ordered, so the access sequence observable
 //!   on the bus is unchanged.
 
-use dram_sim::{CommandKind, DramCommand, DramModule, PhysAddr};
 use dram_sim::AddressMapping;
+use dram_sim::{CommandKind, DramCommand, DramModule, PhysAddr};
 
 use crate::queue::{ChannelQueues, QueueFull};
 use crate::request::{Completed, Request, RequestSpec, RowClass, TxnId};
@@ -56,6 +56,22 @@ impl SchedulerPolicy {
     }
 }
 
+/// One issued DRAM command, as recorded by the optional command trace.
+///
+/// The transaction attribution lets external conformance checkers (the
+/// `sim-verify` crate) validate not just JEDEC timing but the ORAM security
+/// contract: data commands must appear in transaction order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandEvent {
+    /// Cycle the command occupied the command bus.
+    pub cycle: u64,
+    /// The command itself.
+    pub cmd: DramCommand,
+    /// Transaction on whose behalf the command was issued; `None` for
+    /// controller housekeeping (close-page precharges of idle rows).
+    pub txn: Option<TxnId>,
+}
+
 /// Row-buffer management policy (paper §II-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PagePolicy {
@@ -92,8 +108,9 @@ pub struct MemoryController {
     /// Pending (unissued) request count per bank, indexed
     /// `[channel][rank * banks_per_rank + bank]`, for idle accounting.
     pending_per_bank: Vec<Vec<u32>>,
-    /// Optional command trace: every issued command with its cycle.
-    command_trace: Option<Vec<(u64, DramCommand)>>,
+    /// Optional command trace: every issued command with its cycle and
+    /// owning transaction.
+    command_trace: Option<Vec<CommandEvent>>,
 }
 
 /// Cached scheduling view of one channel.
@@ -139,8 +156,7 @@ impl MemoryController {
         queue_capacity: usize,
     ) -> Self {
         let channels = dram.geometry().channels;
-        let banks =
-            (dram.geometry().ranks_per_channel * dram.geometry().banks_per_rank) as usize;
+        let banks = (dram.geometry().ranks_per_channel * dram.geometry().banks_per_rank) as usize;
         Self {
             dram,
             mapping,
@@ -172,15 +188,24 @@ impl MemoryController {
     /// Takes the recorded command trace (empty if tracing was never
     /// enabled), leaving tracing active if it was.
     pub fn take_command_trace(&mut self) -> Vec<(u64, DramCommand)> {
+        self.take_command_events()
+            .into_iter()
+            .map(|e| (e.cycle, e.cmd))
+            .collect()
+    }
+
+    /// Takes the recorded command events — the trace with transaction
+    /// attribution — leaving tracing active if it was enabled.
+    pub fn take_command_events(&mut self) -> Vec<CommandEvent> {
         match &mut self.command_trace {
             Some(t) => std::mem::take(t),
             None => Vec::new(),
         }
     }
 
-    fn record_trace(&mut self, cycle: u64, cmd: DramCommand) {
+    fn record_trace(&mut self, cycle: u64, cmd: DramCommand, txn: Option<TxnId>) {
         if let Some(t) = &mut self.command_trace {
-            t.push((cycle, cmd));
+            t.push(CommandEvent { cycle, cmd, txn });
         }
     }
 
@@ -269,10 +294,7 @@ impl MemoryController {
     /// Advances the controller by one memory cycle: refresh housekeeping,
     /// then at most one command per channel according to the policy.
     pub fn tick(&mut self, cycle: u64) {
-        debug_assert!(
-            cycle >= self.last_cycle,
-            "cycles must be non-decreasing"
-        );
+        debug_assert!(cycle >= self.last_cycle, "cycles must be non-decreasing");
         self.last_cycle = cycle;
         self.dram.tick(cycle);
         for q in &self.queues {
@@ -349,15 +371,14 @@ impl MemoryController {
                 let in_future = !unconstrained
                     && r.txn.0 > current.0
                     && r.txn.0 <= current.0.saturating_add(lookahead);
-                if !in_current
-                    && !in_future {
-                        // Queues are transaction-sorted: nothing beyond the
-                        // window can precede anything inside it.
-                        if r.txn.0 > current.0.saturating_add(lookahead) {
-                            break;
-                        }
-                        continue;
+                if !in_current && !in_future {
+                    // Queues are transaction-sorted: nothing beyond the
+                    // window can precede anything inside it.
+                    if r.txn.0 > current.0.saturating_add(lookahead) {
+                        break;
                     }
+                    continue;
+                }
                 let b = (r.loc.rank * banks_per_rank + r.loc.bank) as usize;
                 let open = self.dram.open_row(&r.loc);
                 let view = &mut cache.views[b];
@@ -419,16 +440,14 @@ impl MemoryController {
                     .reads
                     .iter()
                     .chain(self.queues[ch as usize].writes.iter())
-                    .any(|r| {
-                        r.loc.rank == rank && r.loc.bank == bank && r.loc.row == open
-                    });
+                    .any(|r| r.loc.rank == rank && r.loc.bank == bank && r.loc.row == open);
                 if wanted {
                     continue;
                 }
                 let cmd = DramCommand::precharge(dram_sim::DramLocation { row: open, ..loc });
                 if self.dram.can_issue(&cmd, cycle).is_ok() {
                     self.dram.issue(cmd, cycle).expect("checked");
-                    self.record_trace(cycle, cmd);
+                    self.record_trace(cycle, cmd, None);
                     self.caches[ch as usize].valid = false;
                     self.stats.precharges += 1;
                     return;
@@ -555,15 +574,10 @@ impl MemoryController {
     }
 
     /// Issues the RD/WR for a request and retires it.
-    fn issue_data_command(
-        &mut self,
-        ch: u32,
-        key: (bool, usize),
-        cmd: DramCommand,
-        cycle: u64,
-    ) {
+    fn issue_data_command(&mut self, ch: u32, key: (bool, usize), cmd: DramCommand, cycle: u64) {
         let outcome = self.dram.issue(cmd, cycle).expect("checked with can_issue");
-        self.record_trace(cycle, cmd);
+        let txn = self.queues[ch as usize].get(key).txn;
+        self.record_trace(cycle, cmd, Some(txn));
         self.caches[ch as usize].valid = false;
         let banks_per_rank = self.dram.geometry().banks_per_rank;
         self.pending_per_bank[ch as usize]
@@ -598,7 +612,8 @@ impl MemoryController {
         proactive: bool,
     ) {
         self.dram.issue(cmd, cycle).expect("checked with can_issue");
-        self.record_trace(cycle, cmd);
+        let txn = self.queues[ch as usize].get(key).txn;
+        self.record_trace(cycle, cmd, Some(txn));
         self.caches[ch as usize].valid = false;
         let req = self.queues[ch as usize].get_mut(key);
         req.record_first_command(cycle, class_if_first);

@@ -47,7 +47,7 @@ pub mod queue;
 pub mod request;
 pub mod stats;
 
-pub use controller::{MemoryController, PagePolicy, SchedulerPolicy};
+pub use controller::{CommandEvent, MemoryController, PagePolicy, SchedulerPolicy};
 pub use queue::QueueFull;
 pub use request::{Completed, RequestSpec, RowClass, TxnId};
 pub use stats::SchedulerStats;

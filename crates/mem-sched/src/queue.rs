@@ -105,7 +105,6 @@ impl ChannelQueues {
             self.reads.remove(key.1)
         }
     }
-
 }
 
 #[cfg(test)]
@@ -152,7 +151,6 @@ mod tests {
         assert_eq!(q.min_txn(), Some(TxnId(3)));
     }
 
-
     #[test]
     fn remove_returns_request() {
         let mut q = ChannelQueues::new(8);
@@ -161,5 +159,4 @@ mod tests {
         assert_eq!(r.id, 7);
         assert_eq!(q.len(), 0);
     }
-
 }

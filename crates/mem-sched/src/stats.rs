@@ -255,7 +255,10 @@ mod tests {
             ..SchedulerStats::default()
         };
         assert!((s.pending_bank_idle_proportion() - 0.75).abs() < 1e-12);
-        assert_eq!(SchedulerStats::default().pending_bank_idle_proportion(), 0.0);
+        assert_eq!(
+            SchedulerStats::default().pending_bank_idle_proportion(),
+            0.0
+        );
     }
 
     #[test]

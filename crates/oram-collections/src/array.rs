@@ -32,7 +32,10 @@ impl std::fmt::Display for CollectionError {
                 write!(f, "index {index} out of bounds (capacity {capacity})")
             }
             Self::ValueTooLarge { len, max } => {
-                write!(f, "value of {len} bytes exceeds the {max}-byte element size")
+                write!(
+                    f,
+                    "value of {len} bytes exceeds the {max}-byte element size"
+                )
             }
             Self::Full => write!(f, "collection is full"),
             Self::Empty => write!(f, "collection is empty"),

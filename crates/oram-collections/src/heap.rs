@@ -232,9 +232,7 @@ impl ObliviousHeap {
             return Ok(None);
         }
         let min = self.read_entry(1).expect("nonempty heap has a root");
-        let (mut hole_key, mut hole_val) = self
-            .read_entry(size)
-            .expect("last live entry exists");
+        let (mut hole_key, mut hole_val) = self.read_entry(size).expect("last live entry exists");
         if size == 1 {
             hole_key = u64::MAX;
             hole_val.clear();

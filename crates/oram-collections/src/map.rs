@@ -122,7 +122,8 @@ impl ObliviousMap {
 
     fn check_sizes(&self, key: &[u8], value: &[u8]) -> Result<(), CollectionError> {
         let len = key.len() + value.len();
-        if key.len() > u8::MAX as usize || value.len() > u8::MAX as usize
+        if key.len() > u8::MAX as usize
+            || value.len() > u8::MAX as usize
             || len > self.entry_bytes()
         {
             Err(CollectionError::ValueTooLarge {
@@ -171,8 +172,8 @@ impl ObliviousMap {
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), CollectionError> {
         self.check_sizes(key, value)?;
         let mut target: Option<(BlockId, bool)> = None; // (slot, was_update)
-        // Pass 1: read the full window obliviously, remembering the first
-        // usable slot (matching key wins over first empty).
+                                                        // Pass 1: read the full window obliviously, remembering the first
+                                                        // usable slot (matching key wins over first empty).
         let mut first_empty = None;
         for probe in 0..Self::PROBES {
             let slot = self.slot(key, probe);

@@ -85,8 +85,7 @@ impl ObliviousStack {
     }
 
     fn write_depth(&mut self, depth: u64) {
-        let encoded =
-            encode(&depth.to_le_bytes(), self.block_bytes).expect("8 bytes always fit");
+        let encoded = encode(&depth.to_le_bytes(), self.block_bytes).expect("8 bytes always fit");
         let _ = self.oram.write_block(DEPTH_SLOT, &encoded);
     }
 

@@ -1,43 +1,52 @@
 //! Model-based property tests: each oblivious collection must behave
 //! exactly like its `std` counterpart under arbitrary operation sequences,
-//! while paying a fixed, operation-independent ORAM cost.
-
-use proptest::prelude::*;
+//! while paying a fixed, operation-independent ORAM cost. Sequences come
+//! from the in-repo deterministic PRNG so the suite runs identically
+//! offline.
 
 use oram_collections::{ObliviousArray, ObliviousMap, ObliviousStack};
+use oram_rng::{Rng, StdRng};
 use ring_oram::RingConfig;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: u64 = 32;
 
-    #[test]
-    fn array_matches_vec_model(
-        ops in proptest::collection::vec((0u64..64, any::<bool>(), any::<u8>()), 1..120),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn array_matches_vec_model() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let n_ops = rng.gen_range(1usize..120);
+        let seed = rng.gen::<u64>();
         let mut arr = ObliviousArray::new(RingConfig::test_small(), 64, seed);
         let mut model: Vec<Option<Vec<u8>>> = vec![None; 64];
-        for (idx, is_set, tag) in ops {
+        for _ in 0..n_ops {
+            let idx = rng.gen_range(0u64..64);
+            let is_set = rng.gen::<bool>();
+            let tag = rng.gen::<u8>();
             if is_set {
                 let value = vec![tag; (tag % 30) as usize];
                 arr.set(idx, &value).expect("in range");
                 model[idx as usize] = Some(value);
             } else {
-                prop_assert_eq!(arr.get(idx).expect("in range"), model[idx as usize].clone());
+                assert_eq!(arr.get(idx).expect("in range"), model[idx as usize].clone());
             }
         }
         arr.oram().check_invariants();
     }
+}
 
-    #[test]
-    fn map_matches_hashmap_model(
-        ops in proptest::collection::vec((0u8..24, 0u8..3, any::<u8>()), 1..100),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn map_matches_hashmap_model() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0x11);
+        let n_ops = rng.gen_range(1usize..100);
+        let seed = rng.gen::<u64>();
         let mut map = ObliviousMap::new(RingConfig::test_small(), 256, seed);
         let mut model: std::collections::HashMap<Vec<u8>, Vec<u8>> =
             std::collections::HashMap::new();
-        for (key_sel, op, tag) in ops {
+        for _ in 0..n_ops {
+            let key_sel = rng.gen_range(0u8..24);
+            let op = rng.gen_range(0u8..3);
+            let tag = rng.gen::<u8>();
             let key = format!("key-{key_sel}").into_bytes();
             match op {
                 0 => {
@@ -48,60 +57,58 @@ proptest! {
                     model.insert(key, value);
                 }
                 1 => {
-                    prop_assert_eq!(
-                        map.get(&key).expect("sized"),
-                        model.get(&key).cloned()
-                    );
+                    assert_eq!(map.get(&key).expect("sized"), model.get(&key).cloned());
                 }
                 _ => {
-                    prop_assert_eq!(
-                        map.remove(&key).expect("sized"),
-                        model.remove(&key)
-                    );
+                    assert_eq!(map.remove(&key).expect("sized"), model.remove(&key));
                 }
             }
-            prop_assert_eq!(map.len() as usize, model.len());
+            assert_eq!(map.len() as usize, model.len());
         }
         map.oram().check_invariants();
     }
+}
 
-    #[test]
-    fn stack_matches_vec_model(
-        ops in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..80),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn stack_matches_vec_model() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0x22);
+        let n_ops = rng.gen_range(1usize..80);
+        let seed = rng.gen::<u64>();
         let mut stack = ObliviousStack::new(RingConfig::test_small(), 128, seed);
         let mut model: Vec<Vec<u8>> = Vec::new();
-        for (is_push, tag) in ops {
+        for _ in 0..n_ops {
+            let is_push = rng.gen::<bool>();
+            let tag = rng.gen::<u8>();
             if is_push {
                 let value = vec![tag; 4];
                 stack.push(&value).expect("capacity 128 not reached");
                 model.push(value);
             } else {
-                prop_assert_eq!(stack.pop().expect("no size errors"), model.pop());
+                assert_eq!(stack.pop().expect("no size errors"), model.pop());
             }
         }
-        prop_assert_eq!(stack.len(), model.len() as u64);
+        assert_eq!(stack.len(), model.len() as u64);
         stack.oram().check_invariants();
     }
+}
 
-    #[test]
-    fn map_cost_is_operation_independent(
-        keys in proptest::collection::vec(0u16..1000, 2..20),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn map_cost_is_operation_independent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0x33);
+        let n_keys = rng.gen_range(2usize..20);
+        let seed = rng.gen::<u64>();
         // Whatever mix of hits and misses, every get costs exactly PROBES
         // read paths — the obliviousness contract.
         let mut map = ObliviousMap::new(RingConfig::test_small(), 256, seed);
         map.put(b"present", b"x").expect("insert");
-        for k in keys {
+        for _ in 0..n_keys {
+            let k = rng.gen_range(0u16..1000);
             let key = format!("k{k}").into_bytes();
             let before = map.oram().stats().read_paths;
             let _ = map.get(&key).expect("sized");
-            prop_assert_eq!(
-                map.oram().stats().read_paths - before,
-                ObliviousMap::PROBES
-            );
+            assert_eq!(map.oram().stats().read_paths - before, ObliviousMap::PROBES);
         }
     }
 }

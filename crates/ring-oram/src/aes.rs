@@ -45,12 +45,8 @@ fn build_sbox() -> [u8; 256] {
                 .expect("every nonzero element has an inverse")
         };
         let b = inv;
-        sbox[x as usize] = b
-            ^ b.rotate_left(1)
-            ^ b.rotate_left(2)
-            ^ b.rotate_left(3)
-            ^ b.rotate_left(4)
-            ^ 0x63;
+        sbox[x as usize] =
+            b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63;
     }
     sbox
 }

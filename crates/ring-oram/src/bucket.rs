@@ -11,8 +11,7 @@
 //! so the green/dummy distinction is invisible to the adversary; it only
 //! changes how fast the stash fills (analyzed in the paper's §VII-D/E).
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use oram_rng::{Rng, SliceRandom};
 
 use crate::config::RingConfig;
 use crate::types::{BlockId, FetchKind};
@@ -57,11 +56,7 @@ impl Bucket {
     ///
     /// Panics if more than `cfg.z` blocks are supplied.
     #[must_use]
-    pub fn with_blocks<R: Rng + ?Sized>(
-        cfg: &RingConfig,
-        blocks: &[BlockId],
-        rng: &mut R,
-    ) -> Self {
+    pub fn with_blocks<R: Rng + ?Sized>(cfg: &RingConfig, blocks: &[BlockId], rng: &mut R) -> Self {
         Self::with_entries(cfg, blocks.iter().map(|&b| (b, None)).collect(), rng)
     }
 
@@ -317,8 +312,7 @@ impl Bucket {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use oram_rng::StdRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(7)

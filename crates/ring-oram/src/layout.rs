@@ -270,7 +270,8 @@ mod tests {
         for (lvl, w) in windows.iter().enumerate() {
             let group = lvl as u32 / k;
             assert_eq!(
-                *w, windows[(group * k) as usize],
+                *w,
+                windows[(group * k) as usize],
                 "level {lvl} strayed from its group window"
             );
         }

@@ -13,8 +13,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use oram_rng::StdRng;
 
 use crate::plan::{AccessPlan, OpKind, SlotTouch};
 use crate::position_map::PositionMap;
@@ -196,10 +195,7 @@ impl PathOram {
                 self.stats.blocks_read += u64::from(self.cfg.z);
             }
             for b in content {
-                let p = self
-                    .position_map
-                    .lookup(b)
-                    .expect("tree blocks are mapped");
+                let p = self.position_map.lookup(b).expect("tree blocks are mapped");
                 self.stash.insert(b, p);
             }
         }
@@ -242,9 +238,7 @@ impl PathOram {
             }
             let found = (0..self.cfg.levels).any(|lvl| {
                 let id = self.geometry.bucket_at(path, Level(lvl));
-                self.buckets
-                    .get(&id)
-                    .is_some_and(|v| v.contains(&block))
+                self.buckets.get(&id).is_some_and(|v| v.contains(&block))
             });
             assert!(found, "{block} lost: not in stash, not on {path}");
         }

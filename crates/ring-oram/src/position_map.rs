@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 
-use rand::Rng;
+use oram_rng::Rng;
 
 use crate::types::{BlockId, PathId};
 
@@ -17,10 +17,10 @@ use crate::types::{BlockId, PathId};
 /// ```
 /// use ring_oram::position_map::PositionMap;
 /// use ring_oram::types::BlockId;
-/// use rand::SeedableRng;
+/// use oram_rng::StdRng;
 ///
 /// let mut pm = PositionMap::new(128);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = StdRng::seed_from_u64(1);
 /// let p = pm.lookup_or_assign(BlockId(7), &mut rng);
 /// assert!(p.0 < 128);
 /// // Stable until remapped.
@@ -112,8 +112,7 @@ impl PositionMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use oram_rng::StdRng;
 
     #[test]
     fn lazy_assignment_is_stable() {

@@ -29,8 +29,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use oram_rng::{Rng, StdRng};
 
 use crate::bucket::{BlockData, Bucket};
 use crate::config::RingConfig;
@@ -693,13 +692,10 @@ impl RingOram {
             let level = Level(lvl);
             let id = self.geometry.bucket_at(path, level);
             let off_chip = !self.is_cached_level(level);
-            let chosen =
-                self.stash
-                    .drain_for_bucket(&self.geometry, path, level, z as usize);
-            let sealed: Vec<_> = chosen
-                .into_iter()
-                .map(|(b, d)| (b, self.seal(d)))
-                .collect();
+            let chosen = self
+                .stash
+                .drain_for_bucket(&self.geometry, path, level, z as usize);
+            let sealed: Vec<_> = chosen.into_iter().map(|(b, d)| (b, self.seal(d))).collect();
             let cfg = self.cfg.clone();
             self.buckets
                 .get_mut(&id)

@@ -194,10 +194,9 @@ mod tests {
         s.insert(BlockId(1), PathId(0)); // 0b000
         s.insert(BlockId(2), PathId(1)); // 0b001
         s.insert(BlockId(3), PathId(7)); // 0b111
-        // Evicting along path 0; at leaf level only exact path matches.
-        let ids = |v: Vec<crate::bucket::BlockEntry>| {
-            v.into_iter().map(|(b, _)| b).collect::<Vec<_>>()
-        };
+                                         // Evicting along path 0; at leaf level only exact path matches.
+        let ids =
+            |v: Vec<crate::bucket::BlockEntry>| v.into_iter().map(|(b, _)| b).collect::<Vec<_>>();
         let leaf = s.drain_for_bucket(&g, PathId(0), Level(3), 4);
         assert_eq!(ids(leaf), vec![BlockId(1)]);
         // Level 2: paths 0 and 1 share two levels; block 2 qualifies.

@@ -1,0 +1,400 @@
+//! The Ring ORAM invariant auditor.
+//!
+//! [`OramAuditor`] replays the protocol's [`AccessPlan`] stream — the same
+//! artifact the memory hierarchy consumes — against the paper's structural
+//! invariants, independently of `ring-oram`'s internal bookkeeping:
+//!
+//! * every slot index stays inside the bucket's physical `Z + S - Y` slots
+//!   ([`Rule::SlotRange`]);
+//! * within one reshuffle epoch, no bucket slot is *read-path-read* twice —
+//!   this is Ring ORAM's core security invariant: a dummy (or real) slot
+//!   revisited between reshuffles correlates accesses ([`Rule::SlotReuse`]);
+//! * no bucket serves more than `S` read-path touches per epoch, because the
+//!   protocol must reshuffle at `S` accesses ([`Rule::BucketBudget`]);
+//! * evictions fire at exactly one per `A` read paths, counting the dummy
+//!   read paths of background eviction ([`Rule::EvictionCadence`]);
+//! * each plan's touch counts match its kind's canonical shape
+//!   ([`Rule::PlanShape`]);
+//! * stash occupancy, sampled after each completed access, stays within the
+//!   configured bound ([`Rule::StashBound`]).
+//!
+//! Reshuffle epochs are tracked from the plan stream itself: any *write*
+//! touch to a bucket (the write phase of an eviction or reshuffle rewrites
+//! all its slots) starts a fresh epoch for that bucket. The read phases of
+//! evictions and reshuffles are excluded from the reuse/budget checks —
+//! they legitimately re-read slots (and pad with filler indices) because
+//! the bucket is about to be rewritten anyway.
+
+use std::collections::{HashMap, HashSet};
+
+use ring_oram::types::BucketId;
+use ring_oram::{AccessPlan, OpKind, RingConfig};
+
+use crate::violation::{Rule, Violation};
+
+/// Replays an [`AccessPlan`] stream against the Ring ORAM invariants.
+///
+/// Feed every plan batch (one [`observe_access`](Self::observe_access) call
+/// per protocol access, in order) and the post-access stash occupancy via
+/// [`observe_stash`](Self::observe_stash); collect findings from
+/// [`violations`](Self::violations).
+#[derive(Debug, Clone)]
+pub struct OramAuditor {
+    config: RingConfig,
+    /// Read-path-touched slots per bucket since that bucket's last rewrite.
+    touched: HashMap<BucketId, HashSet<u32>>,
+    /// Read-path touch count per bucket in the current epoch (tracked
+    /// separately from the set so reuse doesn't mask a budget overrun).
+    touch_count: HashMap<BucketId, u32>,
+    accesses: u64,
+    paths: u64,
+    evictions: u64,
+    violations: Vec<Violation>,
+}
+
+impl OramAuditor {
+    /// Creates an auditor for a protocol instance with this configuration.
+    #[must_use]
+    pub fn new(config: RingConfig) -> Self {
+        Self {
+            config,
+            touched: HashMap::new(),
+            touch_count: HashMap::new(),
+            accesses: 0,
+            paths: 0,
+            evictions: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Violations found so far.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Takes the accumulated violations, keeping the epoch state.
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Whether no violation has been found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Protocol accesses audited so far.
+    #[must_use]
+    pub fn accesses_checked(&self) -> u64 {
+        self.accesses
+    }
+
+    fn violate(&mut self, rule: Rule, message: String) {
+        self.violations
+            .push(Violation::new(self.accesses, rule, message));
+    }
+
+    /// Number of tree levels whose buckets live off-chip (the tree top is
+    /// cached on-chip and never appears in plans).
+    fn off_chip_levels(&self) -> u64 {
+        u64::from(
+            self.config
+                .levels
+                .saturating_sub(self.config.tree_top_cached_levels),
+        )
+    }
+
+    /// Audits the full plan batch of one protocol access, in plan order.
+    pub fn observe_access(&mut self, plans: &[AccessPlan]) {
+        self.accesses += 1;
+        for plan in plans {
+            self.observe_plan(plan);
+        }
+        // Eviction cadence: after a complete batch, exactly one eviction
+        // per `A` read paths must have been emitted (background eviction
+        // tops the count up with dummy paths before evicting, so the
+        // invariant holds across all schemes).
+        let expected = self.paths / u64::from(self.config.a);
+        if self.evictions != expected {
+            self.violate(
+                Rule::EvictionCadence,
+                format!(
+                    "{} evictions after {} read paths (A = {}, expected {})",
+                    self.evictions, self.paths, self.config.a, expected
+                ),
+            );
+        }
+    }
+
+    fn observe_plan(&mut self, plan: &AccessPlan) {
+        let slots = self.config.bucket_slots();
+        // Slot-range check applies to every touch of every plan kind.
+        for touch in &plan.touches {
+            if touch.slot >= slots {
+                self.violate(
+                    Rule::SlotRange,
+                    format!(
+                        "{} touch of bucket {} addressed slot {} (bucket has {slots})",
+                        plan.kind.label(),
+                        touch.bucket.0,
+                        touch.slot
+                    ),
+                );
+            }
+        }
+        match plan.kind {
+            OpKind::ReadPath | OpKind::DummyReadPath => {
+                self.paths += 1;
+                self.check_path_shape(plan);
+                for touch in &plan.touches {
+                    if touch.write {
+                        continue; // shape check already flagged it
+                    }
+                    let count = {
+                        let c = self.touch_count.entry(touch.bucket).or_insert(0);
+                        *c += 1;
+                        *c
+                    };
+                    if count > self.config.s {
+                        self.violate(
+                            Rule::BucketBudget,
+                            format!(
+                                "bucket {} served {count} read-path touches in one epoch \
+                                 (S = {})",
+                                touch.bucket.0, self.config.s
+                            ),
+                        );
+                    }
+                    let reused = !self
+                        .touched
+                        .entry(touch.bucket)
+                        .or_default()
+                        .insert(touch.slot);
+                    if reused {
+                        self.violate(
+                            Rule::SlotReuse,
+                            format!(
+                                "bucket {} slot {} read twice between reshuffles",
+                                touch.bucket.0, touch.slot
+                            ),
+                        );
+                    }
+                }
+            }
+            OpKind::EarlyReshuffle => {
+                self.check_reshuffle_shape(plan, 1);
+                self.apply_rewrites(plan);
+            }
+            OpKind::Eviction => {
+                self.evictions += 1;
+                self.check_reshuffle_shape(plan, self.off_chip_levels());
+                self.apply_rewrites(plan);
+            }
+        }
+    }
+
+    /// A write touch rewrites (and re-permutes) its whole bucket: start a
+    /// fresh reuse epoch for it.
+    fn apply_rewrites(&mut self, plan: &AccessPlan) {
+        for touch in &plan.touches {
+            if touch.write {
+                self.touched.remove(&touch.bucket);
+                self.touch_count.remove(&touch.bucket);
+            }
+        }
+    }
+
+    /// A (dummy) read path reads exactly one slot per off-chip level and
+    /// writes nothing.
+    fn check_path_shape(&mut self, plan: &AccessPlan) {
+        let reads = plan.reads() as u64;
+        let writes = plan.writes() as u64;
+        let expect = self.off_chip_levels();
+        if reads != expect || writes != 0 {
+            self.violate(
+                Rule::PlanShape,
+                format!(
+                    "{} with {reads} reads / {writes} writes (expected {expect} / 0)",
+                    plan.kind.label()
+                ),
+            );
+        }
+    }
+
+    /// A reshuffle or eviction reads `Z` slots and rewrites all
+    /// `Z + S - Y` slots of each bucket it covers.
+    fn check_reshuffle_shape(&mut self, plan: &AccessPlan, buckets: u64) {
+        let reads = plan.reads() as u64;
+        let writes = plan.writes() as u64;
+        let expect_reads = buckets * u64::from(self.config.z);
+        let expect_writes = buckets * u64::from(self.config.bucket_slots());
+        if reads != expect_reads || writes != expect_writes {
+            self.violate(
+                Rule::PlanShape,
+                format!(
+                    "{} with {reads} reads / {writes} writes (expected {expect_reads} / \
+                     {expect_writes})",
+                    plan.kind.label()
+                ),
+            );
+        }
+    }
+
+    /// Records the stash occupancy sampled after an access completed.
+    pub fn observe_stash(&mut self, stash_len: usize) {
+        if stash_len > self.config.stash_capacity {
+            self.violate(
+                Rule::StashBound,
+                format!(
+                    "stash held {stash_len} blocks, bound {}",
+                    self.config.stash_capacity
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring_oram::{RingOram, SlotTouch};
+
+    fn small_cb() -> RingConfig {
+        RingConfig::test_small_cb()
+    }
+
+    fn read_path(config: &RingConfig, slot_of: impl Fn(u32) -> u32) -> AccessPlan {
+        let off_chip = config.levels - config.tree_top_cached_levels;
+        let touches = (0..off_chip)
+            .map(|level| SlotTouch::read(BucketId(u64::from(level)), slot_of(level)))
+            .collect();
+        AccessPlan::new(OpKind::ReadPath, touches, None)
+    }
+
+    /// The auditor must accept everything the real protocol emits.
+    #[test]
+    fn real_protocol_stream_is_clean() {
+        for (name, config) in [
+            ("plain", RingConfig::test_small()),
+            ("compact-bucket", small_cb()),
+        ] {
+            let mut oram = RingOram::new(config.clone(), 7);
+            let mut auditor = OramAuditor::new(config.clone());
+            let blocks = config.real_capacity_blocks() / 2;
+            let mut rng = oram_rng::StdRng::seed_from_u64(11);
+            use oram_rng::Rng;
+            for i in 0..600u64 {
+                let block = ring_oram::BlockId(rng.gen_range(0..blocks.max(1)));
+                let outcome = if i % 3 == 0 {
+                    let payload = vec![i as u8; config.block_bytes as usize];
+                    oram.write_block(block, &payload)
+                } else {
+                    oram.read_block(block).0
+                };
+                auditor.observe_access(&outcome.plans);
+                auditor.observe_stash(oram.stash_len());
+            }
+            assert!(
+                auditor.is_clean(),
+                "{name}: {:?}",
+                auditor.violations().first()
+            );
+            assert_eq!(auditor.accesses_checked(), 600);
+        }
+    }
+
+    #[test]
+    fn slot_out_of_range_detected() {
+        let config = small_cb();
+        let mut auditor = OramAuditor::new(config.clone());
+        let mut plan = read_path(&config, |_| 0);
+        plan.touches[0].slot = config.bucket_slots(); // one past the end
+        auditor.observe_access(&[plan]);
+        assert!(auditor
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::SlotRange));
+    }
+
+    #[test]
+    fn slot_reuse_across_accesses_detected() {
+        let config = small_cb();
+        let mut auditor = OramAuditor::new(config.clone());
+        let plan = read_path(&config, |_| 2);
+        // Same slots again without an intervening reshuffle: every bucket
+        // reuses its slot.
+        auditor.observe_access(std::slice::from_ref(&plan));
+        auditor.observe_access(std::slice::from_ref(&plan));
+        assert!(auditor
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::SlotReuse));
+    }
+
+    #[test]
+    fn rewrite_opens_a_fresh_epoch() {
+        let config = small_cb();
+        let mut auditor = OramAuditor::new(config.clone());
+        auditor.observe_access(&[read_path(&config, |_| 2)]);
+        // Reshuffle bucket 0: Z reads + all-slot writes.
+        let mut touches: Vec<SlotTouch> = (0..config.z)
+            .map(|slot| SlotTouch::read(BucketId(0), slot))
+            .collect();
+        touches.extend((0..config.bucket_slots()).map(|slot| SlotTouch::write(BucketId(0), slot)));
+        let shuffle = AccessPlan::new(OpKind::EarlyReshuffle, touches, None);
+        auditor.observe_access(&[shuffle]);
+        // Re-reading bucket 0 slot 2 is now legal; the other buckets get a
+        // fresh slot so only the reshuffle's effect is probed.
+        let again = read_path(&config, |level| if level == 0 { 2 } else { 3 });
+        auditor.observe_access(&[again]);
+        assert!(auditor.is_clean(), "{:?}", auditor.violations().first());
+    }
+
+    #[test]
+    fn eviction_cadence_violation_detected() {
+        let config = small_cb();
+        let mut auditor = OramAuditor::new(config.clone());
+        // Feed A complete accesses with no eviction: the A-th batch must
+        // trip the cadence check.
+        for i in 0..config.a {
+            auditor.observe_access(&[read_path(&config, |_| i % config.s)]);
+        }
+        assert!(
+            auditor
+                .violations()
+                .iter()
+                .any(|v| v.rule == Rule::EvictionCadence),
+            "{:?}",
+            auditor.violations()
+        );
+    }
+
+    #[test]
+    fn stash_bound_detected() {
+        let config = small_cb();
+        let mut auditor = OramAuditor::new(config.clone());
+        auditor.observe_stash(config.stash_capacity); // at bound: fine
+        assert!(auditor.is_clean());
+        auditor.observe_stash(config.stash_capacity + 1);
+        assert_eq!(auditor.violations().len(), 1);
+        assert_eq!(auditor.violations()[0].rule, Rule::StashBound);
+    }
+
+    #[test]
+    fn malformed_plan_shape_detected() {
+        let config = small_cb();
+        let mut auditor = OramAuditor::new(config);
+        // A read path that writes is structurally wrong.
+        let plan = AccessPlan::new(
+            OpKind::ReadPath,
+            vec![SlotTouch::write(BucketId(0), 0)],
+            None,
+        );
+        auditor.observe_access(&[plan]);
+        assert!(auditor
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::PlanShape));
+    }
+}

@@ -1,0 +1,41 @@
+//! # sim-verify — independent conformance checking for the simulator
+//!
+//! The timing layers (`dram-sim`, `mem-sched`) and the protocol layer
+//! (`ring-oram`) each enforce their own rules, but a bug in an enforcement
+//! point silently corrupts every result built on top of it. This crate
+//! re-validates both from the *outside*, using only observable artifacts:
+//!
+//! * [`ShadowTimingChecker`] — a from-scratch re-derivation of the JEDEC
+//!   constraints (tRCD, tRP, tRAS, tRC, tCCD, tRRD, tFAW, tWTR, tWR, tRTP,
+//!   tRFC/tREFI, command/data bus arbitration) applied to the controller's
+//!   command trace after the fact. It shares no state with `dram-sim`'s
+//!   bank/rank/channel machines; agreement between the two is the evidence.
+//! * [`OramAuditor`] — replays the protocol's [`ring_oram::AccessPlan`]
+//!   stream against the Ring ORAM invariants: stash occupancy stays below
+//!   its bound, slot indices stay inside the Compact Bucket's `Z + S - Y`
+//!   physical slots, no bucket slot is read twice between reshuffles, no
+//!   bucket is touched more than `S` times per epoch, and evictions fire at
+//!   exactly one per `A` read paths.
+//! * [`oracle`] — differential-run primitives: extracting the data-command
+//!   (RD/WR) sequence from a trace, checking the transaction-order security
+//!   contract, and locating the first divergence between two runs.
+//!
+//! Everything here is passive and deterministic: checkers consume event
+//! streams, never influence scheduling, and report [`Violation`]s that the
+//! embedding layer (tests, `string-oram`'s `VerifyConfig`) surfaces or
+//! panics on.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod audit;
+pub mod oracle;
+pub mod shadow;
+pub mod violation;
+
+pub use audit::OramAuditor;
+pub use oracle::{
+    check_txn_order, data_commands, first_divergence, grouped_by_txn, DataCmd, TxnOrderChecker,
+};
+pub use shadow::ShadowTimingChecker;
+pub use violation::{Rule, Violation};

@@ -1,0 +1,172 @@
+//! Violation records shared by every checker in the crate.
+
+/// The specific rule a checker found violated.
+///
+/// Timing rules carry the JEDEC name they re-derive; protocol rules carry
+/// the Ring ORAM invariant; `TxnOrder` is the paper's security contract
+/// (data commands in transaction order); `Divergence` marks a differential
+/// mismatch between two runs that must agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Rule {
+    /// Two commands on one channel's command bus in the same cycle.
+    CmdBus,
+    /// Data bursts overlap on a channel (or miss the read/write turnaround).
+    DataBus,
+    /// Structural bank-state error: ACT on an open bank, PRE or column
+    /// command on a closed bank, or a column command to the wrong row.
+    BankState,
+    /// ACT sooner than tRCD before a column command.
+    Trcd,
+    /// ACT sooner than tRP after a PRE.
+    Trp,
+    /// PRE sooner than tRAS after the bank's ACT.
+    Tras,
+    /// ACT sooner than tRC after the bank's previous ACT.
+    Trc,
+    /// Column command sooner than tCCD (or same-group tCCD_L) after the
+    /// previous column command.
+    Tccd,
+    /// ACT sooner than tRRD (or same-group tRRD_L) after the rank's
+    /// previous ACT.
+    Trrd,
+    /// A fifth ACT inside one tFAW rolling window.
+    Tfaw,
+    /// RD sooner than tWTR after the end of a write burst on the rank.
+    Twtr,
+    /// PRE sooner than tWR after the end of the bank's write burst.
+    Twr,
+    /// PRE sooner than tRTP after the bank's RD.
+    Trtp,
+    /// Command issued while the rank was refreshing (inside tRFC).
+    Refresh,
+    /// Command coordinates outside the configured geometry.
+    OutOfRange,
+    /// Data command (RD/WR) issued out of ORAM transaction order — the
+    /// security contract both schedulers must uphold.
+    TxnOrder,
+    /// Stash occupancy observed above its configured bound after an access
+    /// completed (background eviction failed to drain it).
+    StashBound,
+    /// A slot touch addressed a slot index at or beyond `Z + S - Y`.
+    SlotRange,
+    /// A bucket slot was read twice by read paths within one reshuffle
+    /// epoch (dummies and reals alike must be touched at most once).
+    SlotReuse,
+    /// A bucket served more than `S` read-path touches in one epoch.
+    BucketBudget,
+    /// Evictions did not fire at exactly one per `A` read paths.
+    EvictionCadence,
+    /// A plan's read/write touch counts do not match its kind's shape.
+    PlanShape,
+    /// Two runs that must agree (differential oracle) diverged.
+    Divergence,
+}
+
+impl std::fmt::Display for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Self::CmdBus => "cmd-bus",
+            Self::DataBus => "data-bus",
+            Self::BankState => "bank-state",
+            Self::Trcd => "tRCD",
+            Self::Trp => "tRP",
+            Self::Tras => "tRAS",
+            Self::Trc => "tRC",
+            Self::Tccd => "tCCD",
+            Self::Trrd => "tRRD",
+            Self::Tfaw => "tFAW",
+            Self::Twtr => "tWTR",
+            Self::Twr => "tWR",
+            Self::Trtp => "tRTP",
+            Self::Refresh => "refresh",
+            Self::OutOfRange => "out-of-range",
+            Self::TxnOrder => "txn-order",
+            Self::StashBound => "stash-bound",
+            Self::SlotRange => "slot-range",
+            Self::SlotReuse => "slot-reuse",
+            Self::BucketBudget => "bucket-budget",
+            Self::EvictionCadence => "eviction-cadence",
+            Self::PlanShape => "plan-shape",
+            Self::Divergence => "divergence",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One conformance violation: which rule broke, when, and a human-readable
+/// account of the evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Bus cycle (timing checks) or access index (protocol checks) at which
+    /// the violation was observed.
+    pub cycle: u64,
+    /// The rule that was broken.
+    pub rule: Rule,
+    /// Evidence: the command or touch involved and the bound it missed.
+    pub message: String,
+}
+
+impl Violation {
+    /// Creates a violation record.
+    #[must_use]
+    pub fn new(cycle: u64, rule: Rule, message: impl Into<String>) -> Self {
+        Self {
+            cycle,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] at {}: {}", self.rule, self.cycle, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_rule_and_cycle() {
+        let v = Violation::new(42, Rule::Trcd, "RD 3 cycles after ACT");
+        let s = v.to_string();
+        assert!(s.contains("tRCD"));
+        assert!(s.contains("42"));
+        assert!(s.contains("after ACT"));
+    }
+
+    #[test]
+    fn rule_names_are_distinct() {
+        let rules = [
+            Rule::CmdBus,
+            Rule::DataBus,
+            Rule::BankState,
+            Rule::Trcd,
+            Rule::Trp,
+            Rule::Tras,
+            Rule::Trc,
+            Rule::Tccd,
+            Rule::Trrd,
+            Rule::Tfaw,
+            Rule::Twtr,
+            Rule::Twr,
+            Rule::Trtp,
+            Rule::Refresh,
+            Rule::OutOfRange,
+            Rule::TxnOrder,
+            Rule::StashBound,
+            Rule::SlotRange,
+            Rule::SlotReuse,
+            Rule::BucketBudget,
+            Rule::EvictionCadence,
+            Rule::PlanShape,
+            Rule::Divergence,
+        ];
+        let names: std::collections::HashSet<String> =
+            rules.iter().map(ToString::to_string).collect();
+        assert_eq!(names.len(), rules.len());
+    }
+}

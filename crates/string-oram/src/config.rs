@@ -118,6 +118,50 @@ pub struct SystemConfig {
     pub recursion: Option<RecursionSettings>,
     /// Physical address mapping (paper default: channel-striped).
     pub mapping: MappingKind,
+    /// Passive conformance checking (off for measurement, on in tests).
+    pub verify: VerifyConfig,
+}
+
+/// Configuration of the passive conformance layer (the `sim-verify` crate).
+///
+/// When enabled, the simulation records the controller's command trace and
+/// the protocol's plan stream and re-validates both against independently
+/// reimplemented rules: JEDEC timing plus the transaction-order security
+/// contract ([`Self::shadow_timing`]) and the Ring ORAM structural
+/// invariants ([`Self::oram_audit`]). Findings surface in
+/// `SimReport::violations`; with [`Self::fail_fast`] the simulation panics
+/// at the first finding instead (for `#[should_panic]` negative tests).
+///
+/// Everything is off by default so measurement runs pay no tracing cost;
+/// the `test_small` preset turns the checkers on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerifyConfig {
+    /// Re-check every issued DRAM command against the JEDEC timing rules
+    /// and the transaction-order contract.
+    pub shadow_timing: bool,
+    /// Replay every access plan against the Ring ORAM invariants.
+    pub oram_audit: bool,
+    /// Panic on the first violation instead of accumulating into the
+    /// report.
+    pub fail_fast: bool,
+}
+
+impl VerifyConfig {
+    /// All checkers off (the measurement default).
+    #[must_use]
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// All checkers on, accumulating violations into the report.
+    #[must_use]
+    pub fn checked() -> Self {
+        Self {
+            shadow_timing: true,
+            oram_audit: true,
+            fail_fast: false,
+        }
+    }
 }
 
 /// Parameters of the recursive position-map extension (see
@@ -154,6 +198,7 @@ impl SystemConfig {
                 page_policy: PagePolicy::Open,
                 recursion: None,
                 mapping: MappingKind::PaperStriped,
+                verify: VerifyConfig::off(),
             },
             scheme,
         )
@@ -188,6 +233,7 @@ impl SystemConfig {
                 page_policy: PagePolicy::Open,
                 recursion: None,
                 mapping: MappingKind::PaperStriped,
+                verify: VerifyConfig::checked(),
             },
             scheme,
         )

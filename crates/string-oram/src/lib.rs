@@ -41,7 +41,7 @@ pub mod report;
 pub mod space;
 pub mod system;
 
-pub use config::{LayoutKind, MappingKind, RecursionSettings, Scheme, SystemConfig};
+pub use config::{LayoutKind, MappingKind, RecursionSettings, Scheme, SystemConfig, VerifyConfig};
 pub use cpu::{Core, CoreRequest, CoreState};
 pub use report::{KindCycles, RowClassCounts, SimReport};
 pub use space::{fig4_rows, table5_rows, SpaceRow};

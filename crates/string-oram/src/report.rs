@@ -168,6 +168,10 @@ pub struct SimReport {
     pub channel_imbalance: f64,
     /// Program read-path latency percentiles (plan to data availability).
     pub read_latency: LatencyPercentiles,
+    /// Conformance violations found by the `sim-verify` checkers, rendered
+    /// as `"[rule] at cycle: evidence"` lines. Empty when `cfg.verify` is
+    /// off — or when the simulated machine honored every checked rule.
+    pub violations: Vec<String>,
 }
 
 impl SimReport {

@@ -158,7 +158,10 @@ mod tests {
     fn table5_matches_paper_values() {
         // Paper Table V: total 20/18/16/14/12 GB; dummy % 60/55.6/50/42.9/33.3.
         let rows = table5_rows();
-        let totals: Vec<u64> = rows.iter().map(|r| (r.total_gib()).round() as u64).collect();
+        let totals: Vec<u64> = rows
+            .iter()
+            .map(|r| (r.total_gib()).round() as u64)
+            .collect();
         assert_eq!(totals, vec![20, 18, 16, 14, 12]);
         let expect = [0.60, 0.556, 0.50, 0.429, 0.333];
         for (r, e) in rows.iter().zip(expect) {

@@ -141,6 +141,14 @@ pub struct Simulation {
     /// Snapshot delimiting the measurement window, if one was begun.
     measurement_start: Option<MeasurementStart>,
     label: String,
+    /// Shadow JEDEC timing checker (per `cfg.verify.shadow_timing`).
+    shadow: Option<sim_verify::ShadowTimingChecker>,
+    /// Streaming transaction-order contract checker (with the shadow).
+    txn_order: Option<sim_verify::TxnOrderChecker>,
+    /// Ring ORAM invariant auditor (per `cfg.verify.oram_audit`).
+    auditor: Option<sim_verify::OramAuditor>,
+    /// Conformance violations accumulated so far (see `cfg.verify`).
+    violations: Vec<sim_verify::Violation>,
 }
 
 impl Simulation {
@@ -153,11 +161,7 @@ impl Simulation {
     #[must_use]
     pub fn new(cfg: SystemConfig, traces: Vec<Vec<TraceRecord>>) -> Self {
         cfg.validate().expect("invalid SystemConfig");
-        assert_eq!(
-            traces.len(),
-            cfg.cores,
-            "need exactly one trace per core"
-        );
+        assert_eq!(traces.len(), cfg.cores, "need exactly one trace per core");
         let cores: Vec<Core> = traces
             .into_iter()
             .enumerate()
@@ -193,13 +197,15 @@ impl Simulation {
                 let mut regions: Vec<(Box<dyn TreeLayout>, u64)> = Vec::new();
                 let align = cfg.row_set_bytes();
                 let mut base = 0u64;
-                let push = |ring: &ring_oram::RingConfig, base: &mut u64,
-                                regions: &mut Vec<(Box<dyn TreeLayout>, u64)>| {
-                    let l = mk_layout(ring);
-                    let total = l.total_bytes().div_ceil(align) * align;
-                    regions.push((l, *base));
-                    *base += total;
-                };
+                let push =
+                    |ring: &ring_oram::RingConfig,
+                     base: &mut u64,
+                     regions: &mut Vec<(Box<dyn TreeLayout>, u64)>| {
+                        let l = mk_layout(ring);
+                        let total = l.total_bytes().div_ceil(align) * align;
+                        regions.push((l, *base));
+                        *base += total;
+                    };
                 push(&cfg.ring, &mut base, &mut regions);
                 for i in 0..rec_cfg.map_levels() {
                     push(&rec_cfg.map_config(i), &mut base, &mut regions);
@@ -212,16 +218,28 @@ impl Simulation {
             }
         };
         let mapping = match cfg.mapping {
-            crate::config::MappingKind::PaperStriped => {
-                AddressMapping::hpca_default(&cfg.geometry)
-            }
-            crate::config::MappingKind::Sequential => {
-                AddressMapping::sequential(&cfg.geometry)
-            }
+            crate::config::MappingKind::PaperStriped => AddressMapping::hpca_default(&cfg.geometry),
+            crate::config::MappingKind::Sequential => AddressMapping::sequential(&cfg.geometry),
         };
         let dram = DramModule::new(cfg.geometry.clone(), cfg.timing.clone());
         let mut memctrl = MemoryController::new(dram, mapping, cfg.policy, cfg.queue_capacity);
         memctrl.set_page_policy(cfg.page_policy);
+        let (shadow, txn_order) = if cfg.verify.shadow_timing {
+            memctrl.enable_command_trace();
+            (
+                Some(sim_verify::ShadowTimingChecker::new(
+                    cfg.geometry.clone(),
+                    cfg.timing.clone(),
+                )),
+                Some(sim_verify::TxnOrderChecker::new()),
+            )
+        } else {
+            (None, None)
+        };
+        let auditor = cfg
+            .verify
+            .oram_audit
+            .then(|| sim_verify::OramAuditor::new(cfg.ring.clone()));
         let n = cfg.cores;
         Self {
             cfg,
@@ -241,6 +259,10 @@ impl Simulation {
             read_latencies: Vec::new(),
             measurement_start: None,
             label: String::new(),
+            shadow,
+            txn_order,
+            auditor,
+            violations: Vec::new(),
         }
     }
 
@@ -346,6 +368,20 @@ impl Simulation {
         // 5. Schedule DRAM commands.
         self.memctrl.tick(cycle);
 
+        // 5b. Conformance: re-validate what just issued against the shadow
+        // JEDEC rules and the transaction-order contract.
+        if self.shadow.is_some() {
+            for ev in self.memctrl.take_command_events() {
+                if let Some(shadow) = &mut self.shadow {
+                    shadow.observe(ev.cycle, ev.cmd);
+                }
+                if let Some(order) = &mut self.txn_order {
+                    order.observe(&ev);
+                }
+            }
+            self.collect_violations();
+        }
+
         // 6. Retire completed requests.
         for done in self.memctrl.drain_completed() {
             let Some(t) = self.txns.get_mut(&done.txn.0) else {
@@ -390,8 +426,11 @@ impl Simulation {
         match &mut self.engine {
             Engine::Flat { oram, .. } => {
                 let outcome = oram.access(BlockId(req.block));
-                let served_from_tree =
-                    matches!(outcome.source, ring_oram::TargetSource::Tree(_));
+                let served_from_tree = matches!(outcome.source, ring_oram::TargetSource::Tree(_));
+                if let Some(auditor) = &mut self.auditor {
+                    auditor.observe_access(&outcome.plans);
+                    auditor.observe_stash(oram.stash_len());
+                }
                 let plans = outcome.plans;
                 for plan in plans {
                     self.push_plan(plan, 0, Some((req.core, served_from_tree)));
@@ -399,32 +438,66 @@ impl Simulation {
             }
             Engine::Recursive { stack, .. } => {
                 let steps = stack.access(BlockId(req.block));
+                let stash_len = stack.oram(0).stash_len();
                 for step in steps {
                     let waiting = if step.oram_index == 0 {
-                        let from_tree = matches!(
-                            step.outcome.source,
-                            ring_oram::TargetSource::Tree(_)
-                        );
+                        let from_tree =
+                            matches!(step.outcome.source, ring_oram::TargetSource::Tree(_));
                         Some((req.core, from_tree))
                     } else {
                         None
                     };
+                    // Only the data ORAM (index 0) is audited; the map
+                    // ORAMs run the same protocol with their own configs.
+                    if step.oram_index == 0 {
+                        if let Some(auditor) = &mut self.auditor {
+                            auditor.observe_access(&step.outcome.plans);
+                        }
+                    }
                     for plan in step.outcome.plans {
                         self.push_plan(plan, step.oram_index, waiting);
                     }
                 }
+                if let Some(auditor) = &mut self.auditor {
+                    auditor.observe_stash(stash_len);
+                }
             }
         }
+        self.collect_violations();
+    }
+
+    /// Moves any fresh checker findings into the violation log; with
+    /// `fail_fast` the first finding panics instead (the negative-test
+    /// hook: an injected scheduler or protocol bug must abort the run).
+    fn collect_violations(&mut self) {
+        let mut fresh = Vec::new();
+        if let Some(shadow) = &mut self.shadow {
+            fresh.extend(shadow.take_violations());
+        }
+        if let Some(order) = &mut self.txn_order {
+            fresh.extend(order.take_violations());
+        }
+        if let Some(auditor) = &mut self.auditor {
+            fresh.extend(auditor.take_violations());
+        }
+        if self.cfg.verify.fail_fast {
+            if let Some(v) = fresh.first() {
+                panic!("conformance violation: {v}");
+            }
+        }
+        self.violations.extend(fresh);
+    }
+
+    /// Conformance violations found so far (empty when checking is off —
+    /// or when the simulated machine is behaving).
+    #[must_use]
+    pub fn violations(&self) -> &[sim_verify::Violation] {
+        &self.violations
     }
 
     /// Registers one transaction: assigns an id, converts slot touches to
     /// physical requests in the right memory region and records who waits.
-    fn push_plan(
-        &mut self,
-        plan: AccessPlan,
-        oram_index: usize,
-        waiting: Option<(usize, bool)>,
-    ) {
+    fn push_plan(&mut self, plan: AccessPlan, oram_index: usize, waiting: Option<(usize, bool)>) {
         let txn = TxnId(self.next_txn);
         self.next_txn += 1;
         *self
@@ -444,14 +517,11 @@ impl Simulation {
         if is_program_read {
             let (core, served_from_tree) = waiting.expect("checked");
             state.waiting_core = Some(core);
-            state.release_on_completion =
-                !(served_from_tree && plan.target_index.is_some());
+            state.release_on_completion = !(served_from_tree && plan.target_index.is_some());
         }
         for (i, touch) in plan.touches.iter().enumerate() {
             let addr = match &self.engine {
-                Engine::Flat { layout, .. } => {
-                    PhysAddr(layout.addr_of(touch.bucket, touch.slot))
-                }
+                Engine::Flat { layout, .. } => PhysAddr(layout.addr_of(touch.bucket, touch.slot)),
                 Engine::Recursive { regions, .. } => {
                     let (layout, base) = &regions[oram_index];
                     PhysAddr(base + layout.addr_of(touch.bucket, touch.slot))
@@ -534,8 +604,7 @@ impl Simulation {
         let mut cycles_by_kind = self.cycles_by_kind;
         let mut transactions_by_kind = self.transactions_by_kind.clone();
         let mut row_class_by_kind = self.row_class_by_kind.clone();
-        let mut instructions: u64 =
-            self.cores.iter().map(Core::instructions_retired).sum();
+        let mut instructions: u64 = self.cores.iter().map(Core::instructions_retired).sum();
         let mut oram_accesses = self.oram_accesses;
         let mut latencies: &[u64] = &self.read_latencies;
         let bank_idle = match start {
@@ -594,6 +663,7 @@ impl Simulation {
             requests_completed: sched.reads_completed + sched.writes_completed,
             channel_imbalance: sched.channel_imbalance(),
             read_latency: crate::report::LatencyPercentiles::from_samples(latencies),
+            violations: self.violations.iter().map(ToString::to_string).collect(),
             energy: dram_sim::power::energy(
                 &dram_sim::power::PowerParams::ddr3_1600(),
                 dram.timing(),
@@ -616,10 +686,7 @@ mod tests {
 
     fn traces(cfg: &SystemConfig, n: usize, workload: &str) -> Vec<Vec<TraceRecord>> {
         (0..cfg.cores)
-            .map(|c| {
-                TraceGenerator::new(by_name(workload).unwrap(), 11, c as u32)
-                    .take_records(n)
-            })
+            .map(|c| TraceGenerator::new(by_name(workload).unwrap(), 11, c as u32).take_records(n))
             .collect()
     }
 
@@ -714,7 +781,11 @@ mod tests {
         let base = run(Scheme::Baseline, 100);
         let pb = run(Scheme::Pb, 100);
         for kind in ["read", "evict"] {
-            let b = base.row_class_by_kind.get(kind).copied().unwrap_or_default();
+            let b = base
+                .row_class_by_kind
+                .get(kind)
+                .copied()
+                .unwrap_or_default();
             let p = pb.row_class_by_kind.get(kind).copied().unwrap_or_default();
             assert_eq!(b.total(), p.total(), "{kind}: request counts differ");
         }

@@ -1,7 +1,6 @@
 //! Deterministic synthetic trace generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use oram_rng::{Rng, StdRng};
 
 use crate::record::TraceRecord;
 use crate::workloads::WorkloadSpec;

@@ -74,7 +74,11 @@ pub fn summarize<'a, I: IntoIterator<Item = &'a TraceRecord>>(records: I) -> Tra
     TraceSummary {
         ops,
         instructions,
-        write_fraction: if ops == 0 { 0.0 } else { writes as f64 / ops as f64 },
+        write_fraction: if ops == 0 {
+            0.0
+        } else {
+            writes as f64 / ops as f64
+        },
         mpki: if instructions == 0 {
             0.0
         } else {

@@ -3,7 +3,7 @@
 //! Hot-set reuse in real workloads is heavy-tailed; a Zipf(θ) rank
 //! distribution over the working set is the standard synthetic stand-in.
 
-use rand::Rng;
+use oram_rng::Rng;
 
 /// A Zipf sampler over ranks `0..n` with exponent `theta`.
 ///
@@ -14,10 +14,10 @@ use rand::Rng;
 ///
 /// ```
 /// use trace_synth::zipf::Zipf;
-/// use rand::SeedableRng;
+/// use oram_rng::StdRng;
 ///
 /// let z = Zipf::new(1000, 0.99);
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = StdRng::seed_from_u64(7);
 /// let rank = z.sample(&mut rng);
 /// assert!(rank < 1000);
 /// ```
@@ -70,8 +70,7 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use oram_rng::StdRng;
 
     #[test]
     fn samples_in_range() {

@@ -1,16 +1,24 @@
-//! Property-based tests for trace generation and the USIMM format.
+//! Property-style tests for trace generation and the USIMM format, driven
+//! by the in-repo deterministic PRNG so the suite runs identically offline.
 
-use proptest::prelude::*;
+use oram_rng::{Rng, StdRng};
 
 use trace_synth::generator::LocalityModel;
 use trace_synth::{summarize, usimm, TraceGenerator, TraceRecord, WorkloadSpec};
 
-fn records() -> impl Strategy<Value = Vec<TraceRecord>> {
-    proptest::collection::vec(
-        (0u32..100_000, 0u64..(1 << 38), any::<bool>())
-            .prop_map(|(gap, block, w)| TraceRecord::new(gap, block, w)),
-        0..200,
-    )
+const CASES: u64 = 48;
+
+fn records(rng: &mut StdRng) -> Vec<TraceRecord> {
+    let n = rng.gen_range(0usize..200);
+    (0..n)
+        .map(|_| {
+            TraceRecord::new(
+                rng.gen_range(0u32..100_000),
+                rng.gen_range(0u64..(1 << 38)),
+                rng.gen::<bool>(),
+            )
+        })
+        .collect()
 }
 
 fn spec(mpki: f64, wf: f64, locality: LocalityModel) -> WorkloadSpec {
@@ -23,51 +31,64 @@ fn spec(mpki: f64, wf: f64, locality: LocalityModel) -> WorkloadSpec {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// USIMM emit/parse is the identity on arbitrary records.
-    #[test]
-    fn usimm_roundtrip(recs in records()) {
+/// USIMM emit/parse is the identity on arbitrary records.
+#[test]
+fn usimm_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let recs = records(&mut rng);
         let mut buf = Vec::new();
         usimm::emit(&recs, &mut buf).expect("emit infallible to Vec");
         let parsed = usimm::parse(buf.as_slice()).expect("own output parses");
-        prop_assert_eq!(parsed, recs);
+        assert_eq!(parsed, recs);
     }
+}
 
-    /// Generated MPKI converges to the requested value for any target in a
-    /// sane range, regardless of locality model.
-    #[test]
-    fn mpki_is_locality_independent(
-        mpki in 1.0f64..100.0,
-        model_sel in 0u8..3,
-    ) {
-        let locality = match model_sel {
+/// Generated MPKI converges to the requested value for any target in a
+/// sane range, regardless of locality model.
+#[test]
+fn mpki_is_locality_independent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0x44);
+        let mpki = 1.0 + 99.0 * rng.gen::<f64>();
+        let locality = match rng.gen_range(0u8..3) {
             0 => LocalityModel::Streaming { streams: 2 },
-            1 => LocalityModel::WorkingSet { blocks: 4096, theta: 0.8 },
+            1 => LocalityModel::WorkingSet {
+                blocks: 4096,
+                theta: 0.8,
+            },
             _ => LocalityModel::UniformRandom { blocks: 1 << 16 },
         };
         let mut g = TraceGenerator::new(spec(mpki, 0.3, locality), 7, 0);
         let s = summarize(&g.take_records(8000));
         let rel = (s.mpki - mpki).abs() / mpki;
-        prop_assert!(rel < 0.12, "mpki {} vs target {}", s.mpki, mpki);
+        assert!(rel < 0.12, "mpki {} vs target {}", s.mpki, mpki);
     }
+}
 
-    /// Write fraction converges for any target.
-    #[test]
-    fn write_fraction_converges(wf in 0.0f64..=1.0) {
+/// Write fraction converges for any target.
+#[test]
+fn write_fraction_converges() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0x55);
+        let wf = rng.gen::<f64>();
         let mut g = TraceGenerator::new(
             spec(10.0, wf, LocalityModel::UniformRandom { blocks: 1024 }),
             3,
             0,
         );
         let s = summarize(&g.take_records(6000));
-        prop_assert!((s.write_fraction - wf).abs() < 0.05);
+        assert!((s.write_fraction - wf).abs() < 0.05);
     }
+}
 
-    /// Working-set traces never escape their declared footprint.
-    #[test]
-    fn working_set_is_respected(blocks in 16u64..4096, theta in 0.0f64..1.2) {
+/// Working-set traces never escape their declared footprint.
+#[test]
+fn working_set_is_respected() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0x66);
+        let blocks = rng.gen_range(16u64..4096);
+        let theta = 1.2 * rng.gen::<f64>();
         let mut g = TraceGenerator::new(
             spec(10.0, 0.2, LocalityModel::WorkingSet { blocks, theta }),
             11,
@@ -75,19 +96,31 @@ proptest! {
         );
         let base = 2 * TraceGenerator::CORE_STRIDE;
         for r in g.take_records(2000) {
-            prop_assert!(r.op.block >= base);
-            prop_assert!(r.op.block < base + blocks);
+            assert!(r.op.block >= base);
+            assert!(r.op.block < base + blocks);
         }
     }
+}
 
-    /// Determinism: same (spec, seed, core) always yields the same trace.
-    #[test]
-    fn generation_is_deterministic(seed in any::<u64>(), core in 0u32..8) {
-        let s = spec(5.0, 0.4, LocalityModel::Mixed {
-            blocks: 512, theta: 0.7, stream_fraction: 0.5, streams: 2,
-        });
+/// Determinism: same (spec, seed, core) always yields the same trace.
+#[test]
+fn generation_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0x77);
+        let seed = rng.gen::<u64>();
+        let core = rng.gen_range(0u32..8);
+        let s = spec(
+            5.0,
+            0.4,
+            LocalityModel::Mixed {
+                blocks: 512,
+                theta: 0.7,
+                stream_fraction: 0.5,
+                streams: 2,
+            },
+        );
         let a = TraceGenerator::new(s.clone(), seed, core).take_records(64);
         let b = TraceGenerator::new(s, seed, core).take_records(64);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

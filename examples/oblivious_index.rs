@@ -48,16 +48,19 @@ fn main() {
 
     println!("50 hot-key lookups:   {hot_cost} ORAM read paths");
     println!("50 scattered lookups: {scan_cost} ORAM read paths (incl. misses)");
-    assert_eq!(hot_cost, scan_cost, "per-query cost must be key-independent");
+    assert_eq!(
+        hot_cost, scan_cost,
+        "per-query cost must be key-independent"
+    );
 
     // Price one lookup with the paper's memory system: each ORAM access is
     // a read path of (levels - cached) blocks plus amortized evictions.
     let oram = RingOram::new(cfg.clone(), 1);
     let off_chip = cfg.levels - cfg.tree_top_cached_levels;
     let per_read = off_chip;
-    let evict_amortized =
-        (u64::from(cfg.z) + u64::from(cfg.bucket_slots())) * u64::from(cfg.levels)
-            / u64::from(cfg.a);
+    let evict_amortized = (u64::from(cfg.z) + u64::from(cfg.bucket_slots()))
+        * u64::from(cfg.levels)
+        / u64::from(cfg.a);
     drop(oram);
     println!(
         "\nCost model: one map lookup = {} ORAM accesses x ({per_read} read-path \

@@ -23,8 +23,7 @@ fn main() {
         let cfg = SystemConfig::hpca_default(scheme);
         let traces = (0..cfg.cores)
             .map(|c| {
-                TraceGenerator::new(workload.clone(), 42, c as u32)
-                    .take_records(accesses_per_core)
+                TraceGenerator::new(workload.clone(), 42, c as u32).take_records(accesses_per_core)
             })
             .collect();
         let mut sim = Simulation::new(cfg, traces);
@@ -43,8 +42,14 @@ fn main() {
         );
         println!(
             "  read-path row-buffer conflict rate: {:.1}%  (eviction: {:.1}%)",
-            report.row_class(ring_oram::OpKind::ReadPath).conflict_rate() * 100.0,
-            report.row_class(ring_oram::OpKind::Eviction).conflict_rate() * 100.0,
+            report
+                .row_class(ring_oram::OpKind::ReadPath)
+                .conflict_rate()
+                * 100.0,
+            report
+                .row_class(ring_oram::OpKind::Eviction)
+                .conflict_rate()
+                * 100.0,
         );
         println!(
             "  bank idle: {:.1}%   mean read-queue wait: {:.0} cycles",

@@ -100,10 +100,7 @@ fn main() {
 
     println!("\nObservable memory-side profile (what an attacker on the bus sees):");
     println!("{:<28} {:>12} {:>12}", "", "hot-key GETs", "uniform scan");
-    println!(
-        "{:<28} {:>12} {:>12}",
-        "logical queries", hot_ops, scan_ops
-    );
+    println!("{:<28} {:>12} {:>12}", "logical queries", hot_ops, scan_ops);
     println!(
         "{:<28} {:>12} {:>12}",
         "read-path transactions", hot_reads, scan_reads

@@ -1,70 +1,83 @@
-//! Property-based tests of the E/D-logic cipher emulation.
+//! Property-style tests of the E/D-logic cipher emulation, driven by the
+//! in-repo deterministic PRNG so the suite runs fully offline.
 
-use proptest::prelude::*;
-
+use oram_rng::{Rng, StdRng};
 use ring_oram::crypto::BlockCipher;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// seal/open is the identity for any key, nonce and payload.
-    #[test]
-    fn seal_open_roundtrip(
-        key in any::<u64>(),
-        nonce in any::<u64>(),
-        data in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
+fn random_bytes(rng: &mut StdRng, lo: usize, hi: usize) -> Vec<u8> {
+    let len = rng.gen_range(lo..hi);
+    (0..len).map(|_| rng.gen::<u8>()).collect()
+}
+
+/// seal/open is the identity for any key, nonce and payload.
+#[test]
+fn seal_open_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let key = rng.gen::<u64>();
+        let nonce = rng.gen::<u64>();
+        let data = random_bytes(&mut rng, 0, 256);
         let c = BlockCipher::new(key);
         let sealed = c.seal(nonce, &data);
-        prop_assert_eq!(sealed.len(), data.len() + BlockCipher::NONCE_BYTES);
-        prop_assert_eq!(c.open(&sealed).expect("well formed"), data);
+        assert_eq!(sealed.len(), data.len() + BlockCipher::NONCE_BYTES);
+        assert_eq!(c.open(&sealed).expect("well formed"), data);
     }
+}
 
-    /// Nonempty payloads never appear in the clear inside the ciphertext
-    /// body (probabilistic, but a failure would mean a keystream of zeros).
-    #[test]
-    fn ciphertext_hides_plaintext(
-        key in any::<u64>(),
-        nonce in any::<u64>(),
-        data in proptest::collection::vec(any::<u8>(), 16..128),
-    ) {
+/// Nonempty payloads never appear in the clear inside the ciphertext body
+/// (probabilistic, but a failure would mean a keystream of zeros).
+#[test]
+fn ciphertext_hides_plaintext() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0x1111);
+        let key = rng.gen::<u64>();
+        let nonce = rng.gen::<u64>();
+        let data = random_bytes(&mut rng, 16, 128);
         let c = BlockCipher::new(key);
         let sealed = c.seal(nonce, &data);
-        prop_assert_ne!(&sealed[BlockCipher::NONCE_BYTES..], data.as_slice());
+        assert_ne!(&sealed[BlockCipher::NONCE_BYTES..], data.as_slice());
     }
+}
 
-    /// Different nonces produce different ciphertexts for the same payload
-    /// (re-encryption unlinkability, the ORAM requirement).
-    #[test]
-    fn distinct_nonces_are_unlinkable(
-        key in any::<u64>(),
-        n1 in any::<u64>(),
-        n2 in any::<u64>(),
-        data in proptest::collection::vec(any::<u8>(), 8..64),
-    ) {
-        prop_assume!(n1 != n2);
+/// Different nonces produce different ciphertexts for the same payload
+/// (re-encryption unlinkability, the ORAM requirement).
+#[test]
+fn distinct_nonces_are_unlinkable() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0x2222);
+        let key = rng.gen::<u64>();
+        let n1 = rng.gen::<u64>();
+        let mut n2 = rng.gen::<u64>();
+        if n1 == n2 {
+            n2 = n2.wrapping_add(1);
+        }
+        let data = random_bytes(&mut rng, 8, 64);
         let c = BlockCipher::new(key);
         let a = c.seal(n1, &data);
         let b = c.seal(n2, &data);
-        prop_assert_ne!(
+        assert_ne!(
             &a[BlockCipher::NONCE_BYTES..],
             &b[BlockCipher::NONCE_BYTES..]
         );
     }
+}
 
-    /// Bit-flipping any ciphertext byte changes the decryption (no silent
-    /// aliasing), and flipping a nonce byte garbles the whole payload.
-    #[test]
-    fn tampering_is_not_silent(
-        key in any::<u64>(),
-        nonce in any::<u64>(),
-        data in proptest::collection::vec(any::<u8>(), 8..64),
-        flip in 0usize..8,
-    ) {
+/// Bit-flipping any ciphertext byte changes the decryption (no silent
+/// aliasing).
+#[test]
+fn tampering_is_not_silent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case ^ 0x3333);
+        let key = rng.gen::<u64>();
+        let nonce = rng.gen::<u64>();
+        let data = random_bytes(&mut rng, 8, 64);
+        let flip = rng.gen_range(0usize..8);
         let c = BlockCipher::new(key);
         let mut sealed = c.seal(nonce, &data);
         sealed[BlockCipher::NONCE_BYTES + flip] ^= 0x80;
         let opened = c.open(&sealed).expect("length unchanged");
-        prop_assert_ne!(opened, data);
+        assert_ne!(opened, data);
     }
 }

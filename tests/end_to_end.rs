@@ -17,9 +17,9 @@ fn every_scheme_completes_every_workload() {
             let cfg = SystemConfig::test_small(scheme);
             let t = traces(&cfg, w.name, 30, 5);
             let mut sim = Simulation::new(cfg, t);
-            let r = sim.run(100_000_000).unwrap_or_else(|e| {
-                panic!("{}/{} wedged: {e}", w.name, scheme)
-            });
+            let r = sim
+                .run(100_000_000)
+                .unwrap_or_else(|e| panic!("{}/{} wedged: {e}", w.name, scheme));
             assert_eq!(r.oram_accesses, 60, "{}/{}", w.name, scheme);
             assert_eq!(r.cycles_by_kind.total(), r.total_cycles);
         }
@@ -71,7 +71,10 @@ fn repeated_blocks_always_return() {
     let found = r.protocol.targets_from_tree
         + r.protocol.targets_from_stash
         + r.protocol.targets_from_treetop;
-    assert_eq!(r.protocol.new_blocks, 3, "3 distinct blocks shared by cores");
+    assert_eq!(
+        r.protocol.new_blocks, 3,
+        "3 distinct blocks shared by cores"
+    );
     assert_eq!(found + r.protocol.new_blocks, r.oram_accesses);
 }
 

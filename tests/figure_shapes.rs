@@ -6,7 +6,12 @@
 use string_oram::{fig4_rows, table5_rows, Scheme, SimReport, Simulation, SystemConfig};
 use trace_synth::{by_name, TraceGenerator, TraceRecord};
 
-fn run(scheme: Scheme, workload: &str, n: usize, tweak: impl FnOnce(&mut SystemConfig)) -> SimReport {
+fn run(
+    scheme: Scheme,
+    workload: &str,
+    n: usize,
+    tweak: impl FnOnce(&mut SystemConfig),
+) -> SimReport {
     let mut cfg = SystemConfig::test_small(scheme);
     tweak(&mut cfg);
     let spec = by_name(workload).expect("workload");

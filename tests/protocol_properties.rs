@@ -1,141 +1,167 @@
-//! Property-based tests on the core data structures and protocol
-//! invariants, using proptest.
+//! Property-style tests on the core data structures and protocol
+//! invariants, driven by the in-repo deterministic PRNG (`oram-rng`) so the
+//! suite needs no external crates and produces identical cases offline.
 
-use proptest::prelude::*;
-
+use oram_rng::{Rng, StdRng};
 use ring_oram::layout::{NaiveLayout, SubtreeLayout, TreeLayout};
 use ring_oram::{BlockId, BucketId, Level, PathId, RingConfig, RingOram, TreeGeometry};
 
-/// Strategy over valid small Ring ORAM configurations.
-fn ring_config() -> impl Strategy<Value = RingConfig> {
-    (4u32..=9, 2u32..=6, 1u32..=6, 1u32..=5, 0u32..=3).prop_map(
-        |(levels, z, s, a, cached_raw)| {
-            let y = z.min(s) / 2;
-            RingConfig {
-                levels,
-                z,
-                s,
-                a,
-                y,
-                block_bytes: 64,
-                stash_capacity: 500,
-                tree_top_cached_levels: cached_raw.min(levels - 1),
-            }
-        },
-    )
+/// Number of random cases per property (mirrors the old proptest setting).
+const CASES: u64 = 64;
+
+/// Draws a valid small Ring ORAM configuration.
+fn ring_config(rng: &mut StdRng) -> RingConfig {
+    let levels = rng.gen_range(4u32..10);
+    let z = rng.gen_range(2u32..7);
+    let s = rng.gen_range(1u32..7);
+    let a = rng.gen_range(1u32..6);
+    let cached_raw = rng.gen_range(0u32..4);
+    let y = z.min(s) / 2;
+    RingConfig {
+        levels,
+        z,
+        s,
+        a,
+        y,
+        block_bytes: 64,
+        stash_capacity: 500,
+        tree_top_cached_levels: cached_raw.min(levels - 1),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn tree_bucket_at_level_of_roundtrip(levels in 1u32..=20, seed in any::<u64>()) {
+#[test]
+fn tree_bucket_at_level_of_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let levels = rng.gen_range(1u32..21);
         let t = TreeGeometry::new(levels);
-        let mut rng_state = seed;
         for _ in 0..32 {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let path = PathId(rng_state % t.leaf_count());
+            let path = PathId(rng.gen_range(0..t.leaf_count()));
             for lvl in 0..levels {
                 let b = t.bucket_at(path, Level(lvl));
-                prop_assert_eq!(t.level_of(b), Level(lvl));
-                prop_assert!(t.on_path(b, path));
+                assert_eq!(t.level_of(b), Level(lvl));
+                assert!(t.on_path(b, path));
             }
         }
     }
+}
 
-    #[test]
-    fn reverse_lex_is_a_permutation(levels in 1u32..=14) {
+#[test]
+fn reverse_lex_is_a_permutation() {
+    for levels in 1u32..=14 {
         let t = TreeGeometry::new(levels);
         let mut seen = std::collections::HashSet::new();
         for g in 0..t.leaf_count() {
             seen.insert(t.reverse_lexicographic_path(g));
         }
-        prop_assert_eq!(seen.len() as u64, t.leaf_count());
+        assert_eq!(seen.len() as u64, t.leaf_count());
     }
+}
 
-    #[test]
-    fn shared_depth_is_prefix_length(levels in 2u32..=16, a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn shared_depth_is_prefix_length() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let levels = rng.gen_range(2u32..17);
         let t = TreeGeometry::new(levels);
-        let pa = PathId(a % t.leaf_count());
-        let pb = PathId(b % t.leaf_count());
+        let pa = PathId(rng.gen_range(0..t.leaf_count()));
+        let pb = PathId(rng.gen_range(0..t.leaf_count()));
         let d = t.shared_depth(pa, pb).0;
         // The level-d buckets agree, the level-(d+1) buckets differ.
-        prop_assert_eq!(t.bucket_at(pa, Level(d)), t.bucket_at(pb, Level(d)));
+        assert_eq!(t.bucket_at(pa, Level(d)), t.bucket_at(pb, Level(d)));
         if d < t.max_level() {
-            prop_assert_ne!(t.bucket_at(pa, Level(d + 1)), t.bucket_at(pb, Level(d + 1)));
+            assert_ne!(t.bucket_at(pa, Level(d + 1)), t.bucket_at(pb, Level(d + 1)));
         } else {
-            prop_assert_eq!(pa, pb);
+            assert_eq!(pa, pb);
         }
     }
+}
 
-    #[test]
-    fn subtree_layout_is_injective_and_bounded(cfg in ring_config(), window_pow in 10u32..=16) {
-        let window = 1u64 << window_pow;
+#[test]
+fn subtree_layout_is_injective_and_bounded() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let cfg = ring_config(&mut rng);
+        let window = 1u64 << rng.gen_range(10u32..17);
         let layout = SubtreeLayout::new(&cfg, window);
         let mut seen = std::collections::HashSet::new();
         for b in 0..cfg.bucket_count() {
             for s in 0..cfg.bucket_slots() {
                 let a = layout.addr_of(BucketId(b), s);
-                prop_assert!(a < layout.total_bytes());
-                prop_assert!(seen.insert(a), "duplicate address {}", a);
+                assert!(a < layout.total_bytes());
+                assert!(seen.insert(a), "case {case}: duplicate address {a}");
             }
         }
     }
+}
 
-    #[test]
-    fn subtree_slots_never_straddle_windows(cfg in ring_config(), window_pow in 10u32..=16) {
-        let window = 1u64 << window_pow;
+#[test]
+fn subtree_slots_never_straddle_windows() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let cfg = ring_config(&mut rng);
+        let window = 1u64 << rng.gen_range(10u32..17);
         let layout = SubtreeLayout::new(&cfg, window);
         for b in (0..cfg.bucket_count()).step_by(7) {
             let first = layout.addr_of(BucketId(b), 0);
             let last = layout.addr_of(BucketId(b), cfg.bucket_slots() - 1)
-                + u64::from(cfg.block_bytes) - 1;
-            prop_assert_eq!(first / window, last / window, "bucket {} straddles", b);
+                + u64::from(cfg.block_bytes)
+                - 1;
+            assert_eq!(first / window, last / window, "bucket {b} straddles");
         }
     }
+}
 
-    #[test]
-    fn naive_layout_is_dense(cfg in ring_config()) {
+#[test]
+fn naive_layout_is_dense() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let cfg = ring_config(&mut rng);
         let layout = NaiveLayout::new(&cfg);
-        prop_assert_eq!(layout.total_bytes(), cfg.bucket_count() * cfg.bucket_bytes());
+        assert_eq!(
+            layout.total_bytes(),
+            cfg.bucket_count() * cfg.bucket_bytes()
+        );
     }
+}
 
-    #[test]
-    fn protocol_invariants_hold_for_random_access_sequences(
-        cfg in ring_config(),
-        accesses in proptest::collection::vec(0u64..64, 1..120),
-        seed in any::<u64>(),
-        load in 0u32..=10,
-    ) {
-        let mut oram = RingOram::with_load_factor(cfg, seed, f64::from(load) / 10.0);
-        for a in &accesses {
-            let outcome = oram.access(BlockId(*a));
+#[test]
+fn protocol_invariants_hold_for_random_access_sequences() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let cfg = ring_config(&mut rng);
+        let n = rng.gen_range(1usize..120);
+        let seed = rng.gen::<u64>();
+        let load = f64::from(rng.gen_range(0u32..11)) / 10.0;
+        let mut oram = RingOram::with_load_factor(cfg, seed, load);
+        for _ in 0..n {
+            let outcome = oram.access(BlockId(rng.gen_range(0u64..64)));
             // Read-path plans touch exactly one block per off-chip level.
             let read_plan = outcome
                 .plans
                 .iter()
                 .find(|p| p.kind == ring_oram::OpKind::ReadPath)
                 .expect("every access has a read path");
-            let off_chip =
-                oram.config().levels - oram.config().tree_top_cached_levels;
-            prop_assert_eq!(read_plan.reads(), off_chip as usize);
-            prop_assert_eq!(read_plan.writes(), 0);
+            let off_chip = oram.config().levels - oram.config().tree_top_cached_levels;
+            assert_eq!(read_plan.reads(), off_chip as usize);
+            assert_eq!(read_plan.writes(), 0);
         }
         oram.check_invariants();
         // Conservation: every program access was sourced somewhere.
         let s = oram.stats();
-        prop_assert_eq!(
-            s.new_blocks + s.targets_from_tree + s.targets_from_stash
-                + s.targets_from_treetop,
+        assert_eq!(
+            s.new_blocks + s.targets_from_tree + s.targets_from_stash + s.targets_from_treetop,
             s.read_paths
         );
     }
+}
 
-    #[test]
-    fn eviction_interval_is_exact(
-        cfg in ring_config(),
-        n in 10usize..100,
-    ) {
+#[test]
+fn eviction_interval_is_exact() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let cfg = ring_config(&mut rng);
+        let n = rng.gen_range(10usize..100);
         let a = cfg.a;
         let mut oram = RingOram::new(cfg, 7);
         let mut reads = 0u64;
@@ -156,16 +182,18 @@ proptest! {
                 .filter(|p| p.kind == ring_oram::OpKind::DummyReadPath)
                 .count() as u64;
         }
-        prop_assert_eq!(evictions, reads / u64::from(a), "A = {}", a);
+        assert_eq!(evictions, reads / u64::from(a), "case {case}: A = {a}");
     }
+}
 
-    #[test]
-    fn data_integrity_under_random_interleavings(
-        cfg in ring_config(),
-        ops in proptest::collection::vec((0u64..24, any::<bool>(), any::<u8>()), 1..150),
-        seed in any::<u64>(),
-        encrypt in any::<bool>(),
-    ) {
+#[test]
+fn data_integrity_under_random_interleavings() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let cfg = ring_config(&mut rng);
+        let n_ops = rng.gen_range(1usize..150);
+        let seed = rng.gen::<u64>();
+        let encrypt = rng.gen_bool(0.5);
         // A model-based test: a plain HashMap is the reference; the ORAM
         // must agree with it after any interleaving of reads and writes,
         // with or without encryption, across evictions and reshuffles.
@@ -174,9 +202,11 @@ proptest! {
         if encrypt {
             oram.enable_encryption(seed ^ 0xABCD);
         }
-        let mut model: std::collections::HashMap<u64, u8> =
-            std::collections::HashMap::new();
-        for (block, is_write, tag) in ops {
+        let mut model: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        for _ in 0..n_ops {
+            let block = rng.gen_range(0u64..24);
+            let is_write = rng.gen_bool(0.5);
+            let tag = rng.gen::<u8>();
             if is_write {
                 let data = vec![tag; block_bytes];
                 let _ = oram.write_block(BlockId(block), &data);
@@ -186,9 +216,9 @@ proptest! {
                 match model.get(&block) {
                     Some(&tag) => {
                         let d = data.expect("written block must have data");
-                        prop_assert_eq!(d, vec![tag; block_bytes]);
+                        assert_eq!(d, vec![tag; block_bytes]);
                     }
-                    None => prop_assert_eq!(data, None),
+                    None => assert_eq!(data, None),
                 }
             }
         }
@@ -196,33 +226,36 @@ proptest! {
         let keys: Vec<u64> = model.keys().copied().collect();
         for block in keys {
             let (_, data) = oram.read_block(BlockId(block));
-            prop_assert_eq!(data, Some(vec![model[&block]; block_bytes]));
+            assert_eq!(data, Some(vec![model[&block]; block_bytes]));
         }
         oram.check_invariants();
     }
+}
 
-    #[test]
-    fn bucket_slot_reads_are_unique_between_shuffles(
-        z in 1u32..=8,
-        s in 1u32..=8,
-        seed in any::<u64>(),
-    ) {
-        use rand::SeedableRng;
+#[test]
+fn bucket_slot_reads_are_unique_between_shuffles() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let z = rng.gen_range(1u32..9);
+        let s = rng.gen_range(1u32..9);
         let y = z.min(s) / 2;
         let cfg = RingConfig {
-            levels: 4, z, s, a: 2, y,
+            levels: 4,
+            z,
+            s,
+            a: 2,
+            y,
             block_bytes: 64,
             stash_capacity: 100,
             tree_top_cached_levels: 0,
         };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let blocks: Vec<BlockId> = (0..u64::from(z / 2)).map(BlockId).collect();
         let mut bucket = ring_oram::bucket::Bucket::with_blocks(&cfg, &blocks, &mut rng);
         let mut seen = std::collections::HashSet::new();
         while !bucket.needs_reshuffle(&cfg) {
             let (slot, _, _) = bucket.serve_read(&cfg, None, &mut rng);
-            prop_assert!(seen.insert(slot), "slot {} read twice", slot);
+            assert!(seen.insert(slot), "case {case}: slot {slot} read twice");
         }
-        prop_assert!(seen.len() as u32 <= cfg.s);
+        assert!(seen.len() as u32 <= cfg.s);
     }
 }
