@@ -109,7 +109,9 @@ impl AddressMapping {
     /// if the geometry fails [`DramGeometry::validate`].
     #[must_use]
     pub fn new(geometry: &DramGeometry, order_lsb_first: &[Field]) -> Self {
-        geometry.validate().expect("geometry must be valid");
+        if let Err(e) = geometry.validate() {
+            panic!("invalid DramGeometry: {e}");
+        }
         assert_eq!(order_lsb_first.len(), 6, "mapping must list all 6 fields");
         for f in [
             Field::Offset,

@@ -185,6 +185,19 @@ impl Bank {
         data_end
     }
 
+    /// Injects a weak-row stall at `cycle`, immediately after an ACT: the
+    /// freshly opened row needs `stall` extra restore cycles before column
+    /// commands or a precharge may target it. The row stays open and no
+    /// state machine transition happens — the fault is timing-only, so
+    /// every subsequently legal command sequence stays legal.
+    pub(crate) fn inject_stall(&mut self, cycle: u64, stall: u64) {
+        debug_assert!(self.open_row.is_some(), "stall only follows an ACT");
+        self.next_rd += stall;
+        self.next_wr += stall;
+        self.next_pre += stall;
+        self.credit_busy(cycle, self.next_rd);
+    }
+
     /// Forces the bank into the precharged state at `cycle` and blocks it
     /// until `until` (used by the refresh model).
     pub fn force_refresh(&mut self, cycle: u64, until: u64) {

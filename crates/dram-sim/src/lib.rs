@@ -37,11 +37,17 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+// Library code must surface failures as values or documented panics, never
+// as ad-hoc unwraps; tests are free to unwrap (a panic IS the failure).
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod address;
 pub mod bank;
 pub mod channel;
 pub mod command;
+pub mod faults;
 pub mod geometry;
 pub mod module;
 pub mod power;
@@ -51,6 +57,7 @@ pub mod timing;
 
 pub use address::{AddressMapping, DramLocation, PhysAddr};
 pub use command::{CommandKind, DramCommand, IssueError};
+pub use faults::DramFaultConfig;
 pub use geometry::DramGeometry;
 pub use module::{DramModule, IssueOutcome};
 pub use stats::DramStats;

@@ -3,9 +3,20 @@
 use crate::address::{AddressMapping, DramLocation, PhysAddr};
 use crate::channel::Channel;
 use crate::command::{CommandKind, DramCommand, IssueError};
+use crate::faults::{mix64, u01, DramFaultConfig};
 use crate::geometry::DramGeometry;
 use crate::stats::DramStats;
 use crate::timing::TimingParams;
+
+/// Live DRAM fault-injection state.
+#[derive(Debug, Clone, Copy)]
+struct DramFaultState {
+    cfg: DramFaultConfig,
+    /// Monotone counter keying the weak-row draw for each ACT.
+    act_draws: u64,
+    /// Number of ACTs that hit an injected weak row.
+    weak_row_stalls: u64,
+}
 
 /// Effect of successfully issuing a command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +54,7 @@ pub struct DramModule {
     channels: Vec<Channel>,
     stats: DramStats,
     last_tick: u64,
+    faults: Option<DramFaultState>,
 }
 
 impl DramModule {
@@ -53,8 +65,12 @@ impl DramModule {
     /// Panics if the geometry or timing parameters fail validation.
     #[must_use]
     pub fn new(geometry: DramGeometry, timing: TimingParams) -> Self {
-        geometry.validate().expect("invalid geometry");
-        timing.validate().expect("invalid timing");
+        if let Err(e) = geometry.validate() {
+            panic!("invalid DramGeometry: {e}");
+        }
+        if let Err(e) = timing.validate() {
+            panic!("invalid TimingParams: {e}");
+        }
         let channels = (0..geometry.channels)
             .map(|_| {
                 Channel::new(
@@ -72,7 +88,64 @@ impl DramModule {
             channels,
             stats,
             last_tick: 0,
+            faults: None,
         }
+    }
+
+    /// Enables deterministic DRAM fault injection (refresh storms and
+    /// weak-row stalls; see [`crate::faults`] for the model). Each rank gets
+    /// its own storm stream derived from `cfg.seed` and its global index.
+    ///
+    /// Call before handing the module to a controller — the controller owns
+    /// the module and exposes it read-only.
+    ///
+    /// # Panics
+    ///
+    /// If `cfg` fails [`DramFaultConfig::validate`].
+    pub fn enable_faults(&mut self, cfg: DramFaultConfig) {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid DramFaultConfig: {e}");
+        }
+        let ranks = self.geometry.ranks_per_channel;
+        for (c, ch) in self.channels.iter_mut().enumerate() {
+            for r in 0..ranks {
+                let index = c as u64 * u64::from(ranks) + u64::from(r);
+                ch.rank_mut(r).enable_refresh_storms(
+                    mix64(cfg.seed ^ index),
+                    cfg.storm_rate,
+                    cfg.storm_factor,
+                );
+            }
+        }
+        self.faults = Some(DramFaultState {
+            cfg,
+            act_draws: 0,
+            weak_row_stalls: 0,
+        });
+    }
+
+    /// Whether DRAM fault injection is active.
+    #[must_use]
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Total refreshes stretched into storms across all ranks.
+    #[must_use]
+    pub fn total_refresh_storms(&self) -> u64 {
+        let mut total = 0;
+        for ch in &self.channels {
+            for r in 0..ch.rank_count() {
+                total += ch.rank(r).refresh_storms();
+            }
+        }
+        total
+    }
+
+    /// Total ACTs that hit an injected weak row.
+    #[must_use]
+    pub fn weak_row_stalls(&self) -> u64 {
+        self.faults.map_or(0, |f| f.weak_row_stalls)
     }
 
     /// A module with the paper's Table II configuration.
@@ -217,6 +290,19 @@ impl DramModule {
         let outcome = match cmd.kind {
             CommandKind::Activate => {
                 rank.apply_activate(cmd.loc.bank, cycle, cmd.loc.row, &t);
+                // Weak-row hook: with probability `weak_row_rate` this ACT
+                // opened a marginal row that needs extra restore time. The
+                // stall only delays later commands, never reorders them.
+                if let Some(f) = &mut self.faults {
+                    f.act_draws += 1;
+                    if f.cfg.weak_row_rate > 0.0
+                        && u01(mix64(f.cfg.seed ^ 0x7765_616B ^ f.act_draws)) < f.cfg.weak_row_rate
+                    {
+                        rank.bank_mut(cmd.loc.bank)
+                            .inject_stall(cycle, f.cfg.weak_row_stall);
+                        f.weak_row_stalls += 1;
+                    }
+                }
                 IssueOutcome { data_done_at: None }
             }
             CommandKind::Precharge => {
@@ -423,6 +509,42 @@ mod tests {
         let cap = m.geometry().capacity_bytes();
         let loc = m.locate(&mapping, PhysAddr(cap - 64)).unwrap();
         assert!(loc.row < m.geometry().rows_per_bank);
+    }
+
+    #[test]
+    fn weak_row_stall_delays_columns_only() {
+        let mut m = module();
+        m.enable_faults(DramFaultConfig {
+            seed: 5,
+            weak_row_rate: 1.0,
+            weak_row_stall: 10,
+            ..DramFaultConfig::default()
+        });
+        let t = m.timing().clone();
+        let l = loc(0, 0, 1, 0);
+        m.issue(DramCommand::activate(l), 0).unwrap();
+        assert_eq!(m.weak_row_stalls(), 1);
+        assert_eq!(m.open_row(&l), Some(1), "row stays open through the stall");
+        assert!(matches!(
+            m.can_issue(&DramCommand::read(l), t.t_rcd),
+            Err(IssueError::BankTiming { .. })
+        ));
+        assert!(m.can_issue(&DramCommand::read(l), t.t_rcd + 10).is_ok());
+    }
+
+    #[test]
+    fn zero_rate_faults_are_a_noop() {
+        let mut m = module();
+        m.enable_faults(DramFaultConfig {
+            seed: 5,
+            ..DramFaultConfig::default()
+        });
+        let t = m.timing().clone();
+        let l = loc(0, 0, 1, 0);
+        m.issue(DramCommand::activate(l), 0).unwrap();
+        assert!(m.can_issue(&DramCommand::read(l), t.t_rcd).is_ok());
+        assert_eq!(m.weak_row_stalls(), 0);
+        assert_eq!(m.total_refresh_storms(), 0);
     }
 
     #[test]

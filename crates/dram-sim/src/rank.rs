@@ -2,7 +2,17 @@
 
 use crate::bank::Bank;
 use crate::command::IssueError;
+use crate::faults::{mix64, u01};
 use crate::timing::TimingParams;
+
+/// Per-rank refresh-storm injection parameters (seed already mixed with
+/// the rank's global index by the module).
+#[derive(Debug, Clone, Copy)]
+struct StormConfig {
+    seed: u64,
+    rate: f64,
+    factor: u64,
+}
 
 /// A rank: a group of banks operating in lockstep behind one chip-select,
 /// sharing activation-rate limits (tRRD, tFAW), the write-to-read turnaround
@@ -29,6 +39,10 @@ pub struct Rank {
     next_refresh: u64,
     /// Number of refreshes performed.
     refreshes: u64,
+    /// Optional deterministic refresh-storm injection.
+    storms: Option<StormConfig>,
+    /// Number of refreshes stretched into storms.
+    storm_count: u64,
 }
 
 impl Rank {
@@ -59,7 +73,23 @@ impl Rank {
             refresh_done: 0,
             next_refresh: t.t_refi,
             refreshes: 0,
+            storms: None,
+            storm_count: 0,
         }
+    }
+
+    /// Arms refresh-storm injection: each refresh independently becomes a
+    /// storm with probability `rate`, stretching its tRFC by `factor`. The
+    /// decision is a pure function of `(seed, refresh index)`, so the storm
+    /// schedule is identical on every run.
+    pub(crate) fn enable_refresh_storms(&mut self, seed: u64, rate: f64, factor: u64) {
+        self.storms = Some(StormConfig { seed, rate, factor });
+    }
+
+    /// Number of refreshes stretched into storms so far.
+    #[must_use]
+    pub fn refresh_storms(&self) -> u64 {
+        self.storm_count
     }
 
     /// Immutable access to a bank.
@@ -70,6 +100,11 @@ impl Rank {
     #[must_use]
     pub fn bank(&self, bank: u32) -> &Bank {
         &self.banks[bank as usize]
+    }
+
+    /// Mutable access to a bank (fault hooks only).
+    pub(crate) fn bank_mut(&mut self, bank: u32) -> &mut Bank {
+        &mut self.banks[bank as usize]
     }
 
     /// Number of banks in the rank.
@@ -93,7 +128,16 @@ impl Rank {
             return; // refresh disabled
         }
         if cycle >= self.next_refresh {
-            let done = cycle + t.t_rfc;
+            // Storm injection: a stretched tRFC only ever *delays* commands,
+            // so shadow timing checks (lower bounds) remain satisfied.
+            let mut rfc = t.t_rfc;
+            if let Some(s) = &self.storms {
+                if u01(mix64(s.seed ^ self.refreshes)) < s.rate {
+                    rfc *= s.factor;
+                    self.storm_count += 1;
+                }
+            }
+            let done = cycle + rfc;
             for b in &mut self.banks {
                 b.force_refresh(cycle, done);
             }
@@ -335,6 +379,41 @@ mod tests {
         // After tRFC, the bank must be re-activated (row was closed).
         assert!(r.can_activate(done, &tp, 0).is_ok());
         assert!(r.bank(0).open_row().is_none());
+    }
+
+    #[test]
+    fn refresh_storm_stretches_trfc() {
+        let mut r = rank();
+        let tp = t();
+        r.enable_refresh_storms(42, 1.0, 4);
+        r.tick(tp.t_refi, &tp);
+        assert_eq!(r.refreshes(), 1);
+        assert_eq!(r.refresh_storms(), 1);
+        let done = tp.t_refi + 4 * tp.t_rfc;
+        assert_eq!(
+            r.can_read(done - 1, 0),
+            Err(IssueError::RefreshInProgress { ready_at: done })
+        );
+        assert!(r.can_activate(done, &tp, 0).is_ok());
+    }
+
+    #[test]
+    fn storm_schedule_is_deterministic() {
+        let storms = |seed: u64| {
+            let tp = t();
+            let mut r = Rank::new(4, &tp);
+            r.enable_refresh_storms(seed, 0.5, 2);
+            for i in 1..=32 {
+                r.tick(i * tp.t_refi, &tp);
+            }
+            r.refresh_storms()
+        };
+        assert_eq!(storms(7), storms(7));
+        let n = storms(7);
+        assert!(
+            n > 0 && n < 32,
+            "rate 0.5 should storm some but not all: {n}"
+        );
     }
 
     #[test]

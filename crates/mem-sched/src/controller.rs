@@ -72,6 +72,89 @@ pub struct CommandEvent {
     pub txn: Option<TxnId>,
 }
 
+/// Deterministic memory-controller fault injection: dropped and late data
+/// responses plus transient queue-capacity saturation.
+///
+/// All decisions come from a stateless splitmix64 mix of `seed` and a draw
+/// counter (or the cycle window, for saturation), so a given seed yields an
+/// identical fault schedule on every run. Faults change *when* requests
+/// complete, never *which* commands appear on the bus out of transaction
+/// order — the ORAM security contract is timing-only affected.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResponseFaultConfig {
+    /// Seed for the fault schedule (independent of every protocol RNG).
+    pub seed: u64,
+    /// Probability that a completed data command's response is delayed.
+    pub late_rate: f64,
+    /// Extra cycles added to `data_done_at` for a late response.
+    pub late_delay: u64,
+    /// Probability that a data command's response is dropped entirely: the
+    /// DRAM command issues (bus and bank timing are consumed) but the
+    /// request stays queued and is reissued by a later scheduling pass.
+    pub drop_rate: f64,
+    /// Probability that any given 1024-cycle window is *saturated*: the
+    /// effective per-direction queue capacity is halved, forcing the ORAM
+    /// front end to stall and retry (controller queue-saturation fault).
+    pub saturation_rate: f64,
+}
+
+impl ResponseFaultConfig {
+    /// Checks rates are probabilities and forward progress is possible.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("late_rate", self.late_rate),
+            ("drop_rate", self.drop_rate),
+            ("saturation_rate", self.saturation_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+                return Err(format!("{name} must be in [0, 1], got {rate}"));
+            }
+        }
+        if self.drop_rate >= 1.0 {
+            return Err("drop_rate must be < 1 or no response ever completes".into());
+        }
+        Ok(())
+    }
+}
+
+/// Live response-fault state: the validated config plus the draw counter
+/// and the last saturation window already counted in the statistics.
+#[derive(Debug, Clone, Copy)]
+struct ResponseFaultState {
+    cfg: ResponseFaultConfig,
+    /// Monotone counter keying the drop/late draws for each data command.
+    draws: u64,
+    /// Last cycle window counted in `queue_saturation_windows`.
+    last_saturated_window: Option<u64>,
+}
+
+/// Cycles are grouped into `1 << SATURATION_WINDOW_SHIFT`-cycle windows for
+/// the queue-saturation fault (1024 cycles).
+const SATURATION_WINDOW_SHIFT: u32 = 10;
+
+/// Domain separators so the three fault kinds draw independent streams
+/// from one seed.
+const DOMAIN_DROP: u64 = 0x6472_6F70; // "drop"
+const DOMAIN_LATE: u64 = 0x6C61_7465; // "late"
+const DOMAIN_SAT: u64 = 0x7361_7475; // "satu"
+
+/// Finalizer of splitmix64: a full-avalanche 64-bit mixer.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a mixed word to a uniform f64 in [0, 1) using its top 53 bits.
+fn u01(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
 /// Row-buffer management policy (paper §II-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PagePolicy {
@@ -111,6 +194,8 @@ pub struct MemoryController {
     /// Optional command trace: every issued command with its cycle and
     /// owning transaction.
     command_trace: Option<Vec<CommandEvent>>,
+    /// Optional deterministic response-fault injection.
+    response_faults: Option<ResponseFaultState>,
 }
 
 /// Cached scheduling view of one channel.
@@ -175,7 +260,43 @@ impl MemoryController {
             caches: (0..channels).map(|_| ChannelCache::default()).collect(),
             pending_per_bank: (0..channels).map(|_| vec![0; banks]).collect(),
             command_trace: None,
+            response_faults: None,
         }
+    }
+
+    /// Enables deterministic response-fault injection (dropped/late data
+    /// responses, queue saturation). Idempotent per config; the fault
+    /// schedule restarts from the seed.
+    ///
+    /// # Panics
+    ///
+    /// If `cfg` fails [`ResponseFaultConfig::validate`].
+    pub fn enable_response_faults(&mut self, cfg: ResponseFaultConfig) {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ResponseFaultConfig: {e}");
+        }
+        self.response_faults = Some(ResponseFaultState {
+            cfg,
+            draws: 0,
+            last_saturated_window: None,
+        });
+    }
+
+    /// Whether response-fault injection is active.
+    #[must_use]
+    pub fn response_faults_enabled(&self) -> bool {
+        self.response_faults.is_some()
+    }
+
+    /// Whether the queue-saturation fault is active for the window
+    /// containing `cycle`.
+    fn saturated_at(&self, cycle: u64) -> bool {
+        self.response_faults.as_ref().is_some_and(|f| {
+            f.cfg.saturation_rate > 0.0
+                && u01(mix64(
+                    f.cfg.seed ^ DOMAIN_SAT ^ (cycle >> SATURATION_WINDOW_SHIFT),
+                )) < f.cfg.saturation_rate
+        })
     }
 
     /// Starts recording every issued command (cycle, command). Useful for
@@ -249,7 +370,12 @@ impl MemoryController {
     #[must_use]
     pub fn has_room(&self, addr: PhysAddr, is_write: bool) -> bool {
         let loc = self.mapping.decode(addr);
-        self.queues[loc.channel as usize].has_room(is_write)
+        let q = &self.queues[loc.channel as usize];
+        if self.saturated_at(self.last_cycle) {
+            q.dir_len(is_write) < q.capacity().div_ceil(2)
+        } else {
+            q.has_room(is_write)
+        }
     }
 
     /// Enqueues a request at `cycle`.
@@ -260,6 +386,19 @@ impl MemoryController {
     /// caller must stall and retry (nothing is enqueued).
     pub fn try_enqueue(&mut self, spec: RequestSpec, cycle: u64) -> Result<u64, QueueFull> {
         let loc = self.mapping.decode(spec.addr);
+        if self.saturated_at(cycle) {
+            let window = cycle >> SATURATION_WINDOW_SHIFT;
+            if let Some(f) = &mut self.response_faults {
+                if f.last_saturated_window != Some(window) {
+                    f.last_saturated_window = Some(window);
+                    self.stats.queue_saturation_windows += 1;
+                }
+            }
+            let q = &self.queues[loc.channel as usize];
+            if q.dir_len(spec.is_write) >= q.capacity().div_ceil(2) {
+                return Err(QueueFull);
+            }
+        }
         let id = self.next_id;
         let req = Request {
             id,
@@ -420,6 +559,7 @@ impl MemoryController {
     /// Close-page policy: precharge any open bank with no pending request
     /// for its open row, as soon as timing allows. At most one PRE per
     /// channel per cycle (the command bus is shared).
+    #[allow(clippy::expect_used)] // invariant, stated in the expect message
     fn close_idle_rows(&mut self, ch: u32, cycle: u64) {
         let geometry = self.dram.geometry();
         let banks_per_rank = geometry.banks_per_rank;
@@ -466,6 +606,7 @@ impl MemoryController {
     /// close rows without invalidating the cache — a stale "hit" then
     /// simply fails `can_issue` harmlessly (rows never *open*
     /// asynchronously, so no hit is ever missed).
+    #[allow(clippy::expect_used)] // invariant, stated in the expect message
     fn schedule_channel(
         &mut self,
         ch: u32,
@@ -573,12 +714,35 @@ impl MemoryController {
         false
     }
 
-    /// Issues the RD/WR for a request and retires it.
+    /// Issues the RD/WR for a request and retires it — unless an injected
+    /// drop fault swallows the response.
+    #[allow(clippy::expect_used)] // invariant, stated in the expect message
     fn issue_data_command(&mut self, ch: u32, key: (bool, usize), cmd: DramCommand, cycle: u64) {
         let outcome = self.dram.issue(cmd, cycle).expect("checked with can_issue");
         let txn = self.queues[ch as usize].get(key).txn;
         self.record_trace(cycle, cmd, Some(txn));
         self.caches[ch as usize].valid = false;
+        // Response-fault hooks. A *dropped* response consumes the DRAM
+        // command (bus and bank timing are spent) but never retires the
+        // request: it stays queued and a later scheduling pass reissues the
+        // data command. The transaction pointer cannot advance past the
+        // still-queued request, so data commands remain in transaction
+        // order — the fault costs latency only. A *late* response retires
+        // normally with `data_done_at` pushed back.
+        let mut extra_delay = 0;
+        if let Some(f) = &mut self.response_faults {
+            f.draws += 1;
+            if u01(mix64(f.cfg.seed ^ DOMAIN_DROP ^ f.draws)) < f.cfg.drop_rate {
+                self.stats.responses_dropped += 1;
+                let req = self.queues[ch as usize].get_mut(key);
+                req.record_first_command(cycle, RowClass::Hit);
+                return;
+            }
+            if u01(mix64(f.cfg.seed ^ DOMAIN_LATE ^ f.draws)) < f.cfg.late_rate {
+                self.stats.responses_delayed += 1;
+                extra_delay = f.cfg.late_delay;
+            }
+        }
         let banks_per_rank = self.dram.geometry().banks_per_rank;
         self.pending_per_bank[ch as usize]
             [(cmd.loc.rank * banks_per_rank + cmd.loc.bank) as usize] -= 1;
@@ -592,7 +756,7 @@ impl MemoryController {
             arrival: req.arrival,
             first_cmd_at: req.first_cmd_at.expect("set on first command"),
             issue_at: cycle,
-            data_done_at: outcome.data_done_at.expect("data command"),
+            data_done_at: outcome.data_done_at.expect("data command") + extra_delay,
             class,
         };
         self.stats.record_completion(&completed);
@@ -602,6 +766,7 @@ impl MemoryController {
 
     /// Issues a PRE or ACT on behalf of a request (classifying it if this
     /// is the request's first command) and updates PB statistics.
+    #[allow(clippy::expect_used)] // invariant, stated in the expect message
     fn issue_prep_command(
         &mut self,
         ch: u32,
@@ -1047,5 +1212,164 @@ mod tests {
         let (done, _) = run_until_done(&mut c, 0, 200);
         // Both cold misses complete at the same cycle: full channel overlap.
         assert_eq!(done[0].data_done_at, done[1].data_done_at);
+    }
+
+    /// Runs one transaction-per-request workload under drop faults.
+    fn run_with_drops(seed: u64) -> (Vec<Completed>, SchedulerStats) {
+        let mut c = controller(SchedulerPolicy::TransactionBased);
+        c.enable_response_faults(ResponseFaultConfig {
+            seed,
+            drop_rate: 0.5,
+            ..ResponseFaultConfig::default()
+        });
+        for i in 0..6u64 {
+            c.try_enqueue(
+                RequestSpec {
+                    addr: addr(&c, 0, (i % 4) as u32, i, 0),
+                    is_write: false,
+                    txn: TxnId(i),
+                },
+                0,
+            )
+            .unwrap();
+        }
+        let (done, _) = run_until_done(&mut c, 0, 20_000);
+        (done, c.stats().clone())
+    }
+
+    #[test]
+    fn dropped_responses_eventually_complete_in_order() {
+        let (done, stats) = run_with_drops(11);
+        assert_eq!(done.len(), 6, "every request completes despite drops");
+        assert!(stats.responses_dropped > 0, "seed 11 must drop something");
+        // Completions (and hence data commands) stay in transaction order.
+        for pair in done.windows(2) {
+            assert!(pair[0].txn <= pair[1].txn, "transaction order violated");
+        }
+        // Each request completes exactly once even after reissues.
+        let mut ids: Vec<u64> = done.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 6);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let (done_a, stats_a) = run_with_drops(11);
+        let (done_b, stats_b) = run_with_drops(11);
+        assert_eq!(done_a, done_b, "same seed must replay identically");
+        assert_eq!(stats_a.responses_dropped, stats_b.responses_dropped);
+        let (done_c, _) = run_with_drops(12);
+        assert!(
+            done_a != done_c || run_with_drops(13).0 != done_a,
+            "different seeds should eventually differ"
+        );
+    }
+
+    #[test]
+    fn zero_rates_match_fault_free_run() {
+        let run = |faults: bool| {
+            let mut c = controller(SchedulerPolicy::TransactionBased);
+            if faults {
+                c.enable_response_faults(ResponseFaultConfig {
+                    seed: 99,
+                    ..ResponseFaultConfig::default()
+                });
+            }
+            for i in 0..4u64 {
+                c.try_enqueue(
+                    RequestSpec {
+                        addr: addr(&c, 0, (i % 2) as u32, i, 0),
+                        is_write: i % 2 == 1,
+                        txn: TxnId(i),
+                    },
+                    0,
+                )
+                .unwrap();
+            }
+            run_until_done(&mut c, 0, 10_000).0
+        };
+        assert_eq!(run(false), run(true), "zero rates must be a no-op");
+    }
+
+    #[test]
+    fn late_responses_shift_data_done_only() {
+        let run = |late: bool| {
+            let mut c = controller(SchedulerPolicy::TransactionBased);
+            c.enable_response_faults(ResponseFaultConfig {
+                seed: 7,
+                late_rate: if late { 1.0 } else { 0.0 },
+                late_delay: 100,
+                ..ResponseFaultConfig::default()
+            });
+            c.try_enqueue(
+                RequestSpec {
+                    addr: addr(&c, 0, 0, 3, 0),
+                    is_write: false,
+                    txn: TxnId(0),
+                },
+                0,
+            )
+            .unwrap();
+            let (done, _) = run_until_done(&mut c, 0, 1_000);
+            (done[0], c.stats().responses_delayed)
+        };
+        let (clean, delayed_clean) = run(false);
+        let (late, delayed_late) = run(true);
+        assert_eq!(delayed_clean, 0);
+        assert_eq!(delayed_late, 1);
+        assert_eq!(late.issue_at, clean.issue_at, "command timing unchanged");
+        assert_eq!(late.data_done_at, clean.data_done_at + 100);
+    }
+
+    #[test]
+    fn queue_saturation_halves_capacity() {
+        let mut c = controller(SchedulerPolicy::TransactionBased);
+        c.enable_response_faults(ResponseFaultConfig {
+            seed: 3,
+            saturation_rate: 1.0,
+            ..ResponseFaultConfig::default()
+        });
+        // Capacity is 16 per direction; a saturated window admits only 8.
+        let a = addr(&c, 0, 0, 1, 0);
+        let mut accepted = 0u32;
+        loop {
+            let spec = RequestSpec {
+                addr: a,
+                is_write: false,
+                txn: TxnId(0),
+            };
+            match c.try_enqueue(spec, 5) {
+                Ok(_) => accepted += 1,
+                Err(QueueFull) => break,
+            }
+        }
+        assert_eq!(accepted, 8, "saturation must halve the effective capacity");
+        assert_eq!(c.stats().queue_saturation_windows, 1, "one window counted");
+        assert!(
+            !c.has_room(a, false),
+            "has_room must agree with try_enqueue"
+        );
+        assert!(c.has_room(a, true), "write direction has its own capacity");
+    }
+
+    #[test]
+    fn response_fault_config_validation() {
+        assert!(ResponseFaultConfig::default().validate().is_ok());
+        assert!(
+            ResponseFaultConfig {
+                drop_rate: 1.0,
+                ..ResponseFaultConfig::default()
+            }
+            .validate()
+            .is_err(),
+            "certain drop means no forward progress"
+        );
+        assert!(ResponseFaultConfig {
+            late_rate: 1.5,
+            ..ResponseFaultConfig::default()
+        }
+        .validate()
+        .is_err());
     }
 }

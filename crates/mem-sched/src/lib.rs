@@ -41,13 +41,20 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+// Library code must surface failures as values or documented panics, never
+// as ad-hoc unwraps; tests are free to unwrap (a panic IS the failure).
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod controller;
 pub mod queue;
 pub mod request;
 pub mod stats;
 
-pub use controller::{CommandEvent, MemoryController, PagePolicy, SchedulerPolicy};
+pub use controller::{
+    CommandEvent, MemoryController, PagePolicy, ResponseFaultConfig, SchedulerPolicy,
+};
 pub use queue::QueueFull;
 pub use request::{Completed, RequestSpec, RowClass, TxnId};
 pub use stats::SchedulerStats;

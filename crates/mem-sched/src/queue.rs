@@ -67,6 +67,20 @@ impl ChannelQueues {
         self.reads.len() + self.writes.len()
     }
 
+    /// Queued requests in one direction.
+    pub fn dir_len(&self, is_write: bool) -> usize {
+        if is_write {
+            self.writes.len()
+        } else {
+            self.reads.len()
+        }
+    }
+
+    /// Configured capacity per direction.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Smallest transaction id among queued requests, if any. O(1): both
     /// queues are transaction-sorted (see [`Self::push`]) and removal
     /// preserves order.

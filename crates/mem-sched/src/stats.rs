@@ -50,6 +50,15 @@ pub struct SchedulerStats {
     pub open_bank_integral: u64,
     /// Sum over ticks of total banks (denominator for the above).
     pub bank_tick_integral: u64,
+    /// Data responses delayed by injected late-response faults.
+    pub responses_delayed: u64,
+    /// Data commands whose response was dropped by fault injection and
+    /// later reissued.
+    pub responses_dropped: u64,
+    /// Cycle windows during which injected queue saturation halved the
+    /// effective queue capacity (counted once per window, on the first
+    /// enqueue attempt that observed it).
+    pub queue_saturation_windows: u64,
 }
 
 impl SchedulerStats {
@@ -163,6 +172,10 @@ impl SchedulerStats {
             stalled_bank_cycles: self.stalled_bank_cycles - earlier.stalled_bank_cycles,
             busy_pending_bank_cycles: self.busy_pending_bank_cycles
                 - earlier.busy_pending_bank_cycles,
+            responses_delayed: self.responses_delayed - earlier.responses_delayed,
+            responses_dropped: self.responses_dropped - earlier.responses_dropped,
+            queue_saturation_windows: self.queue_saturation_windows
+                - earlier.queue_saturation_windows,
         }
     }
 
@@ -177,7 +190,7 @@ impl SchedulerStats {
             return 1.0;
         }
         let mean = total as f64 / self.per_channel_requests.len() as f64;
-        let max = *self.per_channel_requests.iter().max().expect("nonempty") as f64;
+        let max = self.per_channel_requests.iter().copied().max().unwrap_or(0) as f64;
         max / mean
     }
 

@@ -32,6 +32,7 @@ fn gf_mul(mut a: u8, mut b: u8) -> u8 {
 
 /// Builds the AES S-box from its definition: `S(x) = affine(x^-1)` with
 /// `S(0) = affine(0) = 0x63`.
+#[allow(clippy::expect_used)] // invariant, stated in the expect message
 fn build_sbox() -> [u8; 256] {
     // Multiplicative inverses via log/antilog tables over generator 3.
     let mut sbox = [0u8; 256];

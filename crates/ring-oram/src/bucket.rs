@@ -166,10 +166,33 @@ impl Bucket {
     /// `RingOram`'s statistics.
     #[must_use]
     pub fn needs_reshuffle(&self, cfg: &RingConfig) -> bool {
+        self.needs_reshuffle_gated(cfg, true)
+    }
+
+    /// [`Self::needs_reshuffle`] with an explicit green gate: with
+    /// `allow_green = false` (the resilience layer's degraded mode) a
+    /// bucket whose dummies are exhausted must reshuffle even if its green
+    /// budget remains — green substitution is what degraded mode disables
+    /// to stop feeding the stash. The one exception is a completely full
+    /// bucket in a `Y == S` configuration, which has zero dummy slots:
+    /// there a reshuffle cannot help and the green fetch is unavoidable.
+    #[must_use]
+    pub fn needs_reshuffle_gated(&self, cfg: &RingConfig, allow_green: bool) -> bool {
         if self.accesses >= cfg.s {
             return true;
         }
-        self.valid_dummies() == 0 && !self.green_available(cfg)
+        if self.valid_dummies() > 0 {
+            return false;
+        }
+        if !allow_green && (self.real_count() as u32) < cfg.bucket_slots() {
+            // Degraded mode: a reshuffle re-validates every non-real slot
+            // as a dummy, so prefer it over a green fetch whenever the
+            // bucket has room for dummies. Only a completely full bucket
+            // (possible when Y == S leaves zero dummy slots) falls through
+            // to an unavoidable green.
+            return true;
+        }
+        !self.green_available(cfg)
     }
 
     fn green_available(&self, cfg: &RingConfig) -> bool {
@@ -203,7 +226,31 @@ impl Bucket {
         target: Option<BlockId>,
         rng: &mut R,
     ) -> (usize, FetchKind, Option<BlockData>) {
-        debug_assert!(!self.needs_reshuffle(cfg), "bucket exhausted");
+        self.serve_read_gated(cfg, target, true, rng)
+    }
+
+    /// [`Self::serve_read`] with an explicit green gate; callers must check
+    /// [`Self::needs_reshuffle_gated`] with the same gate first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket cannot serve the touch under the gate.
+    #[allow(clippy::expect_used)] // invariant, stated in the expect message
+    pub fn serve_read_gated<R: Rng + ?Sized>(
+        &mut self,
+        cfg: &RingConfig,
+        target: Option<BlockId>,
+        allow_green: bool,
+        rng: &mut R,
+    ) -> (usize, FetchKind, Option<BlockData>) {
+        // A bucket holding the wanted target can always serve it (the
+        // target read needs no dummy/green); otherwise the caller must have
+        // reshuffled first.
+        debug_assert!(
+            target.is_some_and(|t| self.find(t).is_some())
+                || !self.needs_reshuffle_gated(cfg, allow_green),
+            "bucket exhausted"
+        );
         self.accesses += 1;
         if let Some(t) = target {
             if let Some(idx) = self.find(t) {
@@ -225,7 +272,13 @@ impl Bucket {
             self.slots[idx].valid = false;
             return (idx, FetchKind::Dummy, None);
         }
-        // Fall back to a green block.
+        // Fall back to a green block. Under the degraded-mode gate this is
+        // legal only for a completely full bucket, where no reshuffle can
+        // mint a dummy (Y == S configurations).
+        assert!(
+            allow_green || self.real_count() as u32 == cfg.bucket_slots(),
+            "green substitution disabled; needs_reshuffle_gated() should have fired"
+        );
         let reals: Vec<usize> = self
             .slots
             .iter()
@@ -452,6 +505,22 @@ mod tests {
         assert!(b.needs_reshuffle(&c));
         // Two real blocks survived untouched.
         assert_eq!(b.real_count(), 2);
+    }
+
+    #[test]
+    fn green_gate_forces_reshuffle_when_dummies_run_out() {
+        let mut r = rng();
+        let c = cb_cfg(); // Z=4, S=4, Y=2 -> 6 slots, 2 physical dummies
+        let blocks: Vec<BlockId> = (0..4).map(BlockId).collect();
+        let mut b = Bucket::with_blocks(&c, &blocks, &mut r);
+        for _ in 0..2 {
+            let (_, kind, _) = b.serve_read_gated(&c, None, false, &mut r);
+            assert_eq!(kind, FetchKind::Dummy, "gate must not affect dummies");
+        }
+        // Dummies exhausted: an ungated bucket would serve a green, a gated
+        // one must reshuffle.
+        assert!(!b.needs_reshuffle(&c));
+        assert!(b.needs_reshuffle_gated(&c, false));
     }
 
     #[test]

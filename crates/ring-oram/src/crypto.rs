@@ -1,4 +1,4 @@
-//! Block (re-)encryption emulation.
+//! Block (re-)encryption emulation with integrity tags.
 //!
 //! The paper's controller contains E/D logic: every block leaving the
 //! trusted boundary is encrypted with a fresh nonce so that ciphertexts are
@@ -10,8 +10,18 @@
 //!   data path exercised.
 //! * [`BlockCipher::aes`] — AES-128 in CTR mode ([`crate::aes`], verified
 //!   against FIPS-197/SP 800-38A vectors): a real cipher, though the
-//!   implementation is not constant-time and no integrity tag is added,
-//!   so it is still simulation-grade rather than production-grade.
+//!   implementation is not constant-time, so it is still simulation-grade
+//!   rather than production-grade.
+//!
+//! Every sealed blob carries a keyed integrity tag over the nonce and
+//! ciphertext (`nonce || ciphertext || tag`), so corruption of a fetched
+//! block — including the deterministic bit flips the fault-injection layer
+//! produces — is detected at [`BlockCipher::open`] as
+//! [`OpenError::TagMismatch`]. The tag is a keyed splitmix64 fold whose key
+//! is derived from the keystream under a tweaked nonce: it detects any
+//! accidental or injected corruption deterministically, but it is *not* a
+//! cryptographic MAC (no existential-unforgeability claim), matching the
+//! simulation-grade cipher it protects.
 
 use crate::aes::Aes128;
 
@@ -34,7 +44,7 @@ enum Keystream {
 /// let cipher = BlockCipher::new(0xC0FFEE);
 /// let plain = *b"sixteen byte msg";
 /// let ct = cipher.seal(7, &plain);
-/// assert_ne!(&ct[BlockCipher::NONCE_BYTES..], &plain);
+/// assert_ne!(&ct[BlockCipher::NONCE_BYTES..][..plain.len()], &plain);
 /// assert_eq!(cipher.open(&ct).unwrap(), plain.to_vec());
 /// ```
 #[derive(Debug, Clone)]
@@ -42,17 +52,26 @@ pub struct BlockCipher {
     keystream: Keystream,
 }
 
-/// Error returned when a ciphertext is too short to carry its nonce.
+/// Error returned when a sealed blob fails to open.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MalformedCiphertext;
+pub enum OpenError {
+    /// The blob is too short to carry its nonce header and integrity tag.
+    Truncated,
+    /// The integrity tag does not match the ciphertext: the blob was
+    /// corrupted in transit/at rest, or sealed under a different key.
+    TagMismatch,
+}
 
-impl std::fmt::Display for MalformedCiphertext {
+impl std::fmt::Display for OpenError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "ciphertext shorter than its nonce header")
+        match self {
+            Self::Truncated => write!(f, "ciphertext shorter than its nonce header and tag"),
+            Self::TagMismatch => write!(f, "ciphertext integrity tag mismatch"),
+        }
     }
 }
 
-impl std::error::Error for MalformedCiphertext {}
+impl std::error::Error for OpenError {}
 
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -65,6 +84,12 @@ fn splitmix64(state: &mut u64) -> u64 {
 impl BlockCipher {
     /// Bytes of nonce prepended to every sealed block.
     pub const NONCE_BYTES: usize = 8;
+
+    /// Bytes of keyed integrity tag appended to every sealed block.
+    pub const TAG_BYTES: usize = 8;
+
+    /// Nonce tweak separating the tag-key derivation from data keystreams.
+    const TAG_TWEAK: u64 = 0x7461_675F_6465_7269; // "tag_deri"
 
     /// Creates a fast (insecure) splitmix64 keystream cipher.
     #[must_use]
@@ -102,33 +127,60 @@ impl BlockCipher {
         }
     }
 
+    /// Keyed integrity tag over `nonce || ciphertext`. The per-nonce tag key
+    /// comes from the keystream itself (under a tweaked nonce), so both
+    /// keystream modes share one construction without extra key material.
+    fn tag(&self, nonce: u64, ciphertext: &[u8]) -> [u8; Self::TAG_BYTES] {
+        let mut key = [0u8; Self::TAG_BYTES];
+        self.keystream_xor(nonce ^ Self::TAG_TWEAK, &mut key);
+        let mut state = u64::from_le_bytes(key) ^ nonce ^ (ciphertext.len() as u64);
+        let mut acc = splitmix64(&mut state);
+        for chunk in ciphertext.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            state ^= u64::from_le_bytes(word);
+            acc ^= splitmix64(&mut state);
+        }
+        acc.to_le_bytes()
+    }
+
     /// Encrypts `plaintext` under the given `nonce`, producing
-    /// `nonce || ciphertext`. Fresh nonces make repeated writes of the same
-    /// content unlinkable — the property ORAM re-encryption relies on.
+    /// `nonce || ciphertext || tag`. Fresh nonces make repeated writes of
+    /// the same content unlinkable — the property ORAM re-encryption relies
+    /// on — and the tag lets [`Self::open`] detect corruption.
     #[must_use]
     pub fn seal(&self, nonce: u64, plaintext: &[u8]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(Self::NONCE_BYTES + plaintext.len());
+        let mut out = Vec::with_capacity(Self::NONCE_BYTES + plaintext.len() + Self::TAG_BYTES);
         out.extend_from_slice(&nonce.to_le_bytes());
         out.extend_from_slice(plaintext);
         self.keystream_xor(nonce, &mut out[Self::NONCE_BYTES..]);
+        let tag = self.tag(nonce, &out[Self::NONCE_BYTES..]);
+        out.extend_from_slice(&tag);
         out
     }
 
-    /// Decrypts a `nonce || ciphertext` blob produced by [`Self::seal`].
+    /// Decrypts a `nonce || ciphertext || tag` blob produced by
+    /// [`Self::seal`], verifying the integrity tag first.
     ///
     /// # Errors
     ///
-    /// [`MalformedCiphertext`] if the blob is shorter than a nonce.
-    pub fn open(&self, sealed: &[u8]) -> Result<Vec<u8>, MalformedCiphertext> {
-        if sealed.len() < Self::NONCE_BYTES {
-            return Err(MalformedCiphertext);
+    /// [`OpenError::Truncated`] if the blob cannot carry a nonce and tag;
+    /// [`OpenError::TagMismatch`] if the tag fails to verify (corruption or
+    /// wrong key).
+    pub fn open(&self, sealed: &[u8]) -> Result<Vec<u8>, OpenError> {
+        if sealed.len() < Self::NONCE_BYTES + Self::TAG_BYTES {
+            return Err(OpenError::Truncated);
         }
-        let nonce = u64::from_le_bytes(
-            sealed[..Self::NONCE_BYTES]
-                .try_into()
-                .expect("checked length"),
-        );
-        let mut out = sealed[Self::NONCE_BYTES..].to_vec();
+        let nonce = match sealed[..Self::NONCE_BYTES].try_into() {
+            Ok(bytes) => u64::from_le_bytes(bytes),
+            Err(_) => return Err(OpenError::Truncated),
+        };
+        let body = &sealed[Self::NONCE_BYTES..sealed.len() - Self::TAG_BYTES];
+        let tag = &sealed[sealed.len() - Self::TAG_BYTES..];
+        if self.tag(nonce, body) != *tag {
+            return Err(OpenError::TagMismatch);
+        }
+        let mut out = body.to_vec();
         self.keystream_xor(nonce, &mut out);
         Ok(out)
     }
@@ -151,7 +203,14 @@ mod tests {
         let c = BlockCipher::new(42);
         let data = vec![0u8; 64];
         let sealed = c.seal(9, &data);
-        assert_ne!(&sealed[BlockCipher::NONCE_BYTES..], data.as_slice());
+        assert_eq!(
+            sealed.len(),
+            BlockCipher::NONCE_BYTES + data.len() + BlockCipher::TAG_BYTES
+        );
+        assert_ne!(
+            &sealed[BlockCipher::NONCE_BYTES..][..data.len()],
+            data.as_slice()
+        );
     }
 
     #[test]
@@ -167,26 +226,53 @@ mod tests {
     }
 
     #[test]
-    fn wrong_key_garbles() {
+    fn wrong_key_fails_the_tag() {
         let c1 = BlockCipher::new(1);
         let c2 = BlockCipher::new(2);
         let data = vec![3u8; 32];
         let sealed = c1.seal(7, &data);
-        assert_ne!(c2.open(&sealed).unwrap(), data);
+        assert_eq!(c2.open(&sealed), Err(OpenError::TagMismatch));
     }
 
     #[test]
     fn short_blob_rejected() {
         let c = BlockCipher::new(1);
-        assert_eq!(c.open(&[1, 2, 3]), Err(MalformedCiphertext));
+        assert_eq!(c.open(&[1, 2, 3]), Err(OpenError::Truncated));
+        // A bare nonce with no room for the tag is also truncated.
+        assert_eq!(c.open(&[0u8; 8]), Err(OpenError::Truncated));
     }
 
     #[test]
     fn empty_payload_roundtrip() {
         let c = BlockCipher::new(1);
         let sealed = c.seal(0, &[]);
-        assert_eq!(sealed.len(), BlockCipher::NONCE_BYTES);
+        assert_eq!(
+            sealed.len(),
+            BlockCipher::NONCE_BYTES + BlockCipher::TAG_BYTES
+        );
         assert_eq!(c.open(&sealed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn bit_flips_are_detected() {
+        // Any single-bit flip anywhere in the blob — nonce, ciphertext or
+        // tag — must trip the integrity check (the fault-injection layer's
+        // detection guarantee).
+        for cipher in [BlockCipher::new(5), BlockCipher::aes([5u8; 16])] {
+            let data = vec![0xA5u8; 48];
+            let sealed = cipher.seal(11, &data);
+            for byte in 0..sealed.len() {
+                for bit in 0..8 {
+                    let mut corrupt = sealed.clone();
+                    corrupt[byte] ^= 1 << bit;
+                    assert_eq!(
+                        cipher.open(&corrupt),
+                        Err(OpenError::TagMismatch),
+                        "flip at byte {byte} bit {bit} went undetected"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -198,19 +284,22 @@ mod tests {
         assert_eq!(c.open(&a).unwrap(), data);
         assert_eq!(c.open(&b).unwrap(), data);
         assert_ne!(a[BlockCipher::NONCE_BYTES..], b[BlockCipher::NONCE_BYTES..]);
-        assert_ne!(&a[BlockCipher::NONCE_BYTES..], data.as_slice());
+        assert_ne!(
+            &a[BlockCipher::NONCE_BYTES..][..data.len()],
+            data.as_slice()
+        );
     }
 
     #[test]
     fn aes_and_splitmix_interoperate_via_nonce_header() {
         // Both modes share the wire format; a blob opens under the cipher
-        // that sealed it (and garbles under the other, as expected).
+        // that sealed it and fails the tag under the other.
         let toy = BlockCipher::new(1);
         let aes = BlockCipher::aes([1u8; 16]);
         let data = vec![7u8; 32];
         let sealed = aes.seal(3, &data);
         assert_eq!(aes.open(&sealed).unwrap(), data);
-        assert_ne!(toy.open(&sealed).unwrap(), data);
+        assert_eq!(toy.open(&sealed), Err(OpenError::TagMismatch));
     }
 
     #[test]

@@ -66,7 +66,9 @@ impl SubtreeLayout {
     #[must_use]
     pub fn new(cfg: &RingConfig, locality_bytes: u64) -> Self {
         assert!(locality_bytes > 0, "locality_bytes must be nonzero");
-        cfg.validate().expect("invalid RingConfig");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid RingConfig: {e}");
+        }
         let geometry = TreeGeometry::new(cfg.levels);
         let bucket_bytes = cfg.bucket_bytes();
         let mut best: Option<(u32, u64, f64)> = None; // (k, padded, score)
@@ -166,7 +168,9 @@ impl NaiveLayout {
     /// Panics if `cfg` fails validation.
     #[must_use]
     pub fn new(cfg: &RingConfig) -> Self {
-        cfg.validate().expect("invalid RingConfig");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid RingConfig: {e}");
+        }
         Self {
             bucket_count: cfg.bucket_count(),
             bucket_bytes: cfg.bucket_bytes(),

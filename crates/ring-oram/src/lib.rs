@@ -36,11 +36,17 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+// Library code must surface failures as values or documented panics, never
+// as ad-hoc unwraps; tests are free to unwrap (a panic IS the failure).
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod aes;
 pub mod bucket;
 pub mod config;
 pub mod crypto;
+pub mod faults;
 pub mod layout;
 pub mod path_oram;
 pub mod plan;
@@ -52,6 +58,7 @@ pub mod tree;
 pub mod types;
 
 pub use config::RingConfig;
+pub use faults::{FaultEvent, FaultEventKind, OramError, ResilienceConfig};
 pub use plan::{AccessPlan, OpKind, SlotTouch};
 pub use protocol::{AccessOutcome, ProtocolStats, RingOram, TargetSource};
 pub use tree::TreeGeometry;

@@ -132,7 +132,9 @@ impl PathOram {
     /// Panics if `cfg` fails validation.
     #[must_use]
     pub fn new(cfg: PathConfig, seed: u64) -> Self {
-        cfg.validate().expect("invalid PathConfig");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid PathConfig: {e}");
+        }
         let geometry = TreeGeometry::new(cfg.levels);
         let position_map = PositionMap::new(geometry.leaf_count());
         Self {
@@ -172,6 +174,7 @@ impl PathOram {
 
     /// Performs one access: full path read, remap, full path write-back.
     /// Returns the single transaction the access generates.
+    #[allow(clippy::expect_used)] // invariant, stated in the expect message
     pub fn access(&mut self, block: BlockId) -> AccessPlan {
         let path = self.position_map.lookup_or_assign(block, &mut self.rng);
         let cached = self.cfg.tree_top_cached_levels;

@@ -20,6 +20,11 @@ pub enum OpKind {
     Eviction,
     /// Early reshuffle of a single over-touched bucket.
     EarlyReshuffle,
+    /// Bounded re-reads of slots whose fetched blocks failed their
+    /// integrity check (fault recovery). Retry touches re-read already
+    /// public slots, so they reveal only where a fault occurred — never
+    /// data-dependent state.
+    RetryRead,
 }
 
 impl OpKind {
@@ -31,11 +36,15 @@ impl OpKind {
             Self::DummyReadPath => "dummy-read",
             Self::Eviction => "evict",
             Self::EarlyReshuffle => "reshuffle",
+            Self::RetryRead => "retry",
         }
     }
 
     /// Whether the operation sits on the program's critical path (the
     /// paper's "read path operation is always a critical operation").
+    /// Retry reads block the program only when the *target* fetch was the
+    /// one retried, which the plan's `target_index` records; the kind
+    /// itself stays non-critical.
     #[must_use]
     pub fn is_critical(self) -> bool {
         matches!(self, Self::ReadPath)
@@ -137,11 +146,12 @@ mod tests {
             OpKind::DummyReadPath,
             OpKind::Eviction,
             OpKind::EarlyReshuffle,
+            OpKind::RetryRead,
         ]
         .into_iter()
         .map(OpKind::label)
         .collect();
-        assert_eq!(labels.len(), 4);
+        assert_eq!(labels.len(), 5);
     }
 
     #[test]
@@ -150,6 +160,7 @@ mod tests {
         assert!(!OpKind::DummyReadPath.is_critical());
         assert!(!OpKind::Eviction.is_critical());
         assert!(!OpKind::EarlyReshuffle.is_critical());
+        assert!(!OpKind::RetryRead.is_critical());
     }
 
     #[test]

@@ -142,7 +142,9 @@ impl RecursiveOram {
     /// Panics if the configuration fails validation.
     #[must_use]
     pub fn new(cfg: RecursiveConfig, seed: u64) -> Self {
-        cfg.validate().expect("invalid RecursiveConfig");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid RecursiveConfig: {e}");
+        }
         let mut orams = vec![RingOram::new(cfg.data.clone(), seed)];
         for i in 0..cfg.map_levels() {
             orams.push(RingOram::new(cfg.map_config(i), seed ^ (i as u64 + 1)));

@@ -117,6 +117,7 @@ impl Stash {
     /// Used by the eviction write phase, which processes buckets leaf to
     /// root so blocks sink as deep as possible (the standard greedy
     /// placement that keeps the stash small).
+    #[allow(clippy::expect_used)] // invariant, stated in the expect message
     pub fn drain_for_bucket(
         &mut self,
         geometry: &TreeGeometry,

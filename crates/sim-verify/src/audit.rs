@@ -28,7 +28,7 @@
 use std::collections::{HashMap, HashSet};
 
 use ring_oram::types::BucketId;
-use ring_oram::{AccessPlan, OpKind, RingConfig};
+use ring_oram::{AccessPlan, FaultEvent, FaultEventKind, OpKind, RingConfig};
 
 use crate::violation::{Rule, Violation};
 
@@ -49,6 +49,13 @@ pub struct OramAuditor {
     accesses: u64,
     paths: u64,
     evictions: u64,
+    /// Retry-read touches the fault log has authorized but no RetryRead
+    /// plan has consumed yet, keyed by (bucket, slot). Filled by
+    /// [`Self::observe_faults`], drained by the batch's RetryRead plans and
+    /// reconciled at the end of each [`Self::observe_access`].
+    retry_allowances: HashMap<(BucketId, u32), u32>,
+    /// Injected faults counted by [`Self::observe_faults`].
+    faults_seen: u64,
     violations: Vec<Violation>,
 }
 
@@ -63,6 +70,8 @@ impl OramAuditor {
             accesses: 0,
             paths: 0,
             evictions: 0,
+            retry_allowances: HashMap::new(),
+            faults_seen: 0,
             violations: Vec::new(),
         }
     }
@@ -88,6 +97,66 @@ impl OramAuditor {
     #[must_use]
     pub fn accesses_checked(&self) -> u64 {
         self.accesses
+    }
+
+    /// Injected fault events audited so far.
+    #[must_use]
+    pub fn faults_checked(&self) -> u64 {
+        self.faults_seen
+    }
+
+    /// Audits one access's fault-event log. Call *before* the matching
+    /// [`Self::observe_access`]: the log's `Retried` entries authorize the
+    /// retry-read touches of the batch's plans.
+    ///
+    /// Checks:
+    /// * every `Injected` event is followed by a `Detected` for the same
+    ///   site within the batch ([`Rule::FaultUndetected`] otherwise — the
+    ///   integrity tag was missing or unchecked);
+    /// * no fetch ends `Unrecovered` ([`Rule::FaultUnrecovered`]): the
+    ///   retry budget must be sized so recovery always succeeds, or the
+    ///   simulation's results are computed on lost data.
+    pub fn observe_faults(&mut self, events: &[FaultEvent]) {
+        let mut pending_detect: HashMap<(BucketId, u32), u32> = HashMap::new();
+        for e in events {
+            let site = (e.bucket, e.slot);
+            match e.kind {
+                FaultEventKind::Injected => {
+                    self.faults_seen += 1;
+                    *pending_detect.entry(site).or_insert(0) += 1;
+                }
+                FaultEventKind::Detected => {
+                    let p = pending_detect.entry(site).or_insert(0);
+                    *p = p.saturating_sub(1);
+                }
+                FaultEventKind::Retried => {
+                    *self.retry_allowances.entry(site).or_insert(0) += 1;
+                }
+                FaultEventKind::Recovered => {}
+                FaultEventKind::Unrecovered => {
+                    self.violate(
+                        Rule::FaultUnrecovered,
+                        format!(
+                            "fetch from bucket {} slot {} lost its payload after \
+                             exhausting the retry budget",
+                            e.bucket.0, e.slot
+                        ),
+                    );
+                }
+            }
+        }
+        for ((bucket, slot), missing) in pending_detect {
+            if missing > 0 {
+                self.violate(
+                    Rule::FaultUndetected,
+                    format!(
+                        "{missing} injected corruption(s) of bucket {} slot {slot} \
+                         were never detected (no integrity check)",
+                        bucket.0
+                    ),
+                );
+            }
+        }
     }
 
     fn violate(&mut self, rule: Rule, message: String) {
@@ -124,6 +193,20 @@ impl OramAuditor {
                     self.evictions, self.paths, self.config.a, expected
                 ),
             );
+        }
+        // Retry reconciliation: every `Retried` fault event must have
+        // produced exactly one retry-read touch in this batch.
+        for ((bucket, slot), n) in std::mem::take(&mut self.retry_allowances) {
+            if n > 0 {
+                self.violate(
+                    Rule::RetryMismatch,
+                    format!(
+                        "{n} retried fault(s) at bucket {} slot {slot} produced no \
+                         retry-read touch",
+                        bucket.0
+                    ),
+                );
+            }
         }
     }
 
@@ -180,6 +263,48 @@ impl OramAuditor {
                             ),
                         );
                     }
+                }
+            }
+            OpKind::RetryRead => {
+                // Retry reads re-fetch already-public slots; they are not
+                // read paths (cadence unaffected) and do not open new slots
+                // (reuse/budget exempt). Every touch must consume one
+                // allowance minted by a `Retried` fault event, and must be
+                // a read.
+                for touch in &plan.touches {
+                    if touch.write {
+                        self.violate(
+                            Rule::PlanShape,
+                            format!(
+                                "retry plan wrote bucket {} slot {} (retries only read)",
+                                touch.bucket.0, touch.slot
+                            ),
+                        );
+                        continue;
+                    }
+                    let site = (touch.bucket, touch.slot);
+                    let allowed = self
+                        .retry_allowances
+                        .get_mut(&site)
+                        .filter(|n| **n > 0)
+                        .map(|n| *n -= 1)
+                        .is_some();
+                    if !allowed {
+                        self.violate(
+                            Rule::RetryMismatch,
+                            format!(
+                                "retry-read of bucket {} slot {} without a matching \
+                                 retried fault event",
+                                touch.bucket.0, touch.slot
+                            ),
+                        );
+                    }
+                }
+                if plan.touches.is_empty() {
+                    self.violate(
+                        Rule::PlanShape,
+                        "empty retry plan (a retry must re-read at least one slot)".to_string(),
+                    );
                 }
             }
             OpKind::EarlyReshuffle => {
@@ -379,6 +504,125 @@ mod tests {
         auditor.observe_stash(config.stash_capacity + 1);
         assert_eq!(auditor.violations().len(), 1);
         assert_eq!(auditor.violations()[0].rule, Rule::StashBound);
+    }
+
+    /// With fault injection enabled the auditor must stay clean: every
+    /// injected corruption is detected, every retry is covered by a fault
+    /// event, and cadence/reuse/budget invariants hold unchanged.
+    #[test]
+    fn faulty_protocol_stream_is_clean() {
+        use ring_oram::ResilienceConfig;
+        let config = small_cb();
+        let mut oram = RingOram::new(config.clone(), 7);
+        oram.enable_encryption(0xFEED);
+        let mut res = ResilienceConfig::for_stash(config.stash_capacity);
+        res.bit_flip_rate = 0.1;
+        res.max_retries = 4;
+        oram.enable_resilience(res);
+        let mut auditor = OramAuditor::new(config.clone());
+        let blocks = config.real_capacity_blocks() / 2;
+        let mut rng = oram_rng::StdRng::seed_from_u64(11);
+        use oram_rng::Rng;
+        for i in 0..600u64 {
+            let block = ring_oram::BlockId(rng.gen_range(0..blocks.max(1)));
+            let outcome = if i % 3 == 0 {
+                let payload = vec![i as u8; config.block_bytes as usize];
+                oram.write_block(block, &payload)
+            } else {
+                oram.read_block(block).0
+            };
+            auditor.observe_faults(&oram.take_fault_events());
+            auditor.observe_access(&outcome.plans);
+            auditor.observe_stash(oram.stash_len());
+        }
+        assert!(auditor.is_clean(), "{:?}", auditor.violations().first());
+        assert!(auditor.faults_checked() > 0, "faults must have fired");
+        assert_eq!(
+            oram.stats().faults_injected,
+            oram.stats().faults_detected,
+            "every injected fault must be detected"
+        );
+    }
+
+    #[test]
+    fn undetected_fault_flagged() {
+        use ring_oram::{FaultEvent, FaultEventKind};
+        let config = small_cb();
+        let mut auditor = OramAuditor::new(config);
+        auditor.observe_faults(&[FaultEvent {
+            access: 1,
+            bucket: BucketId(3),
+            slot: 2,
+            kind: FaultEventKind::Injected,
+        }]);
+        assert!(auditor
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::FaultUndetected));
+    }
+
+    #[test]
+    fn unrecovered_fault_flagged() {
+        use ring_oram::{FaultEvent, FaultEventKind};
+        let config = small_cb();
+        let mut auditor = OramAuditor::new(config);
+        let site = |kind| FaultEvent {
+            access: 1,
+            bucket: BucketId(3),
+            slot: 2,
+            kind,
+        };
+        auditor.observe_faults(&[
+            site(FaultEventKind::Injected),
+            site(FaultEventKind::Detected),
+            site(FaultEventKind::Unrecovered),
+        ]);
+        assert!(auditor
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::FaultUnrecovered));
+    }
+
+    #[test]
+    fn retry_without_fault_event_flagged() {
+        let config = small_cb();
+        let mut auditor = OramAuditor::new(config);
+        let plan = AccessPlan::new(
+            OpKind::RetryRead,
+            vec![SlotTouch::read(BucketId(0), 1)],
+            None,
+        );
+        auditor.observe_access(&[plan]);
+        assert!(auditor
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::RetryMismatch));
+    }
+
+    #[test]
+    fn retried_fault_without_retry_touch_flagged() {
+        use ring_oram::{FaultEvent, FaultEventKind};
+        let config = small_cb();
+        let mut auditor = OramAuditor::new(config.clone());
+        let site = |kind| FaultEvent {
+            access: 1,
+            bucket: BucketId(0),
+            slot: 1,
+            kind,
+        };
+        auditor.observe_faults(&[
+            site(FaultEventKind::Injected),
+            site(FaultEventKind::Detected),
+            site(FaultEventKind::Retried),
+            site(FaultEventKind::Recovered),
+        ]);
+        // A read-path batch with no RetryRead plan: the allowance is left
+        // unconsumed and must be flagged at batch reconciliation.
+        auditor.observe_access(&[read_path(&config, |_| 0)]);
+        assert!(auditor
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::RetryMismatch));
     }
 
     #[test]

@@ -27,6 +27,11 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+// Library code must surface failures as values or documented panics, never
+// as ad-hoc unwraps; tests are free to unwrap (a panic IS the failure).
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod audit;
 pub mod oracle;

@@ -59,6 +59,15 @@ pub enum Rule {
     EvictionCadence,
     /// A plan's read/write touch counts do not match its kind's shape.
     PlanShape,
+    /// An injected integrity fault was never detected (the integrity tag
+    /// is missing or was not checked).
+    FaultUndetected,
+    /// A detected integrity fault ended unrecovered: its payload was lost
+    /// despite (or for lack of) the bounded retry budget.
+    FaultUnrecovered,
+    /// A retry-read plan touch without a matching `Retried` fault event,
+    /// or retried slots that were never made public by a read plan.
+    RetryMismatch,
     /// Two runs that must agree (differential oracle) diverged.
     Divergence,
 }
@@ -88,6 +97,9 @@ impl std::fmt::Display for Rule {
             Self::BucketBudget => "bucket-budget",
             Self::EvictionCadence => "eviction-cadence",
             Self::PlanShape => "plan-shape",
+            Self::FaultUndetected => "fault-undetected",
+            Self::FaultUnrecovered => "fault-unrecovered",
+            Self::RetryMismatch => "retry-mismatch",
             Self::Divergence => "divergence",
         };
         f.write_str(name)
@@ -163,6 +175,9 @@ mod tests {
             Rule::BucketBudget,
             Rule::EvictionCadence,
             Rule::PlanShape,
+            Rule::FaultUndetected,
+            Rule::FaultUnrecovered,
+            Rule::RetryMismatch,
             Rule::Divergence,
         ];
         let names: std::collections::HashSet<String> =

@@ -2,8 +2,37 @@
 
 use dram_sim::geometry::DramGeometry;
 use dram_sim::timing::TimingParams;
-use mem_sched::{PagePolicy, SchedulerPolicy};
-use ring_oram::RingConfig;
+use dram_sim::DramFaultConfig;
+use mem_sched::{PagePolicy, ResponseFaultConfig, SchedulerPolicy};
+use ring_oram::{ResilienceConfig, RingConfig};
+
+/// Why a [`SystemConfig`] was rejected (see `Simulation::try_new`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A configuration constraint was violated.
+    Invalid(String),
+    /// The number of traces handed to the simulation does not match
+    /// `cfg.cores`.
+    TraceCount {
+        /// `cfg.cores`.
+        expected: usize,
+        /// Traces actually provided.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Invalid(msg) => write!(f, "invalid SystemConfig: {msg}"),
+            Self::TraceCount { expected, got } => {
+                write!(f, "need exactly one trace per core ({expected}), got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// The four design points the paper's evaluation compares (Fig. 10-12).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,6 +149,60 @@ pub struct SystemConfig {
     pub mapping: MappingKind,
     /// Passive conformance checking (off for measurement, on in tests).
     pub verify: VerifyConfig,
+    /// Deterministic fault injection across the memory stack. `None` (the
+    /// default) runs fault-free; `Some` enables ciphertext corruption with
+    /// integrity-checked retries at the ORAM layer plus timing faults in
+    /// the controller and DRAM models.
+    pub faults: Option<FaultConfig>,
+}
+
+/// Composite fault-injection configuration for one simulation.
+///
+/// Each layer draws from its own seeded schedule, so the three components
+/// are independent and individually zeroable. Fault randomness never
+/// touches the protocol RNG: a faulty run issues the *same* access
+/// sequence as the fault-free run with the same protocol seed — faults
+/// perturb latency and add retries at already-public slots only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// ORAM-layer faults: in-transit ciphertext bit flips, bounded
+    /// re-read retries, and the stash-pressure degradation watermarks.
+    pub resilience: ResilienceConfig,
+    /// DRAM-layer faults: refresh storms (stretched tRFC) and weak rows
+    /// (post-ACT stalls).
+    pub dram: DramFaultConfig,
+    /// Controller-layer faults: dropped and late data responses plus
+    /// queue-saturation windows.
+    pub memctrl: ResponseFaultConfig,
+}
+
+impl FaultConfig {
+    /// A small, all-layers-active preset for smoke tests: every fault
+    /// class fires at `rate`, sized for the given stash capacity.
+    #[must_use]
+    pub fn smoke(seed: u64, rate: f64, stash_capacity: usize) -> Self {
+        Self {
+            resilience: ResilienceConfig {
+                fault_seed: seed,
+                bit_flip_rate: rate,
+                ..ResilienceConfig::for_stash(stash_capacity)
+            },
+            dram: DramFaultConfig {
+                seed: seed ^ 0xD7A3,
+                storm_rate: rate,
+                storm_factor: 4,
+                weak_row_rate: rate,
+                weak_row_stall: 24,
+            },
+            memctrl: ResponseFaultConfig {
+                seed: seed ^ 0x3C97,
+                late_rate: rate,
+                late_delay: 32,
+                drop_rate: rate.min(0.5),
+                saturation_rate: rate,
+            },
+        }
+    }
 }
 
 /// Configuration of the passive conformance layer (the `sim-verify` crate).
@@ -199,6 +282,7 @@ impl SystemConfig {
                 recursion: None,
                 mapping: MappingKind::PaperStriped,
                 verify: VerifyConfig::off(),
+                faults: None,
             },
             scheme,
         )
@@ -234,6 +318,7 @@ impl SystemConfig {
                 recursion: None,
                 mapping: MappingKind::PaperStriped,
                 verify: VerifyConfig::checked(),
+                faults: None,
             },
             scheme,
         )
@@ -295,6 +380,16 @@ impl SystemConfig {
         }
         if !(0.0..=1.0).contains(&self.load_factor) {
             return Err("load_factor must be in [0, 1]".into());
+        }
+        if let Some(f) = &self.faults {
+            if self.recursion.is_some() {
+                return Err(
+                    "fault injection is not supported with a recursive position map".into(),
+                );
+            }
+            f.resilience.validate(self.ring.stash_capacity)?;
+            f.dram.validate()?;
+            f.memctrl.validate()?;
         }
         use ring_oram::layout::TreeLayout;
         let total = match self.layout {

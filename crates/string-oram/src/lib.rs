@@ -34,6 +34,11 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+// Library code must surface failures as values or documented panics, never
+// as ad-hoc unwraps; tests are free to unwrap (a panic IS the failure).
+#![warn(clippy::unwrap_used)]
+#![warn(clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config;
 pub mod cpu;
@@ -41,8 +46,11 @@ pub mod report;
 pub mod space;
 pub mod system;
 
-pub use config::{LayoutKind, MappingKind, RecursionSettings, Scheme, SystemConfig, VerifyConfig};
+pub use config::{
+    ConfigError, FaultConfig, LayoutKind, MappingKind, RecursionSettings, Scheme, SystemConfig,
+    VerifyConfig,
+};
 pub use cpu::{Core, CoreRequest, CoreState};
-pub use report::{KindCycles, RowClassCounts, SimReport};
+pub use report::{KindCycles, ResilienceSummary, RowClassCounts, SimReport};
 pub use space::{fig4_rows, table5_rows, SpaceRow};
 pub use system::{CycleLimitExceeded, Simulation};

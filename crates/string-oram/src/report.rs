@@ -18,7 +18,10 @@ pub struct KindCycles {
     pub evict: u64,
     /// Cycles attributed to early reshuffles.
     pub reshuffle: u64,
-    /// Dummy read paths, idle and everything else.
+    /// Dummy read paths, fault-recovery retries, idle and everything else.
+    /// (Retry cycles are additionally broken out in
+    /// [`ResilienceSummary::retry_cycles`] so Fig. 10's buckets keep their
+    /// fault-free meaning.)
     pub other: u64,
 }
 
@@ -36,7 +39,7 @@ impl KindCycles {
             Some(OpKind::ReadPath) => self.read += 1,
             Some(OpKind::Eviction) => self.evict += 1,
             Some(OpKind::EarlyReshuffle) => self.reshuffle += 1,
-            Some(OpKind::DummyReadPath) | None => self.other += 1,
+            Some(OpKind::DummyReadPath | OpKind::RetryRead) | None => self.other += 1,
         }
     }
 }
@@ -120,9 +123,50 @@ impl LatencyPercentiles {
             p50: at(0.50),
             p95: at(0.95),
             p99: at(0.99),
-            max: *v.last().expect("nonempty"),
+            max: v[v.len() - 1],
         }
     }
+}
+
+/// Resilience counters for one run: what the fault layer injected and how
+/// the stack absorbed it. All zeros when fault injection is disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceSummary {
+    /// Transit corruptions injected into block fetches.
+    pub faults_injected: u64,
+    /// Corruptions caught by the integrity tag.
+    pub faults_detected: u64,
+    /// Bounded re-reads performed to recover corrupted fetches.
+    pub fault_retries: u64,
+    /// Corrupted fetches recovered within the retry budget.
+    pub faults_recovered: u64,
+    /// Corrupted fetches that exhausted the retry budget.
+    pub faults_unrecovered: u64,
+    /// Entries into degraded mode (green substitution suspended).
+    pub degraded_entries: u64,
+    /// Exits from degraded mode.
+    pub degraded_exits: u64,
+    /// Extra background-eviction rounds forced by the stash escalation
+    /// watermark.
+    pub background_escalations: u64,
+    /// Memory cycles attributed to in-flight retry transactions (latency
+    /// cost of fault recovery; also included in `cycles_by_kind.other`).
+    pub retry_cycles: u64,
+    /// Memory-controller responses delayed by injected late-response
+    /// faults.
+    pub responses_delayed: u64,
+    /// Memory-controller data commands whose response was dropped and
+    /// reissued.
+    pub responses_dropped: u64,
+    /// 1024-cycle windows during which injected queue saturation reduced
+    /// the controller's effective queue capacity.
+    pub queue_saturation_windows: u64,
+    /// Refreshes stretched into storms (tRFC multiplied) by the DRAM fault
+    /// hooks.
+    pub refresh_storms: u64,
+    /// Row activations that hit an injected weak row and stalled before
+    /// serving column commands.
+    pub weak_row_stalls: u64,
 }
 
 /// The complete result of one simulation run.
@@ -160,6 +204,9 @@ pub struct SimReport {
     pub early_activate_fraction: f64,
     /// Protocol statistics (greens, stash samples, background evictions).
     pub protocol: ProtocolStats,
+    /// Fault-injection and graceful-degradation counters (all zeros when
+    /// fault injection is off).
+    pub resilience: ResilienceSummary,
     /// Total memory requests completed.
     pub requests_completed: u64,
     /// DRAM energy estimate (Micron-style model; see `dram_sim::power`).
@@ -249,6 +296,25 @@ mod tests {
         assert_eq!(p.p95, 95);
         assert_eq!(p.p99, 99);
         assert_eq!(p.max, 100);
+    }
+
+    /// Regression: an empty sample population must yield an all-zero
+    /// summary, never panic (measurement windows can legitimately contain
+    /// zero completed program reads).
+    #[test]
+    fn empty_latency_samples_yield_zeroed_summary() {
+        assert_eq!(
+            LatencyPercentiles::from_samples(&[]),
+            LatencyPercentiles::default()
+        );
+    }
+
+    #[test]
+    fn kind_cycles_retry_counts_as_other() {
+        let mut k = KindCycles::default();
+        k.add(Some(OpKind::RetryRead));
+        assert_eq!(k.other, 1);
+        assert_eq!(k.total(), 1);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use ring_oram::recursive::{RecursiveConfig, RecursiveOram};
 use ring_oram::{AccessPlan, BlockId, OpKind, RingOram};
 use trace_synth::TraceRecord;
 
-use crate::config::SystemConfig;
+use crate::config::{ConfigError, SystemConfig};
 use crate::cpu::{Core, CoreRequest};
 use crate::report::{KindCycles, RowClassCounts, SimReport};
 
@@ -47,6 +47,9 @@ struct MeasurementStart {
     refreshes: u64,
     protocol: ring_oram::ProtocolStats,
     read_latency_idx: usize,
+    retry_cycles: u64,
+    refresh_storms: u64,
+    weak_row_stalls: u64,
 }
 
 /// An entry awaiting queue space at the memory controller.
@@ -135,6 +138,9 @@ pub struct Simulation {
     row_class_by_kind: BTreeMap<&'static str, RowClassCounts>,
     transactions_by_kind: BTreeMap<&'static str, u64>,
     oram_accesses: u64,
+    /// Cycles during which the oldest in-flight transaction was a fault
+    /// retry (the latency cost of recovery, reported separately).
+    retry_cycles: u64,
     /// Completion latency of every program read path, in cycles from plan
     /// to data availability (for the latency percentiles in the report).
     read_latencies: Vec<u64>,
@@ -154,14 +160,37 @@ pub struct Simulation {
 impl Simulation {
     /// Builds a simulation of `cfg` running one trace per core.
     ///
+    /// Thin wrapper over [`Self::try_new`] for callers that treat a bad
+    /// configuration as a bug.
+    ///
     /// # Panics
     ///
     /// Panics if `cfg` fails validation or the number of traces does not
     /// match `cfg.cores`.
     #[must_use]
     pub fn new(cfg: SystemConfig, traces: Vec<Vec<TraceRecord>>) -> Self {
-        cfg.validate().expect("invalid SystemConfig");
-        assert_eq!(traces.len(), cfg.cores, "need exactly one trace per core");
+        match Self::try_new(cfg, traces) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a simulation of `cfg` running one trace per core, reporting
+    /// configuration problems instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Invalid`] if `cfg` fails validation (including the
+    /// fault-injection cross-checks) and [`ConfigError::TraceCount`] if
+    /// the number of traces does not match `cfg.cores`.
+    pub fn try_new(cfg: SystemConfig, traces: Vec<Vec<TraceRecord>>) -> Result<Self, ConfigError> {
+        cfg.validate().map_err(ConfigError::Invalid)?;
+        if traces.len() != cfg.cores {
+            return Err(ConfigError::TraceCount {
+                expected: cfg.cores,
+                got: traces.len(),
+            });
+        }
         let cores: Vec<Core> = traces
             .into_iter()
             .enumerate()
@@ -176,14 +205,23 @@ impl Simulation {
             }
         };
         let engine = match cfg.recursion {
-            None => Engine::Flat {
-                oram: Box::new(RingOram::with_load_factor(
+            None => {
+                let mut oram = Box::new(RingOram::with_load_factor(
                     cfg.ring.clone(),
                     cfg.seed,
                     cfg.load_factor,
-                )),
-                layout: mk_layout(&cfg.ring),
-            },
+                ));
+                if let Some(f) = &cfg.faults {
+                    // Integrity-fault detection needs the authenticated
+                    // cipher in the loop.
+                    oram.enable_encryption(cfg.seed ^ 0xC1F3);
+                    oram.enable_resilience(f.resilience);
+                }
+                Engine::Flat {
+                    oram,
+                    layout: mk_layout(&cfg.ring),
+                }
+            }
             Some(r) => {
                 let rec_cfg = RecursiveConfig {
                     data: cfg.ring.clone(),
@@ -210,10 +248,11 @@ impl Simulation {
                 for i in 0..rec_cfg.map_levels() {
                     push(&rec_cfg.map_config(i), &mut base, &mut regions);
                 }
-                assert!(
-                    base <= cfg.geometry.capacity_bytes(),
-                    "recursive ORAM stack ({base} B) exceeds DRAM capacity"
-                );
+                if base > cfg.geometry.capacity_bytes() {
+                    return Err(ConfigError::Invalid(format!(
+                        "recursive ORAM stack ({base} B) exceeds DRAM capacity"
+                    )));
+                }
                 Engine::Recursive { stack, regions }
             }
         };
@@ -221,9 +260,15 @@ impl Simulation {
             crate::config::MappingKind::PaperStriped => AddressMapping::hpca_default(&cfg.geometry),
             crate::config::MappingKind::Sequential => AddressMapping::sequential(&cfg.geometry),
         };
-        let dram = DramModule::new(cfg.geometry.clone(), cfg.timing.clone());
+        let mut dram = DramModule::new(cfg.geometry.clone(), cfg.timing.clone());
+        if let Some(f) = &cfg.faults {
+            dram.enable_faults(f.dram);
+        }
         let mut memctrl = MemoryController::new(dram, mapping, cfg.policy, cfg.queue_capacity);
         memctrl.set_page_policy(cfg.page_policy);
+        if let Some(f) = &cfg.faults {
+            memctrl.enable_response_faults(f.memctrl);
+        }
         let (shadow, txn_order) = if cfg.verify.shadow_timing {
             memctrl.enable_command_trace();
             (
@@ -241,7 +286,7 @@ impl Simulation {
             .oram_audit
             .then(|| sim_verify::OramAuditor::new(cfg.ring.clone()));
         let n = cfg.cores;
-        Self {
+        Ok(Self {
             cfg,
             cores,
             engine,
@@ -256,6 +301,7 @@ impl Simulation {
             row_class_by_kind: BTreeMap::new(),
             transactions_by_kind: BTreeMap::new(),
             oram_accesses: 0,
+            retry_cycles: 0,
             read_latencies: Vec::new(),
             measurement_start: None,
             label: String::new(),
@@ -263,7 +309,7 @@ impl Simulation {
             txn_order,
             auditor,
             violations: Vec::new(),
-        }
+        })
     }
 
     /// Sets the report label (workload / scheme).
@@ -414,6 +460,9 @@ impl Simulation {
         // 7. Attribute this cycle to the oldest unfinished transaction.
         let oldest_kind = self.txns.values().next().map(|t| t.kind);
         self.cycles_by_kind.add(oldest_kind);
+        if oldest_kind == Some(OpKind::RetryRead) {
+            self.retry_cycles += 1;
+        }
 
         self.cycle += 1;
     }
@@ -427,13 +476,29 @@ impl Simulation {
             Engine::Flat { oram, .. } => {
                 let outcome = oram.access(BlockId(req.block));
                 let served_from_tree = matches!(outcome.source, ring_oram::TargetSource::Tree(_));
+                // Drain the fault log unconditionally (bounds protocol-side
+                // memory); the auditor replays it before the plans so retry
+                // allowances exist when the plans are checked.
+                let faults = oram.take_fault_events();
                 if let Some(auditor) = &mut self.auditor {
+                    auditor.observe_faults(&faults);
                     auditor.observe_access(&outcome.plans);
                     auditor.observe_stash(oram.stash_len());
                 }
                 let plans = outcome.plans;
-                for plan in plans {
-                    self.push_plan(plan, 0, Some((req.core, served_from_tree)));
+                // The core's data arrives with the *last* plan carrying a
+                // target touch: normally the read path, but a corrupted
+                // target fetch is only whole after its retry plan.
+                let wake_idx = plans
+                    .iter()
+                    .rposition(|p| {
+                        matches!(p.kind, OpKind::ReadPath | OpKind::RetryRead)
+                            && p.target_index.is_some()
+                    })
+                    .or_else(|| plans.iter().rposition(|p| p.kind == OpKind::ReadPath));
+                for (i, plan) in plans.into_iter().enumerate() {
+                    let waiting = (Some(i) == wake_idx).then_some((req.core, served_from_tree));
+                    self.push_plan(plan, 0, waiting);
                 }
             }
             Engine::Recursive { stack, .. } => {
@@ -505,7 +570,6 @@ impl Simulation {
             .entry(plan.kind.label())
             .or_default() += 1;
 
-        let is_program_read = plan.kind == OpKind::ReadPath && waiting.is_some();
         let mut state = TxnState {
             kind: plan.kind,
             planned_at: self.cycle,
@@ -514,11 +578,16 @@ impl Simulation {
             target_req_id: None,
             release_on_completion: false,
         };
-        if is_program_read {
-            let (core, served_from_tree) = waiting.expect("checked");
-            state.waiting_core = Some(core);
-            state.release_on_completion = !(served_from_tree && plan.target_index.is_some());
-        }
+        let is_program_read = match waiting {
+            Some((core, served_from_tree))
+                if matches!(plan.kind, OpKind::ReadPath | OpKind::RetryRead) =>
+            {
+                state.waiting_core = Some(core);
+                state.release_on_completion = !(served_from_tree && plan.target_index.is_some());
+                true
+            }
+            _ => false,
+        };
         for (i, touch) in plan.touches.iter().enumerate() {
             let addr = match &self.engine {
                 Engine::Flat { layout, .. } => PhysAddr(layout.addr_of(touch.bucket, touch.slot)),
@@ -574,6 +643,9 @@ impl Simulation {
             refreshes: dram.total_refreshes(),
             protocol: self.engine.data_oram().stats().clone(),
             read_latency_idx: self.read_latencies.len(),
+            retry_cycles: self.retry_cycles,
+            refresh_storms: dram.total_refresh_storms(),
+            weak_row_stalls: dram.weak_row_stalls(),
             sched,
         });
     }
@@ -643,6 +715,22 @@ impl Simulation {
             None => dram.average_bank_idle_proportion(self.cycle),
         };
         let refreshes = dram.total_refreshes() - start.map_or(0, |m| m.refreshes);
+        let resilience = crate::report::ResilienceSummary {
+            faults_injected: protocol.faults_injected,
+            faults_detected: protocol.faults_detected,
+            fault_retries: protocol.fault_retries,
+            faults_recovered: protocol.faults_recovered,
+            faults_unrecovered: protocol.faults_unrecovered,
+            degraded_entries: protocol.degraded_entries,
+            degraded_exits: protocol.degraded_exits,
+            background_escalations: protocol.background_escalations,
+            retry_cycles: self.retry_cycles - start.map_or(0, |m| m.retry_cycles),
+            responses_delayed: sched.responses_delayed,
+            responses_dropped: sched.responses_dropped,
+            queue_saturation_windows: sched.queue_saturation_windows,
+            refresh_storms: dram.total_refresh_storms() - start.map_or(0, |m| m.refresh_storms),
+            weak_row_stalls: dram.weak_row_stalls() - start.map_or(0, |m| m.weak_row_stalls),
+        };
 
         SimReport {
             label: self.label.clone(),
@@ -660,6 +748,7 @@ impl Simulation {
             early_precharge_fraction: sched.early_precharge_fraction(),
             early_activate_fraction: sched.early_activate_fraction(),
             protocol,
+            resilience,
             requests_completed: sched.reads_completed + sched.writes_completed,
             channel_imbalance: sched.channel_imbalance(),
             read_latency: crate::report::LatencyPercentiles::from_samples(latencies),
