@@ -96,7 +96,40 @@ pub struct AddressMapping {
     order_lsb_first: Vec<Field>,
     /// Bit width of each field, parallel to `order_lsb_first`.
     widths: Vec<u32>,
+    /// Precomputed per-coordinate extraction, for the branch-free decode
+    /// on the per-request hot path.
+    plan: DecodePlan,
     geometry: DramGeometry,
+}
+
+/// `(shift, mask)` of each coordinate within a physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct DecodePlan {
+    channel: (u32, u64),
+    rank: (u32, u64),
+    column: (u32, u64),
+    bank: (u32, u64),
+    row: (u32, u64),
+}
+
+impl DecodePlan {
+    fn new(order_lsb_first: &[Field], widths: &[u32]) -> Self {
+        let mut plan = Self::default();
+        let mut shift = 0u32;
+        for (field, &width) in order_lsb_first.iter().zip(widths) {
+            let part = (shift, (1u64 << width) - 1);
+            match field {
+                Field::Offset => {}
+                Field::Channel => plan.channel = part,
+                Field::Rank => plan.rank = part,
+                Field::Column => plan.column = part,
+                Field::Bank => plan.bank = part,
+                Field::Row => plan.row = part,
+            }
+            shift += width;
+        }
+        plan
+    }
 }
 
 impl AddressMapping {
@@ -126,11 +159,12 @@ impl AddressMapping {
                 "mapping must contain {f:?} exactly once"
             );
         }
-        let widths = order_lsb_first
+        let widths: Vec<u32> = order_lsb_first
             .iter()
             .map(|f| Self::field_width(geometry, *f))
             .collect();
         Self {
+            plan: DecodePlan::new(order_lsb_first, &widths),
             order_lsb_first: order_lsb_first.to_vec(),
             widths,
             geometry: geometry.clone(),
@@ -204,28 +238,15 @@ impl AddressMapping {
     /// in-range addresses).
     #[must_use]
     pub fn decode(&self, addr: PhysAddr) -> DramLocation {
-        let mut remaining = addr.0;
-        let mut loc = DramLocation {
-            channel: 0,
-            rank: 0,
-            bank: 0,
-            row: 0,
-            column: 0,
-        };
-        for (field, width) in self.order_lsb_first.iter().zip(&self.widths) {
-            let mask = (1u64 << width) - 1;
-            let v = remaining & mask;
-            remaining >>= width;
-            match field {
-                Field::Offset => {}
-                Field::Channel => loc.channel = v as u32,
-                Field::Rank => loc.rank = v as u32,
-                Field::Column => loc.column = v as u32,
-                Field::Bank => loc.bank = v as u32,
-                Field::Row => loc.row = v,
-            }
+        let a = addr.0;
+        let part = |(shift, mask): (u32, u64)| (a >> shift) & mask;
+        DramLocation {
+            channel: part(self.plan.channel) as u32,
+            rank: part(self.plan.rank) as u32,
+            bank: part(self.plan.bank) as u32,
+            row: part(self.plan.row),
+            column: part(self.plan.column) as u32,
         }
-        loc
     }
 
     /// Encodes DRAM coordinates back into a physical address (offset 0).

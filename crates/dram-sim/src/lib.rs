@@ -59,6 +59,6 @@ pub use address::{AddressMapping, DramLocation, PhysAddr};
 pub use command::{CommandKind, DramCommand, IssueError};
 pub use faults::DramFaultConfig;
 pub use geometry::DramGeometry;
-pub use module::{DramModule, IssueOutcome};
+pub use module::{DramModule, DramSnapshot, IssueOutcome};
 pub use stats::DramStats;
 pub use timing::TimingParams;

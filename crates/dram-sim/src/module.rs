@@ -26,6 +26,65 @@ pub struct IssueOutcome {
     pub data_done_at: Option<u64>,
 }
 
+/// A frozen copy of every counter a [`DramModule`] exposes, taken with
+/// [`DramModule::snapshot`].
+///
+/// Two snapshots subtract ([`DramSnapshot::delta`]) to give the activity of a
+/// measurement window, so report builders do not have to mirror each counter
+/// individually.
+#[derive(Debug, Clone)]
+pub struct DramSnapshot {
+    /// Command counters at snapshot time.
+    pub stats: DramStats,
+    /// The module's timing parameters (copied so energy models can run on
+    /// the snapshot alone).
+    pub timing: TimingParams,
+    /// Per-bank busy-cycle totals, indexed by bank key.
+    pub bank_busy: Vec<u64>,
+    /// Total refreshes performed across all ranks.
+    pub refreshes: u64,
+    /// Refreshes stretched into injected storms.
+    pub refresh_storms: u64,
+    /// ACTs that hit an injected weak row.
+    pub weak_row_stalls: u64,
+}
+
+impl DramSnapshot {
+    /// Counter-wise difference `self - earlier`, for measurement windows.
+    #[must_use]
+    pub fn delta(&self, earlier: &Self) -> Self {
+        Self {
+            stats: self.stats.delta(&earlier.stats),
+            timing: self.timing.clone(),
+            bank_busy: self
+                .bank_busy
+                .iter()
+                .zip(&earlier.bank_busy)
+                .map(|(a, b)| a - b)
+                .collect(),
+            refreshes: self.refreshes - earlier.refreshes,
+            refresh_storms: self.refresh_storms - earlier.refresh_storms,
+            weak_row_stalls: self.weak_row_stalls - earlier.weak_row_stalls,
+        }
+    }
+
+    /// Average bank idle proportion over `elapsed` cycles, computed from the
+    /// snapshot's per-bank busy totals: `1 - busy/elapsed` averaged over all
+    /// banks. Returns 0 when `elapsed` is 0 or the snapshot has no banks.
+    #[must_use]
+    pub fn average_bank_idle_proportion(&self, elapsed: u64) -> f64 {
+        if elapsed == 0 || self.bank_busy.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .bank_busy
+            .iter()
+            .map(|&b| 1.0 - (b.min(elapsed) as f64 / elapsed as f64))
+            .sum();
+        total / self.bank_busy.len() as f64
+    }
+}
+
 /// A cycle-accurate model of a multi-channel DRAM main memory.
 ///
 /// The module is *passive*: it validates and applies commands that a memory
@@ -152,6 +211,23 @@ impl DramModule {
     #[must_use]
     pub fn hpca_default() -> Self {
         Self::new(DramGeometry::hpca_default(), TimingParams::ddr3_1600())
+    }
+
+    /// Freezes every counter the module exposes into one value.
+    ///
+    /// Reporting layers that want measurement windows snapshot once at the
+    /// window start and [`DramSnapshot::delta`] at the end, instead of
+    /// tracking each counter separately.
+    #[must_use]
+    pub fn snapshot(&self) -> DramSnapshot {
+        DramSnapshot {
+            stats: self.stats.clone(),
+            timing: self.timing.clone(),
+            bank_busy: self.bank_busy_cycles(),
+            refreshes: self.total_refreshes(),
+            refresh_storms: self.total_refresh_storms(),
+            weak_row_stalls: self.weak_row_stalls(),
+        }
     }
 
     /// The module's geometry.

@@ -1,0 +1,198 @@
+//! The pluggable memory-backend abstraction.
+//!
+//! The `string-oram` pipeline drives memory through the [`MemoryBackend`]
+//! trait rather than the concrete [`MemoryController`], so the same staged
+//! transaction pipeline can run over
+//!
+//! * the **cycle-accurate** backend — [`MemoryController`] over
+//!   `dram-sim`, the paper's evaluation substrate — or
+//! * the **fast functional** backend ([`crate::FunctionalBackend`]) — a
+//!   row-aware latency model with no per-cycle DRAM state, for long-trace
+//!   and protocol-only runs.
+//!
+//! Both backends expose the same contract: transaction-ordered enqueue,
+//! per-cycle `tick`, completion draining, a [`CommandEvent`] stream for
+//! external conformance checking, and a [`BackendSnapshot`] of every
+//! counter for measurement windows.
+
+use dram_sim::{DramModule, DramSnapshot, PhysAddr};
+
+use crate::controller::{CommandEvent, MemoryController};
+use crate::queue::QueueFull;
+use crate::request::{Completed, RequestSpec};
+use crate::stats::SchedulerStats;
+
+/// A frozen copy of every counter a backend exposes, for measurement
+/// windows: snapshot at the window start, [`BackendSnapshot::delta`] at the
+/// end.
+#[derive(Debug, Clone)]
+pub struct BackendSnapshot {
+    /// Scheduler-level counters (both backends).
+    pub sched: SchedulerStats,
+    /// DRAM-level counters; `None` for backends without a cycle-accurate
+    /// DRAM model.
+    pub dram: Option<DramSnapshot>,
+}
+
+impl BackendSnapshot {
+    /// Counter-wise difference `self - earlier`. `earlier` must be a prior
+    /// snapshot of the same backend.
+    #[must_use]
+    pub fn delta(&self, earlier: &Self) -> Self {
+        Self {
+            sched: self.sched.delta(&earlier.sched),
+            dram: match (&self.dram, &earlier.dram) {
+                (Some(now), Some(then)) => Some(now.delta(then)),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// The memory side of the ORAM system, as seen by the transaction pipeline.
+///
+/// The contract every implementation upholds:
+///
+/// * requests are enqueued in non-decreasing [`crate::TxnId`] order and
+///   their **data commands complete in transaction order** (the ORAM
+///   security contract), except under the explicitly insecure
+///   [`crate::SchedulerPolicy::Unconstrained`] ablation;
+/// * [`MemoryBackend::tick`] is called once per cycle with non-decreasing
+///   cycles; completions surface via [`MemoryBackend::drain_completed`]
+///   with a possibly-future `data_done_at` (recorded at data-command issue
+///   time);
+/// * when command tracing is enabled, every issued command appears on the
+///   [`CommandEvent`] stream so `sim-verify` checkers can attach without
+///   knowing which backend produced it.
+pub trait MemoryBackend: std::fmt::Debug {
+    /// Enqueues a request at `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the target queue has no free entry; the caller
+    /// must stall and retry (nothing is enqueued).
+    fn try_enqueue(&mut self, spec: RequestSpec, cycle: u64) -> Result<u64, QueueFull>;
+
+    /// Whether a request with this address/direction would currently be
+    /// accepted.
+    fn has_room(&self, addr: PhysAddr, is_write: bool) -> bool;
+
+    /// Advances the backend by one memory cycle.
+    fn tick(&mut self, cycle: u64);
+
+    /// Takes all requests completed since the last call.
+    fn drain_completed(&mut self) -> Vec<Completed>;
+
+    /// Appends all requests completed since the last drain to `out`,
+    /// reusing its capacity. The allocation-free form of
+    /// [`MemoryBackend::drain_completed`] for per-cycle callers; both
+    /// drains consume the same completion buffer.
+    fn drain_completed_into(&mut self, out: &mut Vec<Completed>) {
+        out.append(&mut self.drain_completed());
+    }
+
+    /// Number of requests currently queued (not yet completed).
+    fn pending(&self) -> usize;
+
+    /// Starts recording every issued command on the event stream.
+    fn enable_command_trace(&mut self);
+
+    /// Takes the recorded command events, leaving tracing active if it was
+    /// enabled. Empty if tracing was never enabled.
+    fn take_command_events(&mut self) -> Vec<CommandEvent>;
+
+    /// Scheduler-level statistics.
+    fn sched_stats(&self) -> &SchedulerStats;
+
+    /// The cycle-accurate DRAM module, when the backend has one. `None`
+    /// means timing-level checkers (JEDEC shadow timing, bank idle
+    /// accounting, the energy model) do not apply.
+    fn dram_module(&self) -> Option<&DramModule>;
+
+    /// Freezes every counter into one [`BackendSnapshot`].
+    fn snapshot(&self) -> BackendSnapshot;
+}
+
+impl MemoryBackend for MemoryController {
+    fn try_enqueue(&mut self, spec: RequestSpec, cycle: u64) -> Result<u64, QueueFull> {
+        MemoryController::try_enqueue(self, spec, cycle)
+    }
+
+    fn has_room(&self, addr: PhysAddr, is_write: bool) -> bool {
+        MemoryController::has_room(self, addr, is_write)
+    }
+
+    fn tick(&mut self, cycle: u64) {
+        MemoryController::tick(self, cycle);
+    }
+
+    fn drain_completed(&mut self) -> Vec<Completed> {
+        MemoryController::drain_completed(self)
+    }
+
+    fn pending(&self) -> usize {
+        MemoryController::pending(self)
+    }
+
+    fn enable_command_trace(&mut self) {
+        MemoryController::enable_command_trace(self);
+    }
+
+    fn take_command_events(&mut self) -> Vec<CommandEvent> {
+        MemoryController::take_command_events(self)
+    }
+
+    fn sched_stats(&self) -> &SchedulerStats {
+        self.stats()
+    }
+
+    fn dram_module(&self) -> Option<&DramModule> {
+        Some(self.dram())
+    }
+
+    fn snapshot(&self) -> BackendSnapshot {
+        BackendSnapshot {
+            sched: self.stats().clone(),
+            dram: Some(self.dram().snapshot()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchedulerPolicy;
+    use dram_sim::geometry::DramGeometry;
+    use dram_sim::timing::TimingParams;
+    use dram_sim::AddressMapping;
+
+    #[test]
+    fn controller_implements_backend() {
+        let geometry = DramGeometry::test_small();
+        let mapping = AddressMapping::hpca_default(&geometry);
+        let dram = DramModule::new(geometry, TimingParams::test_fast());
+        let ctrl = MemoryController::new(dram, mapping, SchedulerPolicy::TransactionBased, 16);
+        let backend: &dyn MemoryBackend = &ctrl;
+        assert_eq!(backend.pending(), 0);
+        assert!(backend.dram_module().is_some());
+        let snap = backend.snapshot();
+        assert!(snap.dram.is_some());
+        assert_eq!(snap.sched.ticks, 0);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_both_layers() {
+        let geometry = DramGeometry::test_small();
+        let mapping = AddressMapping::hpca_default(&geometry);
+        let dram = DramModule::new(geometry, TimingParams::test_fast());
+        let mut ctrl = MemoryController::new(dram, mapping, SchedulerPolicy::TransactionBased, 16);
+        let before = MemoryBackend::snapshot(&ctrl);
+        for c in 0..10 {
+            MemoryBackend::tick(&mut ctrl, c);
+        }
+        let after = MemoryBackend::snapshot(&ctrl);
+        let d = after.delta(&before);
+        assert_eq!(d.sched.ticks, 10);
+        assert!(d.dram.is_some());
+    }
+}

@@ -47,14 +47,18 @@
 #![warn(clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod backend;
 pub mod controller;
+pub mod functional;
 pub mod queue;
 pub mod request;
 pub mod stats;
 
+pub use backend::{BackendSnapshot, MemoryBackend};
 pub use controller::{
     CommandEvent, MemoryController, PagePolicy, ResponseFaultConfig, SchedulerPolicy,
 };
+pub use functional::{FunctionalBackend, FunctionalTiming};
 pub use queue::QueueFull;
 pub use request::{Completed, RequestSpec, RowClass, TxnId};
 pub use stats::SchedulerStats;

@@ -45,6 +45,12 @@ pub struct Bucket {
     /// Green fetches since the last shuffle (the paper's green counter,
     /// `log2(Y)` bits of metadata).
     greens_used: u32,
+    /// Cached count of valid slots holding a real block, so the per-touch
+    /// access rules ([`Self::needs_reshuffle_gated`], slot choice) are O(1)
+    /// instead of re-scanning the slot vector.
+    n_valid_reals: u32,
+    /// Cached count of valid dummy slots.
+    n_valid_dummies: u32,
 }
 
 impl Bucket {
@@ -73,32 +79,15 @@ impl Bucket {
         entries: Vec<BlockEntry>,
         rng: &mut R,
     ) -> Self {
-        assert!(
-            entries.len() <= cfg.z as usize,
-            "bucket can hold at most Z = {} real blocks, got {}",
-            cfg.z,
-            entries.len()
-        );
-        let slot_count = cfg.bucket_slots() as usize;
-        let mut slots: Vec<Slot> = entries
-            .into_iter()
-            .map(|(b, data)| Slot {
-                block: Some(b),
-                valid: true,
-                data,
-            })
-            .collect();
-        slots.resize_with(slot_count, || Slot {
-            block: None,
-            valid: true,
-            data: None,
-        });
-        slots.shuffle(rng);
-        Self {
-            slots,
+        let mut bucket = Self {
+            slots: Vec::new(),
             accesses: 0,
             greens_used: 0,
-        }
+            n_valid_reals: 0,
+            n_valid_dummies: 0,
+        };
+        bucket.reload(cfg, entries, rng);
+        bucket
     }
 
     /// An empty, freshly shuffled bucket (all dummies).
@@ -122,19 +111,27 @@ impl Bucket {
     /// Number of valid real blocks currently stored.
     #[must_use]
     pub fn real_count(&self) -> usize {
-        self.slots
-            .iter()
-            .filter(|s| s.valid && s.block.is_some())
-            .count()
+        debug_assert_eq!(
+            self.n_valid_reals as usize,
+            self.slots
+                .iter()
+                .filter(|s| s.valid && s.block.is_some())
+                .count()
+        );
+        self.n_valid_reals as usize
     }
 
     /// Number of valid dummy slots remaining.
     #[must_use]
     pub fn valid_dummies(&self) -> usize {
-        self.slots
-            .iter()
-            .filter(|s| s.valid && s.block.is_none())
-            .count()
+        debug_assert_eq!(
+            self.n_valid_dummies as usize,
+            self.slots
+                .iter()
+                .filter(|s| s.valid && s.block.is_none())
+                .count()
+        );
+        self.n_valid_dummies as usize
     }
 
     /// The valid real blocks currently stored.
@@ -199,6 +196,37 @@ impl Bucket {
         self.greens_used < cfg.y && self.real_count() > 0
     }
 
+    /// Picks a uniformly random valid slot that holds a real block
+    /// (`real = true`) or a dummy (`real = false`); `None` when no such
+    /// slot exists.
+    ///
+    /// Draw-compatible with `candidates.choose(rng)` over the collected
+    /// ascending candidate list: both consume exactly one
+    /// `gen_range(0..n)`-style draw for a non-empty set and select the
+    /// `k`-th candidate in slot order — this form just skips building the
+    /// list, using the cached counts instead.
+    fn choose_slot<R: Rng + ?Sized>(&self, real: bool, rng: &mut R) -> Option<usize> {
+        let n = if real {
+            self.n_valid_reals
+        } else {
+            self.n_valid_dummies
+        } as usize;
+        if n == 0 {
+            return None;
+        }
+        let k = rng.gen_range(0..n);
+        let mut seen = 0;
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.valid && s.block.is_some() == real {
+                if seen == k {
+                    return Some(i);
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("cached slot counts out of sync with slot vector")
+    }
+
     /// Serves one read-path touch.
     ///
     /// * If `target` is present and valid, its slot is read: the block moves
@@ -256,20 +284,15 @@ impl Bucket {
             if let Some(idx) = self.find(t) {
                 self.slots[idx].valid = false;
                 self.slots[idx].block = None;
+                self.n_valid_reals -= 1;
                 let data = self.slots[idx].data.take();
                 return (idx, FetchKind::Target(t), data);
             }
         }
         // Dummy-first policy.
-        let dummies: Vec<usize> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.valid && s.block.is_none())
-            .map(|(i, _)| i)
-            .collect();
-        if let Some(&idx) = dummies.as_slice().choose(rng) {
+        if let Some(idx) = self.choose_slot(false, rng) {
             self.slots[idx].valid = false;
+            self.n_valid_dummies -= 1;
             return (idx, FetchKind::Dummy, None);
         }
         // Fall back to a green block. Under the degraded-mode gate this is
@@ -279,16 +302,8 @@ impl Bucket {
             allow_green || self.real_count() as u32 == cfg.bucket_slots(),
             "green substitution disabled; needs_reshuffle_gated() should have fired"
         );
-        let reals: Vec<usize> = self
-            .slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.valid && s.block.is_some())
-            .map(|(i, _)| i)
-            .collect();
-        let idx = *reals
-            .as_slice()
-            .choose(rng)
+        let idx = self
+            .choose_slot(true, rng)
             .expect("needs_reshuffle() guaranteed a candidate");
         assert!(
             self.greens_used < cfg.y,
@@ -297,6 +312,7 @@ impl Bucket {
         let block = self.slots[idx].block.take().expect("real slot has block");
         let data = self.slots[idx].data.take();
         self.slots[idx].valid = false;
+        self.n_valid_reals -= 1;
         self.greens_used += 1;
         (idx, FetchKind::Green(block), data)
     }
@@ -313,6 +329,9 @@ impl Bucket {
                 }
             }
         }
+        // The emptied slots stay valid, so each one now counts as a dummy.
+        self.n_valid_reals -= out.len() as u32;
+        self.n_valid_dummies += out.len() as u32;
         out
     }
 
@@ -329,7 +348,33 @@ impl Bucket {
         entries: Vec<BlockEntry>,
         rng: &mut R,
     ) {
-        *self = Self::with_entries(cfg, entries, rng);
+        assert!(
+            entries.len() <= cfg.z as usize,
+            "bucket can hold at most Z = {} real blocks, got {}",
+            cfg.z,
+            entries.len()
+        );
+        let reals = entries.len() as u32;
+        // Rebuild in place, reusing the slot buffer (a reload happens on
+        // every eviction level and every reshuffle; a fresh allocation per
+        // call dominates the protocol's own work).
+        self.slots.clear();
+        self.slots.extend(entries.into_iter().map(|(b, data)| Slot {
+            block: Some(b),
+            valid: true,
+            data,
+        }));
+        let slot_count = cfg.bucket_slots() as usize;
+        self.slots.resize_with(slot_count, || Slot {
+            block: None,
+            valid: true,
+            data: None,
+        });
+        self.slots.shuffle(rng);
+        self.accesses = 0;
+        self.greens_used = 0;
+        self.n_valid_reals = reals;
+        self.n_valid_dummies = slot_count as u32 - reals;
     }
 
     /// Number of physical slots.
@@ -357,8 +402,13 @@ impl Bucket {
     ///
     /// Panics if `slot` is out of range.
     pub fn clear_slot(&mut self, slot: usize) -> Option<BlockData> {
-        self.slots[slot].block = None;
-        self.slots[slot].data.take()
+        let s = &mut self.slots[slot];
+        if s.valid && s.block.is_some() {
+            self.n_valid_reals -= 1;
+            self.n_valid_dummies += 1;
+        }
+        s.block = None;
+        s.data.take()
     }
 }
 

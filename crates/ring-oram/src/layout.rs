@@ -42,10 +42,26 @@ pub struct SubtreeLayout {
     k: u32,
     /// Padded byte size of one subtree slot.
     subtree_slot_bytes: u64,
-    /// `prefix[g]` = number of subtree instances in groups `0..g`.
-    group_prefix: Vec<u64>,
     /// Total number of subtree instances.
     total_subtrees: u64,
+    /// Per-level constants so the hot [`TreeLayout::addr_of`] needs no
+    /// division: `lut[level]` folds the level's group membership into
+    /// shift/mask form.
+    lut: Vec<LevelLut>,
+}
+
+/// Per-level address constants: everything `addr_of` needs once the
+/// bucket's level is known.
+#[derive(Debug, Clone, Copy)]
+struct LevelLut {
+    /// First bucket id of the level: `2^level - 1`.
+    level_base: u64,
+    /// Subtree instances in all preceding groups (`group_prefix[level/k]`).
+    group_base: u64,
+    /// Depth of the level inside its group: `level - (level/k)*k`. Shifting
+    /// a position-in-level right by this yields the subtree root position;
+    /// masking by `2^depth - 1` yields the local path.
+    depth: u32,
 }
 
 impl SubtreeLayout {
@@ -98,14 +114,21 @@ impl SubtreeLayout {
             total += 1u64 << (g * k);
         }
         group_prefix.push(total);
+        let lut = (0..cfg.levels)
+            .map(|level| LevelLut {
+                level_base: (1u64 << level) - 1,
+                group_base: group_prefix[(level / k) as usize],
+                depth: level - (level / k) * k,
+            })
+            .collect();
         Self {
             geometry,
             bucket_bytes,
             block_bytes: u64::from(cfg.block_bytes),
             k,
             subtree_slot_bytes,
-            group_prefix,
             total_subtrees: total,
+            lut,
         }
     }
 
@@ -113,31 +136,29 @@ impl SubtreeLayout {
     /// group-major breadth-first order).
     #[must_use]
     pub fn subtree_index(&self, bucket: BucketId) -> u64 {
-        let level = self.geometry.level_of(bucket).0;
-        let group = level / self.k;
-        let root_level = group * self.k;
-        let pos_in_level = bucket.0 - ((1u64 << level) - 1);
-        let root_pos = pos_in_level >> (level - root_level);
-        self.group_prefix[group as usize] + root_pos
+        let l = self.lut[self.geometry.level_of(bucket).0 as usize];
+        l.group_base + ((bucket.0 - l.level_base) >> l.depth)
     }
 
     /// Index of `bucket` inside its subtree (local breadth-first order).
     #[must_use]
     pub fn local_index(&self, bucket: BucketId) -> u64 {
-        let level = self.geometry.level_of(bucket).0;
-        let group = level / self.k;
-        let depth = level - group * self.k;
-        let pos_in_level = bucket.0 - ((1u64 << level) - 1);
-        let local_path = pos_in_level & ((1u64 << depth) - 1);
-        ((1u64 << depth) - 1) + local_path
+        let l = self.lut[self.geometry.level_of(bucket).0 as usize];
+        let mask = (1u64 << l.depth) - 1;
+        mask + ((bucket.0 - l.level_base) & mask)
     }
 }
 
 impl TreeLayout for SubtreeLayout {
     fn addr_of(&self, bucket: BucketId, slot: u32) -> u64 {
         debug_assert!(bucket.0 < self.geometry.bucket_count(), "bucket range");
-        self.subtree_index(bucket) * self.subtree_slot_bytes
-            + self.local_index(bucket) * self.bucket_bytes
+        let l = self.lut[self.geometry.level_of(bucket).0 as usize];
+        let pos = bucket.0 - l.level_base;
+        let mask = (1u64 << l.depth) - 1;
+        let subtree = l.group_base + (pos >> l.depth);
+        let local = mask + (pos & mask);
+        subtree * self.subtree_slot_bytes
+            + local * self.bucket_bytes
             + u64::from(slot) * self.block_bytes
     }
 

@@ -46,6 +46,7 @@ pub mod aes;
 pub mod bucket;
 pub mod config;
 pub mod crypto;
+pub mod fasthash;
 pub mod faults;
 pub mod layout;
 pub mod path_oram;

@@ -4,9 +4,9 @@
 //! table inside the secure processor; here it is a hash map that assigns
 //! fresh uniform paths lazily and on every remap.
 
-use std::collections::HashMap;
-
 use oram_rng::Rng;
+
+use crate::fasthash::DetHashMap;
 
 use crate::types::{BlockId, PathId};
 
@@ -29,7 +29,7 @@ use crate::types::{BlockId, PathId};
 #[derive(Debug, Clone)]
 pub struct PositionMap {
     paths: u64,
-    map: HashMap<BlockId, PathId>,
+    map: DetHashMap<BlockId, PathId>,
 }
 
 impl PositionMap {
@@ -43,7 +43,7 @@ impl PositionMap {
         assert!(paths > 0, "paths must be nonzero");
         Self {
             paths,
-            map: HashMap::new(),
+            map: DetHashMap::default(),
         }
     }
 

@@ -27,13 +27,12 @@
 //! from any other). From then on the block obeys the standard invariant:
 //! it is either in the stash or in a bucket on its assigned path.
 
-use std::collections::HashMap;
-
 use oram_rng::{Rng, StdRng};
 
 use crate::bucket::{BlockData, Bucket};
 use crate::config::RingConfig;
 use crate::crypto::BlockCipher;
+use crate::fasthash::DetHashMap;
 use crate::faults::{FaultEvent, FaultEventKind, OramError, ResilienceConfig};
 use crate::plan::{AccessPlan, OpKind, SlotTouch};
 use crate::position_map::PositionMap;
@@ -64,8 +63,34 @@ pub struct AccessOutcome {
     pub source: TargetSource,
 }
 
+impl AccessOutcome {
+    /// Index of the plan whose completion makes the requested data
+    /// available to the program: the last read-path (or retry) plan that
+    /// actually fetches the target, falling back to the last read path when
+    /// the target never leaves the chip (stash / tree-top / first-touch
+    /// hits — the path is still performed in full for obliviousness).
+    /// `None` when the access produced no read-path plan at all.
+    #[must_use]
+    pub fn wake_plan_index(&self) -> Option<usize> {
+        self.plans
+            .iter()
+            .rposition(|p| {
+                matches!(p.kind, OpKind::ReadPath | OpKind::RetryRead) && p.target_index.is_some()
+            })
+            .or_else(|| self.plans.iter().rposition(|p| p.kind == OpKind::ReadPath))
+    }
+
+    /// Whether the target was served from an off-chip tree bucket (its
+    /// payload travels on the memory bus, so the program must wait for the
+    /// fetch's data, not merely for the transaction to retire).
+    #[must_use]
+    pub fn served_from_tree(&self) -> bool {
+        matches!(self.source, TargetSource::Tree(_))
+    }
+}
+
 /// Protocol-level statistics, accumulated across the instance's lifetime.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProtocolStats {
     /// Program-serving read paths.
     pub read_paths: u64,
@@ -184,7 +209,7 @@ enum FetchResolution {
 pub struct RingOram {
     cfg: RingConfig,
     geometry: TreeGeometry,
-    buckets: HashMap<BucketId, Bucket>,
+    buckets: DetHashMap<BucketId, Bucket>,
     position_map: PositionMap,
     stash: Stash,
     /// Read paths since the last eviction (eviction fires at `A`).
@@ -215,6 +240,44 @@ impl std::fmt::Debug for RingOram {
             .field("eviction_count", &self.eviction_count)
             .finish_non_exhaustive()
     }
+}
+
+/// Looks up `id` in `buckets`, cold-filling it on first touch (one hash
+/// probe via the entry API). A free function over disjoint [`RingOram`]
+/// fields so the hot read path can keep borrows of the other fields (the
+/// RNG in particular) usable across the returned bucket reference.
+#[allow(clippy::too_many_arguments)] // a borrow-split of RingOram's fields
+fn materialize_entry<'a>(
+    buckets: &'a mut DetHashMap<BucketId, Bucket>,
+    geometry: &TreeGeometry,
+    cfg: &RingConfig,
+    load_factor: f64,
+    position_map: &mut PositionMap,
+    next_cold: &mut u64,
+    rng: &mut StdRng,
+    id: BucketId,
+) -> &'a mut Bucket {
+    buckets.entry(id).or_insert_with(|| {
+        let level = geometry.level_of(id);
+        let pos_in_level = id.0 - ((1u64 << level.0) - 1);
+        let tail_bits = geometry.max_level() - level.0;
+        let mut cold = Vec::new();
+        for _ in 0..cfg.z {
+            if rng.gen_bool(load_factor) {
+                let block = BlockId(*next_cold);
+                *next_cold += 1;
+                let low = if tail_bits == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..(1u64 << tail_bits))
+                };
+                let path = PathId((pos_in_level << tail_bits) | low);
+                position_map.insert(block, path);
+                cold.push(block);
+            }
+        }
+        Bucket::with_blocks(cfg, &cold, rng)
+    })
 }
 
 impl RingOram {
@@ -264,7 +327,7 @@ impl RingOram {
         Self {
             cfg,
             geometry,
-            buckets: HashMap::new(),
+            buckets: DetHashMap::default(),
             position_map,
             stash: Stash::new(),
             reads_since_eviction: 0,
@@ -431,38 +494,25 @@ impl RingOram {
     }
 
     /// Materializes (if needed) and returns the bucket, pre-filling it with
-    /// cold blocks pinned to compatible paths.
-    #[allow(clippy::expect_used)] // invariant, stated in the expect message
+    /// cold blocks pinned to compatible paths. Single hash probe on the hot
+    /// path (the entry API folds lookup and first-touch insertion).
     fn bucket_mut(&mut self, id: BucketId) -> &mut Bucket {
-        self.materialize(id);
-        self.buckets.get_mut(&id).expect("just materialized")
+        materialize_entry(
+            &mut self.buckets,
+            &self.geometry,
+            &self.cfg,
+            self.load_factor,
+            &mut self.position_map,
+            &mut self.next_cold,
+            &mut self.rng,
+            id,
+        )
     }
 
     /// Ensures the bucket exists, creating it with cold content on first
     /// touch.
     fn materialize(&mut self, id: BucketId) {
-        if !self.buckets.contains_key(&id) {
-            let level = self.geometry.level_of(id);
-            let pos_in_level = id.0 - ((1u64 << level.0) - 1);
-            let tail_bits = self.geometry.max_level() - level.0;
-            let mut cold = Vec::new();
-            for _ in 0..self.cfg.z {
-                if self.rng.gen_bool(self.load_factor) {
-                    let block = BlockId(self.next_cold);
-                    self.next_cold += 1;
-                    let low = if tail_bits == 0 {
-                        0
-                    } else {
-                        self.rng.gen_range(0..(1u64 << tail_bits))
-                    };
-                    let path = PathId((pos_in_level << tail_bits) | low);
-                    self.position_map.insert(block, path);
-                    cold.push(block);
-                }
-            }
-            let bucket = Bucket::with_blocks(&self.cfg, &cold, &mut self.rng);
-            self.buckets.insert(id, bucket);
-        }
+        let _ = self.bucket_mut(id);
     }
 
     /// Performs one logical program access (ORAM treats loads and stores
@@ -688,6 +738,9 @@ impl RingOram {
         let mut touches = Vec::with_capacity(self.cfg.levels as usize);
         let mut target_index = None;
         let mut reshuffles: Vec<AccessPlan> = Vec::new();
+        // Off-chip buckets whose dummy budget `S` this path exhausted,
+        // in level order; early-reshuffled after the path is emitted.
+        let mut exhausted: Vec<BucketId> = Vec::new();
         // Retry traffic accumulated by the fault layer: extra reads of
         // already-public slots, emitted as one RetryRead plan after the
         // read path itself.
@@ -721,23 +774,35 @@ impl RingOram {
 
             // CB-specific: reshuffle first if the bucket cannot serve a
             // non-target touch and does not hold the target.
-            self.materialize(id);
             let cfg = self.cfg.clone();
             let want = if searching { target } else { None };
+            let mut bucket = materialize_entry(
+                &mut self.buckets,
+                &self.geometry,
+                &cfg,
+                self.load_factor,
+                &mut self.position_map,
+                &mut self.next_cold,
+                &mut self.rng,
+                id,
+            );
             // `holds_target` must follow `want`, not `target`: once the
             // search has ended, the bucket must serve a dummy/green even if
             // it happens to hold the (stale) target block.
-            let holds_target = match want {
-                Some(b) => self.buckets[&id].find(b).is_some(),
-                None => false,
-            };
-            if !holds_target && self.buckets[&id].needs_reshuffle_gated(&cfg, allow_green) {
+            let holds_target = want.is_some_and(|b| bucket.find(b).is_some());
+            if !holds_target && bucket.needs_reshuffle_gated(&cfg, allow_green) {
                 reshuffles.push(self.reshuffle_bucket(id));
                 self.stats.forced_reshuffles += 1;
+                bucket = self.buckets.get_mut(&id).expect("materialized above");
             }
-            let bucket = self.buckets.get_mut(&id).expect("materialized above");
             let (slot, kind, data) =
                 bucket.serve_read_gated(&cfg, want, allow_green, &mut self.rng);
+            // Budget exhaustion is decided now (this path's touch included):
+            // the bucket is revisited only by its own early reshuffle below,
+            // so sampling here matches the post-path scan it replaces.
+            if bucket.accesses() >= cfg.s {
+                exhausted.push(id);
+            }
             match kind {
                 FetchKind::Target(b) => {
                     debug_assert_eq!(Some(b), target);
@@ -789,18 +854,10 @@ impl RingOram {
             ));
         }
 
-        for lvl in self.cfg.tree_top_cached_levels..self.cfg.levels {
-            let id = self.geometry.bucket_at(path, Level(lvl));
-            let exhausted = self
-                .buckets
-                .get(&id)
-                .map(|b| b.accesses() >= self.cfg.s)
-                .unwrap_or(false);
-            if exhausted {
-                let plan = self.reshuffle_bucket(id);
-                plans.push(plan);
-                self.stats.early_reshuffles += 1;
-            }
+        for id in exhausted {
+            let plan = self.reshuffle_bucket(id);
+            plans.push(plan);
+            self.stats.early_reshuffles += 1;
         }
         source
     }
@@ -1007,15 +1064,35 @@ impl RingOram {
             }
         }
 
-        // Write phase (leaf to root): greedy deepest-first placement.
+        // Write phase (leaf to root): greedy deepest-first placement. The
+        // candidate set is snapshotted once — the phase only removes stash
+        // entries, so selecting from the snapshot picks exactly the blocks
+        // a fresh per-level scan would. Candidates are grouped by their
+        // deepest eligible level; walking leaf to root, each level's group
+        // joins a min-heap, so popping yields the eligible blocks in
+        // ascending block id — the same deterministic order a sorted
+        // per-level scan would select, without sorting or rescanning.
+        let mut by_depth: Vec<Vec<BlockId>> = vec![Vec::new(); self.cfg.levels as usize];
+        for (b, depth) in self.stash.candidate_depths(&self.geometry, path) {
+            by_depth[depth.0 as usize].push(b);
+        }
+        let mut eligible: std::collections::BinaryHeap<std::cmp::Reverse<BlockId>> =
+            std::collections::BinaryHeap::new();
         for lvl in (0..self.cfg.levels).rev() {
             let level = Level(lvl);
             let id = self.geometry.bucket_at(path, level);
             let off_chip = !self.is_cached_level(level);
-            let chosen = self
-                .stash
-                .drain_for_bucket(&self.geometry, path, level, z as usize);
-            let sealed: Vec<_> = chosen.into_iter().map(|(b, d)| (b, self.seal(d))).collect();
+            for &b in &by_depth[lvl as usize] {
+                eligible.push(std::cmp::Reverse(b));
+            }
+            let mut sealed: Vec<(BlockId, Option<BlockData>)> = Vec::with_capacity(z as usize);
+            while sealed.len() < z as usize {
+                let Some(std::cmp::Reverse(b)) = eligible.pop() else {
+                    break;
+                };
+                let d = self.stash.take(b).expect("candidate still stashed");
+                sealed.push((b, self.seal(d)));
+            }
             let cfg = self.cfg.clone();
             self.buckets
                 .get_mut(&id)

@@ -1,8 +1,7 @@
 //! The stash: the controller's small on-chip buffer of in-flight blocks.
 
-use std::collections::BTreeMap;
-
 use crate::bucket::{BlockData, BlockEntry};
+use crate::fasthash::DetHashMap;
 use crate::tree::TreeGeometry;
 use crate::types::{BlockId, Level, PathId};
 
@@ -23,12 +22,15 @@ struct StashEntry {
 /// study, because exceeding the provisioned capacity forces background
 /// evictions.
 ///
-/// Entries are kept in a `BTreeMap` so eviction block selection is
-/// deterministic for a given seed (a `HashMap` would randomize which blocks
-/// drain first and break reproducible A/B comparisons).
+/// Eviction block selection is deterministic for a given seed: entries live
+/// in a [`DetHashMap`] (seedless, so reproducible run-to-run) and every
+/// order-sensitive operation selects by ascending block id —
+/// [`Stash::drain_for_bucket`] sorts its candidates before taking, and
+/// [`Stash::candidate_depths`] callers impose the same order via a
+/// min-heap — so which blocks drain first never depends on map layout.
 #[derive(Debug, Clone, Default)]
 pub struct Stash {
-    entries: BTreeMap<BlockId, StashEntry>,
+    entries: DetHashMap<BlockId, StashEntry>,
     /// High-water mark of occupancy.
     peak: usize,
 }
@@ -125,22 +127,49 @@ impl Stash {
         level: Level,
         max: usize,
     ) -> Vec<BlockEntry> {
-        let mut chosen: Vec<BlockId> = Vec::with_capacity(max);
-        for (&block, entry) in &self.entries {
-            if chosen.len() >= max {
-                break;
-            }
-            if geometry.shared_depth(entry.path, evict_path).0 >= level.0 {
-                chosen.push(block);
-            }
-        }
-        chosen
+        let mut qualifying: Vec<BlockId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| geometry.shared_depth(e.path, evict_path).0 >= level.0)
+            .map(|(&b, _)| b)
+            .collect();
+        qualifying.sort_unstable();
+        qualifying.truncate(max);
+        qualifying
             .into_iter()
             .map(|b| {
                 let e = self.entries.remove(&b).expect("just selected");
                 (b, e.data)
             })
             .collect()
+    }
+
+    /// Snapshot of eviction candidates: every stashed block paired with the
+    /// deepest level it may occupy along `evict_path`, in unspecified
+    /// order.
+    ///
+    /// The eviction write phase takes this one snapshot instead of
+    /// re-walking the whole stash per level ([`Self::drain_for_bucket`]'s
+    /// cost); because that phase only *removes* entries, selecting from the
+    /// snapshot picks exactly the blocks a fresh per-level scan would. The
+    /// caller imposes the deterministic ascending-block-id selection order
+    /// itself (a min-heap), so no sort is needed here.
+    #[must_use]
+    pub fn candidate_depths(
+        &self,
+        geometry: &TreeGeometry,
+        evict_path: PathId,
+    ) -> Vec<(BlockId, Level)> {
+        self.entries
+            .iter()
+            .map(|(&b, e)| (b, geometry.shared_depth(e.path, evict_path)))
+            .collect()
+    }
+
+    /// Removes `block` and returns its payload (`None` if the block is not
+    /// stashed; `Some(None)` for a stashed block without payload).
+    pub fn take(&mut self, block: BlockId) -> Option<Option<BlockData>> {
+        self.entries.remove(&block).map(|e| e.data)
     }
 
     /// Iterates over `(block, path)` entries in unspecified order.

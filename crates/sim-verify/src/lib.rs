@@ -19,6 +19,10 @@
 //! * [`oracle`] — differential-run primitives: extracting the data-command
 //!   (RD/WR) sequence from a trace, checking the transaction-order security
 //!   contract, and locating the first divergence between two runs.
+//! * [`StreamConformance`] — the backend-agnostic bundle of the stream
+//!   checkers above, selecting which apply to a given memory backend (the
+//!   JEDEC shadow layer only attaches when a cycle-accurate DRAM model is
+//!   behind the trace).
 //!
 //! Everything here is passive and deterministic: checkers consume event
 //! streams, never influence scheduling, and report [`Violation`]s that the
@@ -36,6 +40,7 @@
 pub mod audit;
 pub mod oracle;
 pub mod shadow;
+pub mod stream;
 pub mod violation;
 
 pub use audit::OramAuditor;
@@ -43,4 +48,5 @@ pub use oracle::{
     check_txn_order, data_commands, first_divergence, grouped_by_txn, DataCmd, TxnOrderChecker,
 };
 pub use shadow::ShadowTimingChecker;
+pub use stream::StreamConformance;
 pub use violation::{Rule, Violation};

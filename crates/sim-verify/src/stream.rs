@@ -1,0 +1,158 @@
+//! Backend-agnostic conformance over a command-event stream.
+//!
+//! The staged pipeline in `string-oram` drives memory through the
+//! `mem_sched::MemoryBackend` trait, so the conformance layer can no longer
+//! assume a cycle-accurate DRAM behind the trace. [`StreamConformance`]
+//! bundles the two stream checkers and applies each exactly where it is
+//! meaningful:
+//!
+//! * the **transaction-order oracle** ([`crate::TxnOrderChecker`]) checks
+//!   the ORAM security contract (data commands in non-decreasing
+//!   transaction order) on *every* backend — the contract is about the
+//!   observable access sequence, not about timing;
+//! * the **JEDEC shadow checker** ([`crate::ShadowTimingChecker`]) only
+//!   attaches when the backend has a real DRAM model. The fast functional
+//!   backend emits data commands without their ACT/PRE preparation, so
+//!   timing re-derivation would flag every command — the checker simply
+//!   does not apply there.
+
+use dram_sim::geometry::DramGeometry;
+use dram_sim::timing::TimingParams;
+use mem_sched::CommandEvent;
+
+use crate::oracle::TxnOrderChecker;
+use crate::shadow::ShadowTimingChecker;
+use crate::violation::Violation;
+
+/// The stream checkers applicable to one backend's command events.
+#[derive(Debug, Clone)]
+pub struct StreamConformance {
+    shadow: Option<ShadowTimingChecker>,
+    order: Option<TxnOrderChecker>,
+}
+
+impl StreamConformance {
+    /// A conformance layer with no checkers attached (observing is a no-op).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            shadow: None,
+            order: None,
+        }
+    }
+
+    /// The full layer for a cycle-accurate backend: transaction-order
+    /// oracle plus JEDEC shadow timing for the given device.
+    #[must_use]
+    pub fn cycle_accurate(geometry: DramGeometry, timing: TimingParams) -> Self {
+        Self {
+            shadow: Some(ShadowTimingChecker::new(geometry, timing)),
+            order: Some(TxnOrderChecker::new()),
+        }
+    }
+
+    /// The layer for a backend without a DRAM model: transaction-order
+    /// oracle only.
+    #[must_use]
+    pub fn order_only() -> Self {
+        Self {
+            shadow: None,
+            order: Some(TxnOrderChecker::new()),
+        }
+    }
+
+    /// Whether any checker is attached.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.shadow.is_some() || self.order.is_some()
+    }
+
+    /// Feeds one command event to every attached checker.
+    pub fn observe(&mut self, ev: &CommandEvent) {
+        if let Some(shadow) = &mut self.shadow {
+            shadow.observe(ev.cycle, ev.cmd);
+        }
+        if let Some(order) = &mut self.order {
+            order.observe(ev);
+        }
+    }
+
+    /// Takes the violations accumulated by all checkers since the last
+    /// call, in checker order (shadow timing first, then transaction
+    /// order). Checker state is kept, so streaming continues seamlessly.
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        if let Some(shadow) = &mut self.shadow {
+            out.extend(shadow.take_violations());
+        }
+        if let Some(order) = &mut self.order {
+            out.extend(order.take_violations());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_sim::{DramCommand, DramLocation};
+    use mem_sched::TxnId;
+
+    fn data_event(cycle: u64, txn: u64) -> CommandEvent {
+        CommandEvent {
+            cycle,
+            cmd: DramCommand::read(DramLocation {
+                channel: 0,
+                rank: 0,
+                bank: 0,
+                row: 1,
+                column: 0,
+            }),
+            txn: Some(TxnId(txn)),
+        }
+    }
+
+    #[test]
+    fn disabled_layer_observes_nothing() {
+        let mut c = StreamConformance::disabled();
+        assert!(!c.is_enabled());
+        c.observe(&data_event(0, 5));
+        c.observe(&data_event(1, 0)); // out of order, but nobody watches
+        assert!(c.take_violations().is_empty());
+    }
+
+    #[test]
+    fn order_only_flags_reordered_data() {
+        let mut c = StreamConformance::order_only();
+        assert!(c.is_enabled());
+        c.observe(&data_event(0, 5));
+        c.observe(&data_event(1, 3));
+        let v = c.take_violations();
+        assert_eq!(v.len(), 1);
+        // State persists across takes: further in-order traffic is clean.
+        c.observe(&data_event(2, 6));
+        assert!(c.take_violations().is_empty());
+    }
+
+    #[test]
+    fn order_only_ignores_missing_jedec_preparation() {
+        // A bare RD with no prior ACT: the shadow checker would flag this,
+        // the order-only layer must not (the functional backend emits
+        // exactly this shape).
+        let mut c = StreamConformance::order_only();
+        c.observe(&data_event(0, 0));
+        assert!(c.take_violations().is_empty());
+    }
+
+    #[test]
+    fn cycle_accurate_layer_runs_shadow_checker() {
+        let mut c = StreamConformance::cycle_accurate(
+            DramGeometry::test_small(),
+            TimingParams::test_fast(),
+        );
+        // RD into a closed bank — a JEDEC violation the shadow layer catches.
+        c.observe(&data_event(0, 0));
+        let v = c.take_violations();
+        assert!(!v.is_empty(), "shadow checker must flag RD without ACT");
+    }
+}

@@ -104,6 +104,25 @@ pub enum LayoutKind {
     Naive,
 }
 
+/// Which memory backend serves the pipeline's transactions.
+///
+/// Both backends observe the *same* ORAM access sequence (the protocol and
+/// transaction layers are backend-independent); they differ only in how
+/// memory time is modeled. The differential test in `string-oram` pins this
+/// equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// The paper's evaluation substrate: `mem-sched`'s FR-FCFS controller
+    /// over `dram-sim`'s cycle-accurate bank/rank/channel machines.
+    #[default]
+    CycleAccurate,
+    /// `mem-sched`'s functional backend: row-aware fixed latencies, no
+    /// per-cycle DRAM state. Roughly an order of magnitude faster; use for
+    /// long traces and protocol-level studies. No DRAM-level stats, energy
+    /// model, JEDEC shadow checking, or fault injection.
+    FastFunctional,
+}
+
 /// Full-system parameters: processor (Table I), memory subsystem (Table II)
 /// and ORAM (Table III).
 #[derive(Debug, Clone)]
@@ -147,6 +166,8 @@ pub struct SystemConfig {
     pub recursion: Option<RecursionSettings>,
     /// Physical address mapping (paper default: channel-striped).
     pub mapping: MappingKind,
+    /// Memory backend serving the pipeline (paper default: cycle-accurate).
+    pub backend: BackendKind,
     /// Passive conformance checking (off for measurement, on in tests).
     pub verify: VerifyConfig,
     /// Deterministic fault injection across the memory stack. `None` (the
@@ -281,6 +302,7 @@ impl SystemConfig {
                 page_policy: PagePolicy::Open,
                 recursion: None,
                 mapping: MappingKind::PaperStriped,
+                backend: BackendKind::CycleAccurate,
                 verify: VerifyConfig::off(),
                 faults: None,
             },
@@ -317,6 +339,7 @@ impl SystemConfig {
                 page_policy: PagePolicy::Open,
                 recursion: None,
                 mapping: MappingKind::PaperStriped,
+                backend: BackendKind::CycleAccurate,
                 verify: VerifyConfig::checked(),
                 faults: None,
             },
@@ -382,6 +405,13 @@ impl SystemConfig {
             return Err("load_factor must be in [0, 1]".into());
         }
         if let Some(f) = &self.faults {
+            if self.backend == BackendKind::FastFunctional {
+                return Err(
+                    "fault injection requires the cycle-accurate backend (the functional \
+                     backend has no DRAM or controller timing state to perturb)"
+                        .into(),
+                );
+            }
             if self.recursion.is_some() {
                 return Err(
                     "fault injection is not supported with a recursive position map".into(),
@@ -470,6 +500,16 @@ mod tests {
         let mut cfg = SystemConfig::test_small(Scheme::Baseline);
         cfg.ring.levels = 20; // far larger than the small module
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn functional_backend_rejects_faults() {
+        let mut cfg = SystemConfig::test_small(Scheme::Baseline);
+        cfg.backend = BackendKind::FastFunctional;
+        cfg.faults = Some(FaultConfig::smoke(1, 0.01, cfg.ring.stash_capacity));
+        assert!(cfg.validate().is_err());
+        cfg.faults = None;
+        cfg.validate().unwrap();
     }
 
     #[test]

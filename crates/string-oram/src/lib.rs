@@ -42,13 +42,14 @@
 
 pub mod config;
 pub mod cpu;
+pub mod pipeline;
 pub mod report;
 pub mod space;
 pub mod system;
 
 pub use config::{
-    ConfigError, FaultConfig, LayoutKind, MappingKind, RecursionSettings, Scheme, SystemConfig,
-    VerifyConfig,
+    BackendKind, ConfigError, FaultConfig, LayoutKind, MappingKind, RecursionSettings, Scheme,
+    SystemConfig, VerifyConfig,
 };
 pub use cpu::{Core, CoreRequest, CoreState};
 pub use report::{KindCycles, ResilienceSummary, RowClassCounts, SimReport};

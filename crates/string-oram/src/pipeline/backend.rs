@@ -1,0 +1,64 @@
+//! Stage 3 — **Schedule**: memory-backend construction.
+//!
+//! The pipeline drives memory through [`mem_sched::MemoryBackend`];
+//! [`build_backend`] turns [`crate::config::BackendKind`] into the concrete
+//! implementation:
+//!
+//! * [`BackendKind::CycleAccurate`] — `mem-sched`'s FR-FCFS controller
+//!   over `dram-sim`'s bank/rank/channel state machines, with the
+//!   configured page policy and (optionally) the fault hooks;
+//! * [`BackendKind::FastFunctional`] — `mem-sched`'s row-aware latency
+//!   model, derived from the same [`dram_sim::timing::TimingParams`] so
+//!   hit/miss/conflict costs stay faithful to the device.
+
+use dram_sim::{AddressMapping, DramModule};
+use mem_sched::{FunctionalBackend, FunctionalTiming, MemoryBackend, MemoryController};
+
+use crate::config::{BackendKind, MappingKind, SystemConfig};
+
+/// Builds the memory backend `cfg` asks for.
+///
+/// The address mapping is chosen here too (both backends map addresses the
+/// same way, so row classification agrees between them).
+#[must_use]
+pub fn build_backend(cfg: &SystemConfig) -> Box<dyn MemoryBackend> {
+    let mapping = match cfg.mapping {
+        MappingKind::PaperStriped => AddressMapping::hpca_default(&cfg.geometry),
+        MappingKind::Sequential => AddressMapping::sequential(&cfg.geometry),
+    };
+    match cfg.backend {
+        BackendKind::CycleAccurate => {
+            let mut dram = DramModule::new(cfg.geometry.clone(), cfg.timing.clone());
+            if let Some(f) = &cfg.faults {
+                dram.enable_faults(f.dram);
+            }
+            let mut ctrl = MemoryController::new(dram, mapping, cfg.policy, cfg.queue_capacity);
+            ctrl.set_page_policy(cfg.page_policy);
+            if let Some(f) = &cfg.faults {
+                ctrl.enable_response_faults(f.memctrl);
+            }
+            Box::new(ctrl)
+        }
+        BackendKind::FastFunctional => Box::new(FunctionalBackend::new(
+            cfg.geometry.clone(),
+            mapping,
+            FunctionalTiming::from_timing(&cfg.timing),
+            cfg.queue_capacity,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+
+    #[test]
+    fn backend_kind_selects_implementation() {
+        let cfg = SystemConfig::test_small(Scheme::Baseline);
+        assert!(build_backend(&cfg).dram_module().is_some());
+        let mut fast = cfg.clone();
+        fast.backend = BackendKind::FastFunctional;
+        assert!(build_backend(&fast).dram_module().is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Passive conformance checking, attached beside the pipeline stages.
+//!
+//! Two independent observation points feed the checkers:
+//!
+//! * the **command-event stream** from the memory backend, re-validated by
+//!   [`sim_verify::StreamConformance`] (transaction-order contract on every
+//!   backend, JEDEC shadow timing only when a cycle-accurate DRAM model is
+//!   behind the trace);
+//! * the **plan stream** from the planner, replayed against the Ring ORAM
+//!   structural invariants by [`sim_verify::OramAuditor`].
+//!
+//! Findings accumulate into one violation log; with
+//! [`crate::config::VerifyConfig::fail_fast`] the first finding panics
+//! instead (the negative-test hook).
+
+use dram_sim::geometry::DramGeometry;
+use dram_sim::timing::TimingParams;
+use mem_sched::CommandEvent;
+use ring_oram::{AccessPlan, FaultEvent, RingConfig};
+use sim_verify::{OramAuditor, StreamConformance, Violation};
+
+use crate::config::VerifyConfig;
+
+/// The conformance layer of one simulation: stream checkers plus the ORAM
+/// auditor, sharing a violation log.
+#[derive(Debug)]
+pub struct Conformance {
+    stream: StreamConformance,
+    auditor: Option<OramAuditor>,
+    fail_fast: bool,
+    violations: Vec<Violation>,
+}
+
+impl Conformance {
+    /// Builds the layer for `verify`. `backend_has_dram` selects which
+    /// stream checkers apply: the JEDEC shadow layer needs a cycle-accurate
+    /// DRAM model behind the trace, the transaction-order oracle does not.
+    #[must_use]
+    pub fn new(
+        verify: &VerifyConfig,
+        ring: &RingConfig,
+        geometry: &DramGeometry,
+        timing: &TimingParams,
+        backend_has_dram: bool,
+    ) -> Self {
+        let stream = if !verify.shadow_timing {
+            StreamConformance::disabled()
+        } else if backend_has_dram {
+            StreamConformance::cycle_accurate(geometry.clone(), timing.clone())
+        } else {
+            StreamConformance::order_only()
+        };
+        Self {
+            stream,
+            auditor: verify.oram_audit.then(|| OramAuditor::new(ring.clone())),
+            fail_fast: verify.fail_fast,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Whether any stream checker is attached (i.e. whether the backend's
+    /// command trace needs draining each cycle).
+    #[must_use]
+    pub fn stream_enabled(&self) -> bool {
+        self.stream.is_enabled()
+    }
+
+    /// Feeds one backend command event to the stream checkers.
+    pub fn observe_command(&mut self, ev: &CommandEvent) {
+        self.stream.observe(ev);
+    }
+
+    /// Feeds the protocol's drained fault log to the auditor (retry
+    /// allowances must exist before the plans that use them are checked).
+    pub fn observe_faults(&mut self, faults: &[FaultEvent]) {
+        if let Some(auditor) = &mut self.auditor {
+            auditor.observe_faults(faults);
+        }
+    }
+
+    /// Replays one access's plans against the Ring ORAM invariants.
+    pub fn observe_access(&mut self, plans: &[AccessPlan]) {
+        if let Some(auditor) = &mut self.auditor {
+            auditor.observe_access(plans);
+        }
+    }
+
+    /// Checks the post-access stash occupancy against its bound.
+    pub fn observe_stash(&mut self, stash_len: usize) {
+        if let Some(auditor) = &mut self.auditor {
+            auditor.observe_stash(stash_len);
+        }
+    }
+
+    /// Moves fresh checker findings into the violation log; with
+    /// `fail_fast` the first finding panics instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first finding when built with
+    /// [`crate::config::VerifyConfig::fail_fast`].
+    pub fn collect(&mut self) {
+        let mut fresh = self.stream.take_violations();
+        if let Some(auditor) = &mut self.auditor {
+            fresh.extend(auditor.take_violations());
+        }
+        if self.fail_fast {
+            if let Some(v) = fresh.first() {
+                panic!("conformance violation: {v}");
+            }
+        }
+        self.violations.extend(fresh);
+    }
+
+    /// Every violation found so far.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+}

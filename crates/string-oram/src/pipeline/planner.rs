@@ -1,0 +1,379 @@
+//! Stage 1 — **Plan**: expand core LLC misses into ORAM transactions.
+//!
+//! The planner owns the protocol engine (a single data ORAM, or a
+//! recursive stack with per-ORAM memory regions) and the tree layout(s).
+//! Each [`CoreRequest`] becomes a sequence of [`PlannedTxn`]s: the
+//! protocol's slot touches lowered to physical addresses, annotated with
+//! which request (if any) carries the waiting core's data.
+//!
+//! The planner also folds every planned request into a running FNV-1a
+//! **access digest**. The digest covers exactly what an adversary on the
+//! memory bus observes — transaction kinds, physical addresses and
+//! directions, in order — and none of what they don't (timing). Two
+//! backends driving the same trace must therefore produce identical
+//! digests; the `backend_differential` test pins this.
+
+use dram_sim::PhysAddr;
+use ring_oram::layout::{NaiveLayout, SubtreeLayout, TreeLayout};
+use ring_oram::recursive::{RecursiveConfig, RecursiveOram};
+use ring_oram::{AccessPlan, BlockId, OpKind, RingOram};
+
+use crate::config::{ConfigError, LayoutKind, SystemConfig};
+use crate::cpu::CoreRequest;
+use crate::pipeline::conformance::Conformance;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One ORAM transaction, lowered and ready for admission: physical
+/// requests in issue order plus the core-wakeup annotations.
+#[derive(Debug, Clone)]
+pub struct PlannedTxn {
+    /// The operation kind (read path, eviction, ...).
+    pub kind: OpKind,
+    /// Physical requests `(address, is_write)` in issue order.
+    pub requests: Vec<(PhysAddr, bool)>,
+    /// Index into `requests` of the target fetch the program waits on,
+    /// when this transaction serves a program read from the tree.
+    pub target_index: Option<usize>,
+    /// Core whose LLC miss this transaction serves, if any.
+    pub waiting_core: Option<usize>,
+    /// Whether the waiting core is released at transaction completion
+    /// rather than at the target fetch (stash / tree-top / first-touch
+    /// hits: the data never travels on the bus).
+    pub release_on_completion: bool,
+}
+
+/// The protocol engine driving the simulation: a single data ORAM (the
+/// paper's setup) or a recursive stack with per-ORAM memory regions.
+#[derive(Debug)]
+enum Engine {
+    Flat {
+        oram: Box<RingOram>,
+        layout: Box<dyn TreeLayout>,
+    },
+    Recursive {
+        stack: Box<RecursiveOram>,
+        /// Per-stack-index layout and base address (disjoint regions).
+        regions: Vec<(Box<dyn TreeLayout>, u64)>,
+    },
+}
+
+/// The planning stage: protocol engine + layout lowering + access digest.
+#[derive(Debug)]
+pub struct Planner {
+    engine: Engine,
+    accesses: u64,
+    digest: u64,
+}
+
+impl Planner {
+    /// Builds the planner for `cfg`: constructs the protocol engine (with
+    /// encryption/resilience when faults are configured) and, under
+    /// recursion, allocates disjoint row-set-aligned memory regions for
+    /// every ORAM in the stack.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Invalid`] when the recursive stack does not fit the
+    /// DRAM module (`cfg` itself is assumed pre-validated).
+    pub fn build(cfg: &SystemConfig) -> Result<Self, ConfigError> {
+        let mk_layout = |ring: &ring_oram::RingConfig| -> Box<dyn TreeLayout> {
+            match cfg.layout {
+                LayoutKind::Subtree => Box::new(SubtreeLayout::new(ring, cfg.row_set_bytes())),
+                LayoutKind::Naive => Box::new(NaiveLayout::new(ring)),
+            }
+        };
+        let engine = match cfg.recursion {
+            None => {
+                let mut oram = Box::new(RingOram::with_load_factor(
+                    cfg.ring.clone(),
+                    cfg.seed,
+                    cfg.load_factor,
+                ));
+                if let Some(f) = &cfg.faults {
+                    // Integrity-fault detection needs the authenticated
+                    // cipher in the loop.
+                    oram.enable_encryption(cfg.seed ^ 0xC1F3);
+                    oram.enable_resilience(f.resilience);
+                }
+                Engine::Flat {
+                    oram,
+                    layout: mk_layout(&cfg.ring),
+                }
+            }
+            Some(r) => {
+                let rec_cfg = RecursiveConfig {
+                    data: cfg.ring.clone(),
+                    tracked_blocks: r.tracked_blocks,
+                    positions_per_block: r.positions_per_block,
+                    max_onchip_entries: r.max_onchip_entries,
+                };
+                let stack = Box::new(RecursiveOram::new(rec_cfg.clone(), cfg.seed));
+                // Allocate disjoint, row-set-aligned regions: data ORAM at
+                // 0, each map ORAM after the previous region.
+                let mut regions: Vec<(Box<dyn TreeLayout>, u64)> = Vec::new();
+                let align = cfg.row_set_bytes();
+                let mut base = 0u64;
+                let push =
+                    |ring: &ring_oram::RingConfig,
+                     base: &mut u64,
+                     regions: &mut Vec<(Box<dyn TreeLayout>, u64)>| {
+                        let l = mk_layout(ring);
+                        let total = l.total_bytes().div_ceil(align) * align;
+                        regions.push((l, *base));
+                        *base += total;
+                    };
+                push(&cfg.ring, &mut base, &mut regions);
+                for i in 0..rec_cfg.map_levels() {
+                    push(&rec_cfg.map_config(i), &mut base, &mut regions);
+                }
+                if base > cfg.geometry.capacity_bytes() {
+                    return Err(ConfigError::Invalid(format!(
+                        "recursive ORAM stack ({base} B) exceeds DRAM capacity"
+                    )));
+                }
+                Engine::Recursive { stack, regions }
+            }
+        };
+        Ok(Self {
+            engine,
+            accesses: 0,
+            digest: FNV_OFFSET,
+        })
+    }
+
+    /// The (data) protocol engine, for inspection in tests and harnesses.
+    #[must_use]
+    pub fn data_oram(&self) -> &RingOram {
+        match &self.engine {
+            Engine::Flat { oram, .. } => oram,
+            Engine::Recursive { stack, .. } => stack.oram(0),
+        }
+    }
+
+    /// Program accesses planned so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// FNV-1a digest of every planned transaction so far: kinds, physical
+    /// addresses and directions, in order (the bus-observable sequence).
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Expands one core request into lowered transactions. Under recursion
+    /// the position-map ORAM accesses precede the data access; only the
+    /// data ORAM's read path carries the core's wakeup.
+    pub fn plan(&mut self, req: &CoreRequest, conformance: &mut Conformance) -> Vec<PlannedTxn> {
+        self.accesses += 1;
+        self.mix(req.block);
+        match &mut self.engine {
+            Engine::Flat { oram, layout } => {
+                let outcome = oram.access(BlockId(req.block));
+                let served_from_tree = outcome.served_from_tree();
+                // Drain the fault log unconditionally (bounds protocol-side
+                // memory); the auditor replays it before the plans so retry
+                // allowances exist when the plans are checked.
+                let faults = oram.take_fault_events();
+                conformance.observe_faults(&faults);
+                conformance.observe_access(&outcome.plans);
+                conformance.observe_stash(oram.stash_len());
+                // The core's data arrives with the *last* plan carrying a
+                // target touch: normally the read path, but a corrupted
+                // target fetch is only whole after its retry plan.
+                let wake_idx = outcome.wake_plan_index();
+                let mut digest = self.digest;
+                let out = outcome
+                    .plans
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, plan)| {
+                        let waiting = (Some(i) == wake_idx).then_some((req.core, served_from_tree));
+                        lower(&mut digest, plan, layout.as_ref(), 0, waiting)
+                    })
+                    .collect();
+                self.digest = digest;
+                out
+            }
+            Engine::Recursive { stack, regions } => {
+                let steps = stack.access(BlockId(req.block));
+                let stash_len = stack.oram(0).stash_len();
+                let mut out = Vec::new();
+                for step in steps {
+                    let waiting =
+                        (step.oram_index == 0).then(|| (req.core, step.outcome.served_from_tree()));
+                    // Only the data ORAM (index 0) is audited; the map
+                    // ORAMs run the same protocol with their own configs.
+                    if step.oram_index == 0 {
+                        conformance.observe_access(&step.outcome.plans);
+                    }
+                    let (layout, base) = &regions[step.oram_index];
+                    for plan in step.outcome.plans {
+                        out.push(lower(
+                            &mut self.digest,
+                            plan,
+                            layout.as_ref(),
+                            *base,
+                            waiting,
+                        ));
+                    }
+                }
+                conformance.observe_stash(stash_len);
+                out
+            }
+        }
+    }
+
+    fn mix(&mut self, v: u64) {
+        self.digest = fnv1a_u64(self.digest, v);
+    }
+}
+
+/// Lowers one protocol plan: converts slot touches to physical requests in
+/// the right memory region and resolves the core-wakeup annotations.
+/// `waiting` is `(core, served_from_tree)` when this plan may carry the
+/// program's data.
+fn lower(
+    digest: &mut u64,
+    plan: AccessPlan,
+    layout: &dyn TreeLayout,
+    base: u64,
+    waiting: Option<(usize, bool)>,
+) -> PlannedTxn {
+    let (waiting_core, release_on_completion) = match waiting {
+        Some((core, served_from_tree))
+            if matches!(plan.kind, OpKind::ReadPath | OpKind::RetryRead) =>
+        {
+            (
+                Some(core),
+                !(served_from_tree && plan.target_index.is_some()),
+            )
+        }
+        _ => (None, false),
+    };
+    let requests: Vec<(PhysAddr, bool)> = plan
+        .touches
+        .iter()
+        .map(|t| (PhysAddr(base + layout.addr_of(t.bucket, t.slot)), t.write))
+        .collect();
+    let target_index = if waiting_core.is_some() {
+        plan.target_index
+    } else {
+        None
+    };
+    let mut h = *digest;
+    for &b in plan.kind.label().as_bytes() {
+        h = fnv1a_byte(h, b);
+    }
+    h = fnv1a_u64(h, target_index.map_or(u64::MAX, |i| i as u64));
+    for &(addr, is_write) in &requests {
+        h = fnv1a_u64(h, addr.0);
+        h = fnv1a_byte(h, u8::from(is_write));
+    }
+    *digest = h;
+    PlannedTxn {
+        kind: plan.kind,
+        requests,
+        target_index,
+        waiting_core,
+        release_on_completion,
+    }
+}
+
+fn fnv1a_byte(h: u64, b: u8) -> u64 {
+    (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+}
+
+fn fnv1a_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = fnv1a_byte(h, b);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Scheme, VerifyConfig};
+
+    fn planner_pair() -> (Planner, Conformance) {
+        let cfg = SystemConfig::test_small(Scheme::All);
+        let conf = Conformance::new(
+            &VerifyConfig::off(),
+            &cfg.ring,
+            &cfg.geometry,
+            &cfg.timing,
+            true,
+        );
+        (Planner::build(&cfg).unwrap(), conf)
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_order_sensitive() {
+        let (mut a, mut ca) = planner_pair();
+        let (mut b, mut cb) = planner_pair();
+        for blk in [3u64, 9, 3, 27] {
+            a.plan(
+                &CoreRequest {
+                    core: 0,
+                    block: blk,
+                    is_write: false,
+                },
+                &mut ca,
+            );
+        }
+        for blk in [3u64, 9, 3, 27] {
+            b.plan(
+                &CoreRequest {
+                    core: 0,
+                    block: blk,
+                    is_write: false,
+                },
+                &mut cb,
+            );
+        }
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.accesses(), 4);
+
+        let (mut c, mut cc) = planner_pair();
+        for blk in [9u64, 3, 3, 27] {
+            c.plan(
+                &CoreRequest {
+                    core: 0,
+                    block: blk,
+                    is_write: false,
+                },
+                &mut cc,
+            );
+        }
+        assert_ne!(a.digest(), c.digest(), "order must matter");
+    }
+
+    #[test]
+    fn program_read_carries_exactly_one_wakeup() {
+        let (mut p, mut conf) = planner_pair();
+        let planned = p.plan(
+            &CoreRequest {
+                core: 1,
+                block: 42,
+                is_write: false,
+            },
+            &mut conf,
+        );
+        assert!(!planned.is_empty());
+        let waits: Vec<_> = planned
+            .iter()
+            .filter(|t| t.waiting_core.is_some())
+            .collect();
+        assert_eq!(waits.len(), 1);
+        assert_eq!(waits[0].waiting_core, Some(1));
+        assert!(matches!(
+            waits[0].kind,
+            OpKind::ReadPath | OpKind::RetryRead
+        ));
+    }
+}

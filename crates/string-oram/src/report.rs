@@ -42,6 +42,17 @@ impl KindCycles {
             Some(OpKind::DummyReadPath | OpKind::RetryRead) | None => self.other += 1,
         }
     }
+
+    /// Bucket-wise difference `self - earlier` for measurement windows.
+    #[must_use]
+    pub fn delta(&self, earlier: &Self) -> Self {
+        Self {
+            read: self.read - earlier.read,
+            evict: self.evict - earlier.evict,
+            reshuffle: self.reshuffle - earlier.reshuffle,
+            other: self.other - earlier.other,
+        }
+    }
 }
 
 /// Row-buffer outcome counts for one operation kind.
@@ -89,6 +100,16 @@ impl RowClassCounts {
             0.0
         } else {
             (self.misses + self.conflicts) as f64 / self.total() as f64
+        }
+    }
+
+    /// Count-wise difference `self - earlier` for measurement windows.
+    #[must_use]
+    pub fn delta(&self, earlier: &Self) -> Self {
+        Self {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            conflicts: self.conflicts - earlier.conflicts,
         }
     }
 }

@@ -1,107 +1,54 @@
-//! The full-system simulator: cores → ORAM controller → memory controller
-//! → DRAM, advanced in lockstep at memory-bus granularity.
+//! The full-system simulator: cores → ORAM controller → memory backend,
+//! advanced in lockstep at memory-bus granularity.
+//!
+//! [`Simulation`] is a thin composition of the staged transaction pipeline
+//! in [`crate::pipeline`]: each cycle runs **Plan → Enqueue → Schedule →
+//! Retire → Attribute** over a pluggable [`mem_sched::MemoryBackend`]. The
+//! stage logic itself lives with the stages; this module owns only the
+//! cores, the cycle loop and the measurement window.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
-use dram_sim::{AddressMapping, DramModule, PhysAddr};
-use mem_sched::{MemoryController, RequestSpec, TxnId};
-use ring_oram::layout::{NaiveLayout, SubtreeLayout, TreeLayout};
-use ring_oram::recursive::{RecursiveConfig, RecursiveOram};
-use ring_oram::{AccessPlan, BlockId, OpKind, RingOram};
+use mem_sched::MemoryBackend;
+use ring_oram::RingOram;
 use trace_synth::TraceRecord;
 
 use crate::config::{ConfigError, SystemConfig};
 use crate::cpu::{Core, CoreRequest};
-use crate::report::{KindCycles, RowClassCounts, SimReport};
-
-/// Live state of one ORAM transaction.
-#[derive(Debug)]
-struct TxnState {
-    kind: OpKind,
-    /// Cycle the transaction was planned (latency measurement origin).
-    planned_at: u64,
-    /// Requests not yet completed (enqueued or still waiting to enqueue).
-    outstanding: usize,
-    /// Core waiting for this transaction's target read, if any.
-    waiting_core: Option<usize>,
-    /// Request id of the target read once enqueued.
-    target_req_id: Option<u64>,
-    /// Whether the waiting core is released at transaction completion
-    /// rather than at the target read (stash/tree-top/first-touch hits).
-    release_on_completion: bool,
-}
-
-/// Counter snapshot taken at [`Simulation::begin_measurement`]; `report`
-/// subtracts it so warm-up activity is excluded from every rate.
-#[derive(Debug)]
-struct MeasurementStart {
-    cycle: u64,
-    instructions: u64,
-    oram_accesses: u64,
-    cycles_by_kind: KindCycles,
-    transactions_by_kind: BTreeMap<&'static str, u64>,
-    row_class_by_kind: BTreeMap<&'static str, RowClassCounts>,
-    sched: mem_sched::SchedulerStats,
-    dram: dram_sim::DramStats,
-    bank_busy: Vec<u64>,
-    refreshes: u64,
-    protocol: ring_oram::ProtocolStats,
-    read_latency_idx: usize,
-    retry_cycles: u64,
-    refresh_storms: u64,
-    weak_row_stalls: u64,
-}
-
-/// An entry awaiting queue space at the memory controller.
-#[derive(Debug, Clone, Copy)]
-struct PendingSpec {
-    txn: TxnId,
-    spec: RequestSpec,
-    is_target: bool,
-}
+use crate::pipeline::{
+    build_backend, build_report, Conformance, CounterSnapshot, Metrics, Planner, TxnTracker, Wake,
+};
+use crate::report::SimReport;
 
 /// Error returned when a run exceeds its cycle budget (wedged or just too
-/// slow for the limit given).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// slow for the limit given). Carries the partial [`SimReport`] at the
+/// cutoff so the progress made is diagnosable rather than discarded.
+#[derive(Debug, Clone)]
 pub struct CycleLimitExceeded {
     /// The limit that was hit.
     pub limit: u64,
+    /// The cycle at which the run stopped.
+    pub cycle: u64,
+    /// Everything measured up to the cutoff (respects any measurement
+    /// window begun before the limit was hit).
+    pub partial: Box<SimReport>,
 }
 
 impl std::fmt::Display for CycleLimitExceeded {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "simulation exceeded {} cycles", self.limit)
+        write!(
+            f,
+            "simulation exceeded {} cycles ({} ORAM accesses planned, {} instructions retired \
+             at cutoff)",
+            self.limit, self.partial.oram_accesses, self.partial.instructions
+        )
     }
 }
 
 impl std::error::Error for CycleLimitExceeded {}
 
-/// The protocol engine driving the simulation: a single data ORAM (the
-/// paper's setup) or a recursive stack with per-ORAM memory regions.
-#[derive(Debug)]
-enum Engine {
-    Flat {
-        oram: Box<RingOram>,
-        layout: Box<dyn TreeLayout>,
-    },
-    Recursive {
-        stack: Box<RecursiveOram>,
-        /// Per-stack-index layout and base address (disjoint regions).
-        regions: Vec<(Box<dyn TreeLayout>, u64)>,
-    },
-}
-
-impl Engine {
-    fn data_oram(&self) -> &RingOram {
-        match self {
-            Engine::Flat { oram, .. } => oram,
-            Engine::Recursive { stack, .. } => stack.oram(0),
-        }
-    }
-}
-
-/// The integrated String ORAM system simulator: cores, ORAM controller,
-/// memory controller and DRAM advanced in lockstep.
+/// The integrated String ORAM system simulator: cores, ORAM controller and
+/// memory backend advanced in lockstep.
 ///
 /// # Examples
 ///
@@ -121,40 +68,27 @@ impl Engine {
 pub struct Simulation {
     cfg: SystemConfig,
     cores: Vec<Core>,
-    engine: Engine,
-    memctrl: MemoryController,
+    /// Stage 1: protocol planning and address lowering.
+    planner: Planner,
+    /// Stages 2 & 4: transaction admission, ordered enqueue, retirement.
+    tracker: TxnTracker,
+    /// Stage 3: the pluggable memory model.
+    backend: Box<dyn MemoryBackend>,
+    /// Stage 5: per-cycle attribution counters.
+    metrics: Metrics,
+    /// Passive conformance checking beside the stages.
+    conformance: Conformance,
     /// FIFO of memory operations emitted by cores, awaiting ORAM planning.
     core_requests: VecDeque<CoreRequest>,
-    /// Planned requests awaiting queue space, in strict transaction order.
-    enqueue_fifo: VecDeque<PendingSpec>,
-    /// Unfinished transactions, keyed by id (ordered: oldest first).
-    txns: BTreeMap<u64, TxnState>,
-    next_txn: u64,
     /// Pending per-core completion times (one entry per in-flight miss
     /// whose data has a known arrival cycle).
     core_unblock_at: Vec<Vec<u64>>,
+    /// Reusable buffer for draining backend completions each cycle.
+    retired_scratch: Vec<mem_sched::Completed>,
     cycle: u64,
-    cycles_by_kind: KindCycles,
-    row_class_by_kind: BTreeMap<&'static str, RowClassCounts>,
-    transactions_by_kind: BTreeMap<&'static str, u64>,
-    oram_accesses: u64,
-    /// Cycles during which the oldest in-flight transaction was a fault
-    /// retry (the latency cost of recovery, reported separately).
-    retry_cycles: u64,
-    /// Completion latency of every program read path, in cycles from plan
-    /// to data availability (for the latency percentiles in the report).
-    read_latencies: Vec<u64>,
     /// Snapshot delimiting the measurement window, if one was begun.
-    measurement_start: Option<MeasurementStart>,
+    measurement_start: Option<CounterSnapshot>,
     label: String,
-    /// Shadow JEDEC timing checker (per `cfg.verify.shadow_timing`).
-    shadow: Option<sim_verify::ShadowTimingChecker>,
-    /// Streaming transaction-order contract checker (with the shadow).
-    txn_order: Option<sim_verify::TxnOrderChecker>,
-    /// Ring ORAM invariant auditor (per `cfg.verify.oram_audit`).
-    auditor: Option<sim_verify::OramAuditor>,
-    /// Conformance violations accumulated so far (see `cfg.verify`).
-    violations: Vec<sim_verify::Violation>,
 }
 
 impl Simulation {
@@ -196,119 +130,33 @@ impl Simulation {
             .enumerate()
             .map(|(i, t)| Core::with_mlp(i, t, cfg.core_mlp))
             .collect();
-        let mk_layout = |ring: &ring_oram::RingConfig| -> Box<dyn TreeLayout> {
-            match cfg.layout {
-                crate::config::LayoutKind::Subtree => {
-                    Box::new(SubtreeLayout::new(ring, cfg.row_set_bytes()))
-                }
-                crate::config::LayoutKind::Naive => Box::new(NaiveLayout::new(ring)),
-            }
-        };
-        let engine = match cfg.recursion {
-            None => {
-                let mut oram = Box::new(RingOram::with_load_factor(
-                    cfg.ring.clone(),
-                    cfg.seed,
-                    cfg.load_factor,
-                ));
-                if let Some(f) = &cfg.faults {
-                    // Integrity-fault detection needs the authenticated
-                    // cipher in the loop.
-                    oram.enable_encryption(cfg.seed ^ 0xC1F3);
-                    oram.enable_resilience(f.resilience);
-                }
-                Engine::Flat {
-                    oram,
-                    layout: mk_layout(&cfg.ring),
-                }
-            }
-            Some(r) => {
-                let rec_cfg = RecursiveConfig {
-                    data: cfg.ring.clone(),
-                    tracked_blocks: r.tracked_blocks,
-                    positions_per_block: r.positions_per_block,
-                    max_onchip_entries: r.max_onchip_entries,
-                };
-                let stack = Box::new(RecursiveOram::new(rec_cfg.clone(), cfg.seed));
-                // Allocate disjoint, row-set-aligned regions: data ORAM at
-                // 0, each map ORAM after the previous region.
-                let mut regions: Vec<(Box<dyn TreeLayout>, u64)> = Vec::new();
-                let align = cfg.row_set_bytes();
-                let mut base = 0u64;
-                let push =
-                    |ring: &ring_oram::RingConfig,
-                     base: &mut u64,
-                     regions: &mut Vec<(Box<dyn TreeLayout>, u64)>| {
-                        let l = mk_layout(ring);
-                        let total = l.total_bytes().div_ceil(align) * align;
-                        regions.push((l, *base));
-                        *base += total;
-                    };
-                push(&cfg.ring, &mut base, &mut regions);
-                for i in 0..rec_cfg.map_levels() {
-                    push(&rec_cfg.map_config(i), &mut base, &mut regions);
-                }
-                if base > cfg.geometry.capacity_bytes() {
-                    return Err(ConfigError::Invalid(format!(
-                        "recursive ORAM stack ({base} B) exceeds DRAM capacity"
-                    )));
-                }
-                Engine::Recursive { stack, regions }
-            }
-        };
-        let mapping = match cfg.mapping {
-            crate::config::MappingKind::PaperStriped => AddressMapping::hpca_default(&cfg.geometry),
-            crate::config::MappingKind::Sequential => AddressMapping::sequential(&cfg.geometry),
-        };
-        let mut dram = DramModule::new(cfg.geometry.clone(), cfg.timing.clone());
-        if let Some(f) = &cfg.faults {
-            dram.enable_faults(f.dram);
+        let planner = Planner::build(&cfg)?;
+        let mut backend = build_backend(&cfg);
+        let conformance = Conformance::new(
+            &cfg.verify,
+            &cfg.ring,
+            &cfg.geometry,
+            &cfg.timing,
+            backend.dram_module().is_some(),
+        );
+        if conformance.stream_enabled() {
+            backend.enable_command_trace();
         }
-        let mut memctrl = MemoryController::new(dram, mapping, cfg.policy, cfg.queue_capacity);
-        memctrl.set_page_policy(cfg.page_policy);
-        if let Some(f) = &cfg.faults {
-            memctrl.enable_response_faults(f.memctrl);
-        }
-        let (shadow, txn_order) = if cfg.verify.shadow_timing {
-            memctrl.enable_command_trace();
-            (
-                Some(sim_verify::ShadowTimingChecker::new(
-                    cfg.geometry.clone(),
-                    cfg.timing.clone(),
-                )),
-                Some(sim_verify::TxnOrderChecker::new()),
-            )
-        } else {
-            (None, None)
-        };
-        let auditor = cfg
-            .verify
-            .oram_audit
-            .then(|| sim_verify::OramAuditor::new(cfg.ring.clone()));
         let n = cfg.cores;
         Ok(Self {
             cfg,
             cores,
-            engine,
-            memctrl,
+            planner,
+            tracker: TxnTracker::new(),
+            backend,
+            metrics: Metrics::new(),
+            conformance,
             core_requests: VecDeque::new(),
-            enqueue_fifo: VecDeque::new(),
-            txns: BTreeMap::new(),
-            next_txn: 0,
             core_unblock_at: vec![Vec::new(); n],
+            retired_scratch: Vec::new(),
             cycle: 0,
-            cycles_by_kind: KindCycles::default(),
-            row_class_by_kind: BTreeMap::new(),
-            transactions_by_kind: BTreeMap::new(),
-            oram_accesses: 0,
-            retry_cycles: 0,
-            read_latencies: Vec::new(),
             measurement_start: None,
             label: String::new(),
-            shadow,
-            txn_order,
-            auditor,
-            violations: Vec::new(),
         })
     }
 
@@ -326,13 +174,22 @@ impl Simulation {
     /// The (data) protocol engine, for inspection in tests and harnesses.
     #[must_use]
     pub fn oram(&self) -> &RingOram {
-        self.engine.data_oram()
+        self.planner.data_oram()
     }
 
     /// Program accesses planned so far (cheap mid-run progress probe).
     #[must_use]
     pub fn oram_accesses(&self) -> u64 {
-        self.oram_accesses
+        self.planner.accesses()
+    }
+
+    /// Running FNV-1a digest of the planned access sequence: transaction
+    /// kinds, physical addresses and directions, in order. Backends cannot
+    /// influence it — two backends driving the same trace must agree (the
+    /// `backend_differential` test's oracle).
+    #[must_use]
+    pub fn access_digest(&self) -> u64 {
+        self.planner.digest()
     }
 
     /// Memory-bus cycles elapsed so far.
@@ -346,30 +203,35 @@ impl Simulation {
     pub fn is_finished(&self) -> bool {
         self.cores.iter().all(Core::is_done)
             && self.core_requests.is_empty()
-            && self.enqueue_fifo.is_empty()
-            && self.txns.is_empty()
+            && self.tracker.is_drained()
     }
 
     /// Runs to completion.
     ///
     /// # Errors
     ///
-    /// [`CycleLimitExceeded`] if completion needs more than `max_cycles`.
+    /// [`CycleLimitExceeded`] if completion needs more than `max_cycles`;
+    /// the error carries the partial report at the cutoff.
     pub fn run(&mut self, max_cycles: u64) -> Result<SimReport, CycleLimitExceeded> {
         while !self.is_finished() {
             if self.cycle >= max_cycles {
-                return Err(CycleLimitExceeded { limit: max_cycles });
+                return Err(CycleLimitExceeded {
+                    limit: max_cycles,
+                    cycle: self.cycle,
+                    partial: Box::new(self.report()),
+                });
             }
             self.step();
         }
         Ok(self.report())
     }
 
-    /// Advances the system by one memory-bus cycle.
+    /// Advances the system by one memory-bus cycle through the five
+    /// pipeline stages (plan, enqueue, schedule, retire, attribute).
     pub fn step(&mut self) {
         let cycle = self.cycle;
 
-        // 1. Release cores whose data arrived.
+        // 0. Release cores whose data arrived.
         for core in 0..self.cores.len() {
             let pending = &mut self.core_unblock_at[core];
             let before = pending.len();
@@ -379,7 +241,7 @@ impl Simulation {
             }
         }
 
-        // 2. Advance cores; collect new LLC misses.
+        // 0b. Advance cores; collect new LLC misses.
         let budget = self.cfg.instructions_per_mem_cycle();
         for core in &mut self.cores {
             if let Some(req) = core.tick(budget) {
@@ -387,232 +249,84 @@ impl Simulation {
             }
         }
 
-        // 3. ORAM controller: plan accesses while the transaction window
-        //    has room (keeps transaction i+1 visible for PB).
-        while self.txns.len() < self.cfg.max_inflight_txns {
+        // 1. Plan: expand accesses while the transaction window has room
+        //    (keeps transaction i+1 visible for PB).
+        while self.tracker.inflight() < self.cfg.max_inflight_txns {
             let Some(req) = self.core_requests.pop_front() else {
                 break;
             };
-            self.plan_access(req);
-        }
-
-        // 4. Feed the memory controller in strict transaction order.
-        while let Some(head) = self.enqueue_fifo.front().copied() {
-            match self.memctrl.try_enqueue(head.spec, cycle) {
-                Ok(id) => {
-                    if head.is_target {
-                        if let Some(t) = self.txns.get_mut(&head.txn.0) {
-                            t.target_req_id = Some(id);
-                        }
-                    }
-                    self.enqueue_fifo.pop_front();
-                }
-                Err(_) => break, // queue full: retry next cycle
-            }
-        }
-
-        // 5. Schedule DRAM commands.
-        self.memctrl.tick(cycle);
-
-        // 5b. Conformance: re-validate what just issued against the shadow
-        // JEDEC rules and the transaction-order contract.
-        if self.shadow.is_some() {
-            for ev in self.memctrl.take_command_events() {
-                if let Some(shadow) = &mut self.shadow {
-                    shadow.observe(ev.cycle, ev.cmd);
-                }
-                if let Some(order) = &mut self.txn_order {
-                    order.observe(&ev);
+            for planned in self.planner.plan(&req, &mut self.conformance) {
+                if let Some(wake) = self.tracker.admit(planned, cycle) {
+                    self.apply_wake(wake);
                 }
             }
-            self.collect_violations();
+            self.conformance.collect();
         }
 
-        // 6. Retire completed requests.
-        for done in self.memctrl.drain_completed() {
-            let Some(t) = self.txns.get_mut(&done.txn.0) else {
-                continue;
-            };
-            t.outstanding -= 1;
-            self.row_class_by_kind
-                .entry(t.kind.label())
-                .or_default()
-                .add(done.class);
-            if t.target_req_id == Some(done.id) {
-                if let Some(core) = t.waiting_core.take() {
-                    let at = done.data_done_at.max(cycle + 1);
-                    self.core_unblock_at[core].push(at);
-                    self.read_latencies.push(at - t.planned_at);
-                }
+        // 2. Enqueue: feed the backend in strict transaction order.
+        self.tracker.enqueue_ready(self.backend.as_mut(), cycle);
+
+        // 3. Schedule: the memory backend advances one cycle.
+        self.backend.tick(cycle);
+
+        // 3b. Conformance: re-validate what just issued against the
+        // stream checkers (JEDEC shadow rules and/or transaction order).
+        if self.conformance.stream_enabled() {
+            for ev in self.backend.take_command_events() {
+                self.conformance.observe_command(&ev);
             }
-            if t.outstanding == 0 {
-                if let Some(core) = t.waiting_core.take() {
-                    // Stash / tree-top / first-touch hits release here.
-                    debug_assert!(t.release_on_completion);
-                    let at = done.data_done_at.max(cycle + 1);
-                    self.core_unblock_at[core].push(at);
-                    self.read_latencies.push(at - t.planned_at);
-                }
-                self.txns.remove(&done.txn.0);
-            }
+            self.conformance.collect();
         }
 
-        // 7. Attribute this cycle to the oldest unfinished transaction.
-        let oldest_kind = self.txns.values().next().map(|t| t.kind);
-        self.cycles_by_kind.add(oldest_kind);
-        if oldest_kind == Some(OpKind::RetryRead) {
-            self.retry_cycles += 1;
+        // 4. Retire completed requests (scratch buffer: draining must not
+        // allocate on this per-cycle path).
+        let mut done_buf = std::mem::take(&mut self.retired_scratch);
+        done_buf.clear();
+        self.backend.drain_completed_into(&mut done_buf);
+        for done in &done_buf {
+            if let Some(retired) = self.tracker.retire(done, cycle) {
+                self.metrics.record_class(retired.kind, done.class);
+                if let Some(wake) = retired.wake {
+                    self.apply_wake(wake);
+                }
+            }
         }
+        self.retired_scratch = done_buf;
+
+        // 5. Attribute this cycle to the oldest unfinished transaction.
+        self.metrics.attribute(self.tracker.oldest_kind());
 
         self.cycle += 1;
     }
 
-    /// Expands one core request into ORAM transactions. Under recursion the
-    /// position-map ORAM accesses precede the data access; only the data
-    /// ORAM's read path carries the core's wakeup.
-    fn plan_access(&mut self, req: CoreRequest) {
-        self.oram_accesses += 1;
-        match &mut self.engine {
-            Engine::Flat { oram, .. } => {
-                let outcome = oram.access(BlockId(req.block));
-                let served_from_tree = matches!(outcome.source, ring_oram::TargetSource::Tree(_));
-                // Drain the fault log unconditionally (bounds protocol-side
-                // memory); the auditor replays it before the plans so retry
-                // allowances exist when the plans are checked.
-                let faults = oram.take_fault_events();
-                if let Some(auditor) = &mut self.auditor {
-                    auditor.observe_faults(&faults);
-                    auditor.observe_access(&outcome.plans);
-                    auditor.observe_stash(oram.stash_len());
-                }
-                let plans = outcome.plans;
-                // The core's data arrives with the *last* plan carrying a
-                // target touch: normally the read path, but a corrupted
-                // target fetch is only whole after its retry plan.
-                let wake_idx = plans
-                    .iter()
-                    .rposition(|p| {
-                        matches!(p.kind, OpKind::ReadPath | OpKind::RetryRead)
-                            && p.target_index.is_some()
-                    })
-                    .or_else(|| plans.iter().rposition(|p| p.kind == OpKind::ReadPath));
-                for (i, plan) in plans.into_iter().enumerate() {
-                    let waiting = (Some(i) == wake_idx).then_some((req.core, served_from_tree));
-                    self.push_plan(plan, 0, waiting);
-                }
-            }
-            Engine::Recursive { stack, .. } => {
-                let steps = stack.access(BlockId(req.block));
-                let stash_len = stack.oram(0).stash_len();
-                for step in steps {
-                    let waiting = if step.oram_index == 0 {
-                        let from_tree =
-                            matches!(step.outcome.source, ring_oram::TargetSource::Tree(_));
-                        Some((req.core, from_tree))
-                    } else {
-                        None
-                    };
-                    // Only the data ORAM (index 0) is audited; the map
-                    // ORAMs run the same protocol with their own configs.
-                    if step.oram_index == 0 {
-                        if let Some(auditor) = &mut self.auditor {
-                            auditor.observe_access(&step.outcome.plans);
-                        }
-                    }
-                    for plan in step.outcome.plans {
-                        self.push_plan(plan, step.oram_index, waiting);
-                    }
-                }
-                if let Some(auditor) = &mut self.auditor {
-                    auditor.observe_stash(stash_len);
-                }
-            }
+    /// Applies one core release computed by the tracker.
+    fn apply_wake(&mut self, wake: Wake) {
+        self.core_unblock_at[wake.core].push(wake.at);
+        if let Some(latency) = wake.latency {
+            self.metrics.read_latencies.push(latency);
         }
-        self.collect_violations();
-    }
-
-    /// Moves any fresh checker findings into the violation log; with
-    /// `fail_fast` the first finding panics instead (the negative-test
-    /// hook: an injected scheduler or protocol bug must abort the run).
-    fn collect_violations(&mut self) {
-        let mut fresh = Vec::new();
-        if let Some(shadow) = &mut self.shadow {
-            fresh.extend(shadow.take_violations());
-        }
-        if let Some(order) = &mut self.txn_order {
-            fresh.extend(order.take_violations());
-        }
-        if let Some(auditor) = &mut self.auditor {
-            fresh.extend(auditor.take_violations());
-        }
-        if self.cfg.verify.fail_fast {
-            if let Some(v) = fresh.first() {
-                panic!("conformance violation: {v}");
-            }
-        }
-        self.violations.extend(fresh);
     }
 
     /// Conformance violations found so far (empty when checking is off —
     /// or when the simulated machine is behaving).
     #[must_use]
     pub fn violations(&self) -> &[sim_verify::Violation] {
-        &self.violations
+        self.conformance.violations()
     }
 
-    /// Registers one transaction: assigns an id, converts slot touches to
-    /// physical requests in the right memory region and records who waits.
-    fn push_plan(&mut self, plan: AccessPlan, oram_index: usize, waiting: Option<(usize, bool)>) {
-        let txn = TxnId(self.next_txn);
-        self.next_txn += 1;
-        *self
-            .transactions_by_kind
-            .entry(plan.kind.label())
-            .or_default() += 1;
-
-        let mut state = TxnState {
-            kind: plan.kind,
-            planned_at: self.cycle,
-            outstanding: plan.touches.len(),
-            waiting_core: None,
-            target_req_id: None,
-            release_on_completion: false,
-        };
-        let is_program_read = match waiting {
-            Some((core, served_from_tree))
-                if matches!(plan.kind, OpKind::ReadPath | OpKind::RetryRead) =>
-            {
-                state.waiting_core = Some(core);
-                state.release_on_completion = !(served_from_tree && plan.target_index.is_some());
-                true
-            }
-            _ => false,
-        };
-        for (i, touch) in plan.touches.iter().enumerate() {
-            let addr = match &self.engine {
-                Engine::Flat { layout, .. } => PhysAddr(layout.addr_of(touch.bucket, touch.slot)),
-                Engine::Recursive { regions, .. } => {
-                    let (layout, base) = &regions[oram_index];
-                    PhysAddr(base + layout.addr_of(touch.bucket, touch.slot))
-                }
-            };
-            self.enqueue_fifo.push_back(PendingSpec {
-                txn,
-                spec: RequestSpec {
-                    addr,
-                    is_write: touch.write,
-                    txn,
-                },
-                is_target: is_program_read && plan.target_index == Some(i),
-            });
-        }
-        if state.outstanding == 0 {
-            // Degenerate (fully on-chip) transaction: complete at once.
-            if let Some(core) = state.waiting_core {
-                self.core_unblock_at[core].push(self.cycle + 1);
-            }
-        } else {
-            self.txns.insert(txn.0, state);
+    /// Freezes every counter in the system into one snapshot.
+    fn capture(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            cycle: self.cycle,
+            instructions: self.cores.iter().map(Core::instructions_retired).sum(),
+            oram_accesses: self.planner.accesses(),
+            cycles_by_kind: self.metrics.cycles_by_kind,
+            transactions_by_kind: self.tracker.transactions_by_kind().clone(),
+            row_class_by_kind: self.metrics.row_class_map(),
+            retry_cycles: self.metrics.retry_cycles,
+            read_latency_idx: self.metrics.read_latencies.len(),
+            backend: self.backend.snapshot(),
+            protocol: self.planner.data_oram().stats().clone(),
         }
     }
 
@@ -629,25 +343,7 @@ impl Simulation {
             self.measurement_start.is_none(),
             "measurement window already begun"
         );
-        let sched = self.memctrl.stats().clone();
-        let dram = self.memctrl.dram();
-        self.measurement_start = Some(MeasurementStart {
-            cycle: self.cycle,
-            instructions: self.cores.iter().map(Core::instructions_retired).sum(),
-            oram_accesses: self.oram_accesses,
-            cycles_by_kind: self.cycles_by_kind,
-            transactions_by_kind: self.transactions_by_kind.clone(),
-            row_class_by_kind: self.row_class_by_kind.clone(),
-            dram: dram.stats().clone(),
-            bank_busy: dram.bank_busy_cycles(),
-            refreshes: dram.total_refreshes(),
-            protocol: self.engine.data_oram().stats().clone(),
-            read_latency_idx: self.read_latencies.len(),
-            retry_cycles: self.retry_cycles,
-            refresh_storms: dram.total_refresh_storms(),
-            weak_row_stalls: dram.weak_row_stalls(),
-            sched,
-        });
+        self.measurement_start = Some(self.capture());
     }
 
     /// Builds the final report (also callable mid-run for progress). When a
@@ -655,114 +351,25 @@ impl Simulation {
     /// window (see [`Self::begin_measurement`]).
     #[must_use]
     pub fn report(&self) -> SimReport {
-        let full_sched = self.memctrl.stats();
-        let dram = self.memctrl.dram();
-        let start = self.measurement_start.as_ref();
-
-        let sched = match start {
-            Some(m) => full_sched.delta(&m.sched),
-            None => full_sched.clone(),
+        let now = self.capture();
+        let (window, latency_start) = match &self.measurement_start {
+            Some(start) => (now.delta(start), start.read_latency_idx),
+            None => (now, 0),
         };
-        let dram_stats = match start {
-            Some(m) => dram.stats().delta(&m.dram),
-            None => dram.stats().clone(),
-        };
-        let base_cycle = start.map_or(0, |m| m.cycle);
-        let elapsed = self.cycle - base_cycle;
-        let protocol = match start {
-            Some(m) => self.engine.data_oram().stats().delta(&m.protocol),
-            None => self.engine.data_oram().stats().clone(),
-        };
-        let mut cycles_by_kind = self.cycles_by_kind;
-        let mut transactions_by_kind = self.transactions_by_kind.clone();
-        let mut row_class_by_kind = self.row_class_by_kind.clone();
-        let mut instructions: u64 = self.cores.iter().map(Core::instructions_retired).sum();
-        let mut oram_accesses = self.oram_accesses;
-        let mut latencies: &[u64] = &self.read_latencies;
-        let bank_idle = match start {
-            Some(m) => {
-                cycles_by_kind = KindCycles {
-                    read: cycles_by_kind.read - m.cycles_by_kind.read,
-                    evict: cycles_by_kind.evict - m.cycles_by_kind.evict,
-                    reshuffle: cycles_by_kind.reshuffle - m.cycles_by_kind.reshuffle,
-                    other: cycles_by_kind.other - m.cycles_by_kind.other,
-                };
-                for (k, v) in &m.transactions_by_kind {
-                    *transactions_by_kind.entry(k).or_default() -= v;
-                }
-                for (k, v) in &m.row_class_by_kind {
-                    let e = row_class_by_kind.entry(k).or_default();
-                    e.hits -= v.hits;
-                    e.misses -= v.misses;
-                    e.conflicts -= v.conflicts;
-                }
-                instructions -= m.instructions;
-                oram_accesses -= m.oram_accesses;
-                latencies = &self.read_latencies[m.read_latency_idx..];
-                // Idle over the window: per-bank busy delta vs elapsed.
-                let busy_now = dram.bank_busy_cycles();
-                if elapsed == 0 {
-                    0.0
-                } else {
-                    let total: f64 = busy_now
-                        .iter()
-                        .zip(&m.bank_busy)
-                        .map(|(&b, &b0)| 1.0 - ((b - b0).min(elapsed) as f64 / elapsed as f64))
-                        .sum();
-                    total / busy_now.len() as f64
-                }
-            }
-            None => dram.average_bank_idle_proportion(self.cycle),
-        };
-        let refreshes = dram.total_refreshes() - start.map_or(0, |m| m.refreshes);
-        let resilience = crate::report::ResilienceSummary {
-            faults_injected: protocol.faults_injected,
-            faults_detected: protocol.faults_detected,
-            fault_retries: protocol.fault_retries,
-            faults_recovered: protocol.faults_recovered,
-            faults_unrecovered: protocol.faults_unrecovered,
-            degraded_entries: protocol.degraded_entries,
-            degraded_exits: protocol.degraded_exits,
-            background_escalations: protocol.background_escalations,
-            retry_cycles: self.retry_cycles - start.map_or(0, |m| m.retry_cycles),
-            responses_delayed: sched.responses_delayed,
-            responses_dropped: sched.responses_dropped,
-            queue_saturation_windows: sched.queue_saturation_windows,
-            refresh_storms: dram.total_refresh_storms() - start.map_or(0, |m| m.refresh_storms),
-            weak_row_stalls: dram.weak_row_stalls() - start.map_or(0, |m| m.weak_row_stalls),
-        };
-
-        SimReport {
-            label: self.label.clone(),
-            total_cycles: elapsed,
-            cycles_by_kind,
-            instructions,
-            oram_accesses,
-            transactions_by_kind,
-            row_class_by_kind,
-            mean_read_queue_wait: sched.mean_read_queue_wait(),
-            mean_write_queue_wait: sched.mean_write_queue_wait(),
-            mean_queue_occupancy: sched.mean_queue_occupancy(),
-            bank_idle_proportion: bank_idle,
-            pending_bank_idle_proportion: sched.pending_bank_idle_proportion(),
-            early_precharge_fraction: sched.early_precharge_fraction(),
-            early_activate_fraction: sched.early_activate_fraction(),
-            protocol,
-            resilience,
-            requests_completed: sched.reads_completed + sched.writes_completed,
-            channel_imbalance: sched.channel_imbalance(),
-            read_latency: crate::report::LatencyPercentiles::from_samples(latencies),
-            violations: self.violations.iter().map(ToString::to_string).collect(),
-            energy: dram_sim::power::energy(
-                &dram_sim::power::PowerParams::ddr3_1600(),
-                dram.timing(),
-                &dram_stats,
-                self.cfg.geometry.channels * self.cfg.geometry.ranks_per_channel,
-                elapsed,
-                sched.open_bank_fraction(),
-                refreshes,
-            ),
-        }
+        let latencies = &self.metrics.read_latencies[latency_start..];
+        let violations = self
+            .conformance
+            .violations()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        build_report(
+            &self.cfg,
+            self.label.clone(),
+            &window,
+            latencies,
+            violations,
+        )
     }
 }
 
@@ -770,6 +377,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::config::Scheme;
+    use ring_oram::OpKind;
     use trace_synth::by_name;
     use trace_synth::TraceGenerator;
 
@@ -968,11 +576,37 @@ mod tests {
     }
 
     #[test]
-    fn cycle_limit_is_enforced() {
+    fn cycle_limit_carries_partial_progress() {
         let cfg = SystemConfig::test_small(Scheme::Baseline);
         let t = traces(&cfg, 200, "black");
         let mut sim = Simulation::new(cfg, t);
         let err = sim.run(10).unwrap_err();
-        assert_eq!(err, CycleLimitExceeded { limit: 10 });
+        assert_eq!(err.limit, 10);
+        assert_eq!(err.cycle, 10);
+        assert_eq!(
+            err.partial.total_cycles, 10,
+            "partial report covers the prefix"
+        );
+        assert!(err.to_string().contains("exceeded 10 cycles"));
+        // The run is resumable: the limit check is non-destructive.
+        let r = sim.run(50_000_000).expect("finishes with a larger budget");
+        assert_eq!(r.oram_accesses, 400);
+    }
+
+    #[test]
+    fn functional_backend_runs_and_is_checked() {
+        let mut cfg = SystemConfig::test_small(Scheme::All);
+        cfg.backend = crate::config::BackendKind::FastFunctional;
+        let t = traces(&cfg, 60, "black");
+        let mut sim = Simulation::new(cfg, t);
+        let r = sim.run(50_000_000).expect("completes");
+        assert_eq!(r.oram_accesses, 120);
+        assert_eq!(r.cycles_by_kind.total(), r.total_cycles);
+        assert!(r.requests_completed > 0);
+        // The txn-order oracle ran (test_small enables verify) and found
+        // nothing; DRAM-level metrics are zero by contract.
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.energy.total_uj(), 0.0);
+        assert_eq!(r.bank_idle_proportion, 0.0);
     }
 }

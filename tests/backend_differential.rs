@@ -1,0 +1,125 @@
+//! Backend-differential tests: the cycle-accurate and fast functional
+//! memory backends must observe the **identical** ORAM access sequence and
+//! program work.
+//!
+//! The ORAM security argument requires the bus-visible access sequence to
+//! be a function of the protocol alone — memory timing may change *when*
+//! things happen, never *what* happens. The pipeline encodes that by
+//! construction (the planner never sees the backend); these tests pin it
+//! empirically by running the same trace over both backends and comparing:
+//!
+//! * the planner's FNV-1a access digest (transaction kinds, physical
+//!   addresses, directions, in order);
+//! * the transaction counts by kind and the protocol statistics (block
+//!   movements: evictions, reshuffles, green fetches, stash samples);
+//! * instructions retired (program work);
+//! * conformance cleanliness (the txn-order oracle runs on both).
+//!
+//! A single core keeps the access order a pure function of the trace:
+//! with several cores the *interleaving* of accesses legitimately depends
+//! on per-core stall times, which differ between timing models.
+
+use string_oram::{BackendKind, Scheme, Simulation, SystemConfig};
+use trace_synth::{by_name, TraceGenerator};
+
+fn single_core_cfg(scheme: Scheme, backend: BackendKind) -> SystemConfig {
+    let mut cfg = SystemConfig::test_small(scheme);
+    cfg.cores = 1;
+    cfg.backend = backend;
+    cfg
+}
+
+fn run_pair(scheme: Scheme, records: usize) -> (Simulation, Simulation) {
+    let trace = |_: &SystemConfig| {
+        vec![TraceGenerator::new(by_name("black").unwrap(), 11, 0).take_records(records)]
+    };
+    let cfg_slow = single_core_cfg(scheme, BackendKind::CycleAccurate);
+    let mut slow = Simulation::new(cfg_slow.clone(), trace(&cfg_slow));
+    let cfg_fast = single_core_cfg(scheme, BackendKind::FastFunctional);
+    let mut fast = Simulation::new(cfg_fast.clone(), trace(&cfg_fast));
+    slow.run(50_000_000).expect("cycle-accurate completes");
+    fast.run(50_000_000).expect("functional completes");
+    (slow, fast)
+}
+
+fn assert_identical_observable_behavior(scheme: Scheme) {
+    let (slow, fast) = run_pair(scheme, 200);
+    let (rs, rf) = (slow.report(), fast.report());
+
+    // Bit-identical bus-observable access sequence.
+    assert_eq!(
+        slow.access_digest(),
+        fast.access_digest(),
+        "{scheme}: access digests diverge"
+    );
+    assert_eq!(slow.oram_accesses(), fast.oram_accesses());
+
+    // Identical transaction mix and protocol-level block movements.
+    assert_eq!(rs.transactions_by_kind, rf.transactions_by_kind);
+    assert_eq!(rs.protocol, rf.protocol, "{scheme}: protocol stats diverge");
+
+    // Identical program work.
+    assert_eq!(rs.instructions, rf.instructions);
+    assert_eq!(rs.oram_accesses, rf.oram_accesses);
+
+    // Both clean under conformance (txn-order oracle runs on both; the
+    // JEDEC shadow additionally on the cycle-accurate one).
+    assert!(rs.violations.is_empty(), "{:?}", rs.violations);
+    assert!(rf.violations.is_empty(), "{:?}", rf.violations);
+
+    // Same number of memory requests served.
+    assert_eq!(rs.requests_completed, rf.requests_completed);
+
+    // The timing models differ, so cycle counts may — but both finish.
+    assert!(rs.total_cycles > 0 && rf.total_cycles > 0);
+}
+
+#[test]
+fn baseline_backends_agree() {
+    assert_identical_observable_behavior(Scheme::Baseline);
+}
+
+#[test]
+fn all_scheme_backends_agree() {
+    assert_identical_observable_behavior(Scheme::All);
+}
+
+/// Row-class *totals* must agree per kind (same requests classified), even
+/// though the hit/miss/conflict split legitimately differs between timing
+/// models (the functional backend never loses rows to refresh).
+#[test]
+fn request_counts_per_kind_agree() {
+    let (slow, fast) = run_pair(Scheme::All, 150);
+    let (rs, rf) = (slow.report(), fast.report());
+    for (kind, s) in &rs.row_class_by_kind {
+        let f = rf.row_class_by_kind.get(kind).copied().unwrap_or_default();
+        assert_eq!(s.total(), f.total(), "{kind}: classified request counts");
+    }
+}
+
+/// The functional backend is a different *timing* model, not a different
+/// machine: its per-kind cycle attribution must still sum to its total.
+#[test]
+fn functional_backend_accounts_every_cycle() {
+    let (_, fast) = run_pair(Scheme::Baseline, 100);
+    let r = fast.report();
+    assert_eq!(r.cycles_by_kind.total(), r.total_cycles);
+    assert_eq!(
+        r.energy.total_uj(),
+        0.0,
+        "no DRAM model, no energy estimate"
+    );
+    assert_eq!(r.bank_idle_proportion, 0.0);
+}
+
+/// Determinism of the pair: re-running either backend reproduces its own
+/// digest and cycle count exactly.
+#[test]
+fn differential_pair_is_deterministic() {
+    let (slow1, fast1) = run_pair(Scheme::All, 100);
+    let (slow2, fast2) = run_pair(Scheme::All, 100);
+    assert_eq!(slow1.access_digest(), slow2.access_digest());
+    assert_eq!(fast1.access_digest(), fast2.access_digest());
+    assert_eq!(slow1.cycles(), slow2.cycles());
+    assert_eq!(fast1.cycles(), fast2.cycles());
+}

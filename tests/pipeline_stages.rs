@@ -1,0 +1,81 @@
+//! Stage-order regression tests: pin today's `Simulation::step` semantics.
+//!
+//! The staged pipeline (plan → enqueue → schedule → retire → attribute)
+//! must execute its stages in exactly the pre-refactor order — a swapped
+//! or merged stage changes cycle counts, attribution, or wake-up timing.
+//! These golden values were captured from the monolithic `step()` before
+//! the pipeline split; any drift means the refactor (or a later change)
+//! altered simulated behavior, not just structure.
+
+use string_oram::{Scheme, SimReport, Simulation, SystemConfig};
+use trace_synth::{by_name, TraceGenerator};
+
+fn run(scheme: Scheme) -> SimReport {
+    let cfg = SystemConfig::test_small(scheme);
+    let traces = (0..cfg.cores)
+        .map(|c| TraceGenerator::new(by_name("black").unwrap(), 11, c as u32).take_records(150))
+        .collect();
+    let mut sim = Simulation::new(cfg, traces);
+    sim.run(50_000_000).expect("run completes")
+}
+
+#[test]
+fn baseline_step_semantics_are_pinned() {
+    let r = run(Scheme::Baseline);
+    assert_eq!(r.total_cycles, 18114);
+    assert_eq!(r.instructions, 64671);
+    assert_eq!(r.oram_accesses, 300);
+    assert_eq!(r.requests_completed, 13500);
+    assert_eq!(r.cycles_by_kind.read, 6134);
+    assert_eq!(r.cycles_by_kind.evict, 11175);
+    assert_eq!(r.cycles_by_kind.reshuffle, 174);
+    assert_eq!(r.cycles_by_kind.other, 631);
+    assert_eq!(r.transactions_by_kind["read"], 300);
+    assert_eq!(r.transactions_by_kind["evict"], 37);
+    assert_eq!(r.transactions_by_kind["reshuffle"], 5);
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn all_scheme_step_semantics_are_pinned() {
+    let r = run(Scheme::All);
+    assert_eq!(r.total_cycles, 13701);
+    assert_eq!(r.instructions, 64671);
+    assert_eq!(r.oram_accesses, 300);
+    assert_eq!(r.requests_completed, 10440);
+    assert_eq!(r.cycles_by_kind.read, 5004);
+    assert_eq!(r.cycles_by_kind.evict, 7987);
+    assert_eq!(r.cycles_by_kind.reshuffle, 44);
+    assert_eq!(r.cycles_by_kind.other, 666);
+    assert_eq!(r.transactions_by_kind["read"], 300);
+    assert_eq!(r.transactions_by_kind["evict"], 37);
+    assert_eq!(r.transactions_by_kind["reshuffle"], 2);
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+/// A step is externally observable only through the cycle counter; pin
+/// that `run` and manual stepping agree (no hidden work between steps).
+#[test]
+fn manual_stepping_matches_run() {
+    let cfg = SystemConfig::test_small(Scheme::Baseline);
+    let traces = (0..cfg.cores)
+        .map(|c| TraceGenerator::new(by_name("black").unwrap(), 11, c as u32).take_records(40))
+        .collect();
+    let mut stepped = Simulation::new(cfg, traces);
+    while !stepped.is_finished() {
+        stepped.step();
+    }
+    let r_stepped = stepped.report();
+
+    let cfg = SystemConfig::test_small(Scheme::Baseline);
+    let traces = (0..cfg.cores)
+        .map(|c| TraceGenerator::new(by_name("black").unwrap(), 11, c as u32).take_records(40))
+        .collect();
+    let mut ran = Simulation::new(cfg, traces);
+    let r_run = ran.run(50_000_000).expect("completes");
+
+    assert_eq!(r_stepped.total_cycles, r_run.total_cycles);
+    assert_eq!(r_stepped.instructions, r_run.instructions);
+    assert_eq!(r_stepped.requests_completed, r_run.requests_completed);
+    assert_eq!(stepped.access_digest(), ran.access_digest());
+}
