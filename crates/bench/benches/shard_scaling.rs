@@ -1,0 +1,221 @@
+//! Shard-scaling trajectory: throughput of the sharded parallel engine at
+//! `N ∈ {1, 2, 4, 8}` shards over both memory backends, recorded to
+//! `BENCH_shard_scaling.json` at the repo root (schema in
+//! `EXPERIMENTS.md`; the committed copy is re-validated by the bench
+//! lib's tests and the CI smoke step).
+//!
+//! Two timings are recorded per point, because CI containers are often
+//! core-starved and a thread-per-shard run cannot speed up on one core:
+//!
+//! * **measured** — wall-clock of the real threaded [`ShardedSimulation`]
+//!   run on this host (honest, host-dependent);
+//! * **projected** — each shard re-run *in isolation* and timed
+//!   individually; the projected parallel makespan is the slowest shard's
+//!   isolated wall (what the threaded run approaches given `N` free
+//!   cores). `host_parallelism` records how many cores this host actually
+//!   had, so readers can tell which number is meaningful.
+//!
+//! The serial re-run doubles as a determinism check: its merged digest
+//! must equal the threaded run's, or the merge is interleaving-sensitive.
+//!
+//! `STRING_ORAM_SHARD_ACCESSES` scales the per-core trace (default 2000);
+//! `STRING_ORAM_BENCH_JSON` overrides the output path (CI smoke writes to
+//! a scratch file instead of the committed trajectory).
+
+use std::time::{Duration, Instant};
+
+use string_oram::{BackendKind, Scheme, ShardedSimulation, SimReport, SystemConfig, VerifyConfig};
+use string_oram_bench::json::Value;
+use string_oram_bench::{traces_for, validate_shard_scaling};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const WORKLOAD: &str = "black";
+const TRACE_SEED: u64 = 11;
+
+fn records_per_core() -> usize {
+    std::env::var("STRING_ORAM_SHARD_ACCESSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000)
+}
+
+fn out_path() -> String {
+    std::env::var("STRING_ORAM_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_shard_scaling.json"
+        )
+        .to_string()
+    })
+}
+
+fn cfg_for(backend: BackendKind, shards: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::test_small(Scheme::All);
+    cfg.backend = backend;
+    cfg.shards = shards;
+    // Measurement configuration: no conformance tracing on the hot path.
+    cfg.verify = VerifyConfig::off();
+    cfg
+}
+
+fn build(backend: BackendKind, shards: usize, records: usize) -> ShardedSimulation {
+    let cfg = cfg_for(backend, shards);
+    let traces = traces_for(&cfg, WORKLOAD, records, TRACE_SEED);
+    ShardedSimulation::new(cfg, traces)
+}
+
+struct Point {
+    shards: usize,
+    report: SimReport,
+    digest: u64,
+    measured: Duration,
+    shard_walls: Vec<Duration>,
+}
+
+fn measure(backend: BackendKind, shards: usize, records: usize) -> Point {
+    // The real threaded run.
+    let mut threaded = build(backend, shards, records);
+    let start = Instant::now();
+    let report = threaded.run(u64::MAX).expect("threaded run completes");
+    let measured = start.elapsed();
+
+    // Each shard in isolation, for the projected parallel makespan.
+    let mut serial = build(backend, shards, records);
+    let shard_walls: Vec<Duration> = serial
+        .shards_mut()
+        .iter_mut()
+        .map(|shard| {
+            let t = Instant::now();
+            shard.run(u64::MAX).expect("isolated shard completes");
+            t.elapsed()
+        })
+        .collect();
+    assert_eq!(
+        serial.merged_digest(),
+        threaded.merged_digest(),
+        "serial and threaded runs must merge to the same digest"
+    );
+
+    Point {
+        shards,
+        report,
+        digest: threaded.merged_digest(),
+        measured,
+        shard_walls,
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn point_json(p: &Point, records: usize, cores: usize) -> Value {
+    let accesses = (records * cores) as f64;
+    let projected = p.shard_walls.iter().max().copied().unwrap_or_default();
+    Value::object(vec![
+        ("shards", p.shards.into()),
+        ("oram_accesses", p.report.oram_accesses.into()),
+        (
+            "merged_digest",
+            format!("{:#018X}", p.digest).replacen("0X", "0x", 1).into(),
+        ),
+        ("total_cycles", p.report.total_cycles.into()),
+        ("makespan_cycles", p.report.makespan_cycles.into()),
+        ("measured_wall_ms", ms(p.measured).into()),
+        (
+            "measured_accesses_per_sec",
+            (accesses / p.measured.as_secs_f64()).into(),
+        ),
+        (
+            "shard_wall_ms",
+            Value::Array(p.shard_walls.iter().map(|w| ms(*w).into()).collect()),
+        ),
+        ("projected_parallel_ms", ms(projected).into()),
+        (
+            "projected_accesses_per_sec",
+            (accesses / projected.as_secs_f64()).into(),
+        ),
+    ])
+}
+
+fn main() {
+    let records = records_per_core();
+    let host = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let cores = cfg_for(BackendKind::FastFunctional, 1).cores;
+    println!("# shard_scaling: {records} records/core x {cores} cores, ALL scheme, host_parallelism={host}");
+
+    let mut backends = Vec::new();
+    let mut functional_projected: Vec<(usize, f64)> = Vec::new();
+    for (backend, name) in [
+        (BackendKind::CycleAccurate, "cycle-accurate"),
+        (BackendKind::FastFunctional, "fast-functional"),
+    ] {
+        println!("\n{name}");
+        println!(
+            "{:>7} {:>14} {:>14} {:>15} {:>15}",
+            "shards", "measured ms", "projected ms", "meas acc/s", "proj acc/s"
+        );
+        let mut points = Vec::new();
+        for shards in SHARD_COUNTS {
+            let p = measure(backend, shards, records);
+            let projected = p.shard_walls.iter().max().copied().unwrap_or_default();
+            let accesses = p.report.oram_accesses as f64;
+            let proj_rate = accesses / projected.as_secs_f64();
+            println!(
+                "{:>7} {:>14.3} {:>14.3} {:>15.0} {:>15.0}",
+                shards,
+                ms(p.measured),
+                ms(projected),
+                accesses / p.measured.as_secs_f64(),
+                proj_rate,
+            );
+            if backend == BackendKind::FastFunctional {
+                functional_projected.push((shards, proj_rate));
+            }
+            points.push(point_json(&p, records, cores));
+        }
+        backends.push(Value::object(vec![
+            ("backend", name.into()),
+            ("points", Value::Array(points)),
+        ]));
+    }
+
+    let doc = Value::object(vec![
+        ("bench", "shard_scaling".into()),
+        ("schema_version", 1usize.into()),
+        ("host_parallelism", host.into()),
+        ("workload", WORKLOAD.into()),
+        ("scheme", "All".into()),
+        ("records_per_core", records.into()),
+        ("cores", cores.into()),
+        (
+            "master_seed",
+            cfg_for(BackendKind::FastFunctional, 1).seed.into(),
+        ),
+        ("backends", Value::Array(backends)),
+    ]);
+    validate_shard_scaling(&doc).expect("emitted document matches the documented schema");
+    let path = out_path();
+    std::fs::write(&path, format!("{doc}\n")).expect("write trajectory");
+    println!("\nwrote {path}");
+
+    // Scaling acceptance: with 4 shards the functional engine's projected
+    // throughput (the slowest shard's isolated wall) must be at least 2x
+    // the 1-shard run. Projected, not measured: a one-core CI container
+    // cannot show threaded speedup, and fabricating one would be worse.
+    let rate = |n: usize| {
+        functional_projected
+            .iter()
+            .find(|(s, _)| *s == n)
+            .map(|(_, r)| *r)
+            .expect("rate recorded")
+    };
+    let speedup = rate(4) / rate(1);
+    println!("functional projected speedup at 4 shards: {speedup:.2}x (bound: >= 2.00x)");
+    if speedup >= 2.0 {
+        println!("PASS: 4-shard projected throughput >= 2x single-shard");
+    } else {
+        println!("FAIL: projected speedup only {speedup:.2}x");
+        std::process::exit(1);
+    }
+}

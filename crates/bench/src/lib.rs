@@ -8,8 +8,12 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod json;
+
 use std::io::Write;
 use std::sync::Mutex;
+
+use json::Value;
 
 use string_oram::{Scheme, SimReport, Simulation, SystemConfig};
 use trace_synth::{by_name, TraceGenerator, TraceRecord};
@@ -167,6 +171,115 @@ pub fn print_row(label: &str, values: &[String]) {
     }
 }
 
+fn require<'a>(obj: &'a Value, key: &str, ctx: &str) -> Result<&'a Value, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{ctx}: missing \"{key}\""))
+}
+
+fn require_u64(obj: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    require(obj, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| format!("{ctx}: \"{key}\" is not a non-negative integer"))
+}
+
+fn require_positive(obj: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+    match require(obj, key, ctx)?.as_f64() {
+        Some(n) if n > 0.0 => Ok(n),
+        _ => Err(format!("{ctx}: \"{key}\" is not a positive number")),
+    }
+}
+
+/// Validates a parsed `BENCH_shard_scaling.json` document against the
+/// schema documented in `EXPERIMENTS.md` — **structure only**: required
+/// keys, types, shard counts that are powers of two, per-shard wall arrays
+/// of matching length, and a well-formed 16-hex-digit merged digest. It
+/// deliberately does not judge the recorded performance numbers.
+///
+/// # Errors
+///
+/// A message naming the first offending key or element.
+pub fn validate_shard_scaling(doc: &Value) -> Result<(), String> {
+    let ctx = "shard_scaling";
+    match require(doc, "bench", ctx)?.as_str() {
+        Some("shard_scaling") => {}
+        _ => return Err(format!("{ctx}: \"bench\" must be \"shard_scaling\"")),
+    }
+    require_u64(doc, "schema_version", ctx)?;
+    if require_u64(doc, "host_parallelism", ctx)? == 0 {
+        return Err(format!("{ctx}: \"host_parallelism\" must be >= 1"));
+    }
+    require(doc, "workload", ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: \"workload\" is not a string"))?;
+    require(doc, "scheme", ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: \"scheme\" is not a string"))?;
+    require_u64(doc, "records_per_core", ctx)?;
+    require_u64(doc, "cores", ctx)?;
+    require_u64(doc, "master_seed", ctx)?;
+
+    let backends = require(doc, "backends", ctx)?
+        .as_array()
+        .ok_or_else(|| format!("{ctx}: \"backends\" is not an array"))?;
+    if backends.is_empty() {
+        return Err(format!("{ctx}: \"backends\" is empty"));
+    }
+    for entry in backends {
+        let name = require(entry, "backend", ctx)?
+            .as_str()
+            .ok_or_else(|| format!("{ctx}: backend name is not a string"))?
+            .to_string();
+        if !matches!(name.as_str(), "cycle-accurate" | "fast-functional") {
+            return Err(format!("{ctx}: unknown backend \"{name}\""));
+        }
+        let points = require(entry, "points", &name)?
+            .as_array()
+            .ok_or_else(|| format!("{name}: \"points\" is not an array"))?;
+        if points.is_empty() {
+            return Err(format!("{name}: \"points\" is empty"));
+        }
+        for point in points {
+            let shards = require_u64(point, "shards", &name)?;
+            let pctx = format!("{name}/shards={shards}");
+            if shards == 0 || !shards.is_power_of_two() {
+                return Err(format!("{pctx}: shard count is not a power of two"));
+            }
+            require_u64(point, "oram_accesses", &pctx)?;
+            require_u64(point, "total_cycles", &pctx)?;
+            require_u64(point, "makespan_cycles", &pctx)?;
+            require_positive(point, "measured_wall_ms", &pctx)?;
+            require_positive(point, "measured_accesses_per_sec", &pctx)?;
+            require_positive(point, "projected_parallel_ms", &pctx)?;
+            require_positive(point, "projected_accesses_per_sec", &pctx)?;
+            let digest = require(point, "merged_digest", &pctx)?
+                .as_str()
+                .ok_or_else(|| format!("{pctx}: \"merged_digest\" is not a string"))?;
+            let hex = digest
+                .strip_prefix("0x")
+                .ok_or_else(|| format!("{pctx}: digest lacks 0x prefix"))?;
+            if hex.len() != 16 || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+                return Err(format!("{pctx}: digest is not 16 hex digits"));
+            }
+            let walls = require(point, "shard_wall_ms", &pctx)?
+                .as_array()
+                .ok_or_else(|| format!("{pctx}: \"shard_wall_ms\" is not an array"))?;
+            if walls.len() as u64 != shards {
+                return Err(format!(
+                    "{pctx}: {} per-shard walls for {shards} shards",
+                    walls.len()
+                ));
+            }
+            if !walls
+                .iter()
+                .all(|w| matches!(w.as_f64(), Some(n) if n > 0.0))
+            {
+                return Err(format!("{pctx}: non-positive per-shard wall"));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Geometric mean of strictly positive values (the paper reports GEOMEAN
 /// bars); returns 0.0 for an empty slice.
 #[must_use]
@@ -199,5 +312,85 @@ mod tests {
         let cfg = SystemConfig::test_small(Scheme::Baseline);
         let r = run_config(cfg, "stream", 20, "smoke");
         assert_eq!(r.oram_accesses, 40);
+    }
+
+    fn minimal_trajectory() -> String {
+        r#"{
+            "bench": "shard_scaling", "schema_version": 1,
+            "host_parallelism": 1, "workload": "black", "scheme": "All",
+            "records_per_core": 2000, "cores": 2, "master_seed": 219966046,
+            "backends": [{
+                "backend": "fast-functional",
+                "points": [{
+                    "shards": 2, "oram_accesses": 4000,
+                    "merged_digest": "0x8FEFA68912F2C2F5",
+                    "total_cycles": 10, "makespan_cycles": 6,
+                    "measured_wall_ms": 1.5, "measured_accesses_per_sec": 100.0,
+                    "shard_wall_ms": [0.7, 0.8],
+                    "projected_parallel_ms": 0.8,
+                    "projected_accesses_per_sec": 200.0
+                }]
+            }]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn shard_scaling_schema_accepts_the_documented_shape() {
+        let doc = json::parse(&minimal_trajectory()).unwrap();
+        validate_shard_scaling(&doc).unwrap();
+    }
+
+    #[test]
+    fn shard_scaling_schema_rejects_structural_damage() {
+        let good = minimal_trajectory();
+        for (needle, replacement, why) in [
+            ("\"shards\": 2", "\"shards\": 3", "non-power-of-two shards"),
+            ("[0.7, 0.8]", "[0.7]", "wall array shorter than shards"),
+            ("[0.7, 0.8]", "[0.7, 0.0]", "non-positive wall"),
+            ("0x8FEFA68912F2C2F5", "8FEFA68912F2C2F5", "digest prefix"),
+            ("0x8FEFA68912F2C2F5", "0x8FEF", "digest length"),
+            (
+                "\"host_parallelism\": 1",
+                "\"host_parallelism\": 0",
+                "zero parallelism",
+            ),
+            ("shard_scaling\"", "other_bench\"", "wrong bench name"),
+            (
+                "\"backend\": \"fast-functional\"",
+                "\"backend\": \"gpu\"",
+                "unknown backend",
+            ),
+            (
+                "\"measured_wall_ms\": 1.5",
+                "\"measured_wall_ms\": -1",
+                "negative wall",
+            ),
+        ] {
+            let damaged = good.replacen(needle, replacement, 1);
+            assert_ne!(damaged, good, "{why}: replacement did not apply");
+            let doc = json::parse(&damaged).unwrap();
+            assert!(
+                validate_shard_scaling(&doc).is_err(),
+                "{why} must be rejected"
+            );
+        }
+        // Dropping any required point key is rejected too.
+        let doc = json::parse(&good.replacen("\"total_cycles\": 10,", "", 1)).unwrap();
+        assert!(validate_shard_scaling(&doc).is_err());
+    }
+
+    /// The committed bench trajectory at the repo root must always parse
+    /// and satisfy the schema the docs promise (regenerate with
+    /// `cargo bench --bench shard_scaling` after intentional changes).
+    #[test]
+    fn committed_shard_scaling_trajectory_is_valid() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_shard_scaling.json"
+        );
+        let text = std::fs::read_to_string(path).expect("BENCH_shard_scaling.json is committed");
+        let doc = json::parse(&text).expect("trajectory parses");
+        validate_shard_scaling(&doc).expect("trajectory matches schema");
     }
 }

@@ -68,6 +68,20 @@ impl DramSnapshot {
         }
     }
 
+    /// Folds a *disjoint* module's snapshot into `self`, for combining
+    /// per-shard DRAM views: counters add, per-bank vectors concatenate
+    /// (each shard owns physically distinct banks; callers merge in
+    /// shard-id order). The timing parameters are kept from `self` — shards
+    /// run identical timing, which the sharded engine guarantees by
+    /// constructing every shard from one configuration.
+    pub fn merge_from(&mut self, other: &Self) {
+        self.stats.merge_from(&other.stats);
+        self.bank_busy.extend_from_slice(&other.bank_busy);
+        self.refreshes += other.refreshes;
+        self.refresh_storms += other.refresh_storms;
+        self.weak_row_stalls += other.weak_row_stalls;
+    }
+
     /// Average bank idle proportion over `elapsed` cycles, computed from the
     /// snapshot's per-bank busy totals: `1 - busy/elapsed` averaged over all
     /// banks. Returns 0 when `elapsed` is 0 or the snapshot has no banks.

@@ -90,6 +90,20 @@ impl DramStats {
         }
     }
 
+    /// Folds the counters of a *disjoint* module into `self`, for combining
+    /// per-shard DRAM statistics. Command counts add; `per_bank_commands`
+    /// concatenates, since each shard owns physically distinct banks
+    /// (callers merging shards do so in shard-id order, keeping the bank
+    /// ordering deterministic).
+    pub fn merge_from(&mut self, other: &Self) {
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.per_bank_commands
+            .extend_from_slice(&other.per_bank_commands);
+    }
+
     /// Records a command against bank 0 — test helper for modules (such as
     /// the power model) that need synthetic statistics.
     #[doc(hidden)]

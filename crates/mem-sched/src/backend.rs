@@ -47,6 +47,22 @@ impl BackendSnapshot {
             },
         }
     }
+
+    /// Folds a *disjoint* backend's snapshot into `self`, for combining
+    /// per-shard snapshots into one merged view. Scheduler counters add
+    /// ([`SchedulerStats::merge_from`]); the DRAM layer is kept only when
+    /// *every* merged shard has one (mixed fleets drop timing-level data
+    /// rather than misreport a partial sum).
+    pub fn merge_from(&mut self, other: &Self) {
+        self.sched.merge_from(&other.sched);
+        self.dram = match (self.dram.take(), &other.dram) {
+            (Some(mut mine), Some(theirs)) => {
+                mine.merge_from(theirs);
+                Some(mine)
+            }
+            _ => None,
+        };
+    }
 }
 
 /// The memory side of the ORAM system, as seen by the transaction pipeline.
@@ -64,7 +80,11 @@ impl BackendSnapshot {
 /// * when command tracing is enabled, every issued command appears on the
 ///   [`CommandEvent`] stream so `sim-verify` checkers can attach without
 ///   knowing which backend produced it.
-pub trait MemoryBackend: std::fmt::Debug {
+///
+/// Backends are `Send`: the sharded engine moves each shard's backend onto
+/// its own worker thread. They need not be `Sync` — a backend is owned by
+/// exactly one shard pipeline.
+pub trait MemoryBackend: std::fmt::Debug + Send {
     /// Enqueues a request at `cycle`.
     ///
     /// # Errors

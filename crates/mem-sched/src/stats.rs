@@ -179,6 +179,36 @@ impl SchedulerStats {
         }
     }
 
+    /// Folds the counters of a *disjoint* controller into `self`, for
+    /// combining per-shard scheduler statistics into one merged view. Every
+    /// counter adds; `per_channel_requests` concatenates, since each shard
+    /// owns physically distinct channels (callers merging shards do so in
+    /// shard-id order, keeping the channel ordering deterministic).
+    pub fn merge_from(&mut self, other: &Self) {
+        self.ticks += other.ticks;
+        self.queue_occupancy_integral += other.queue_occupancy_integral;
+        self.reads_completed += other.reads_completed;
+        self.writes_completed += other.writes_completed;
+        self.read_queue_wait += other.read_queue_wait;
+        self.write_queue_wait += other.write_queue_wait;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.conflicts += other.conflicts;
+        self.precharges += other.precharges;
+        self.activates += other.activates;
+        self.early_precharges += other.early_precharges;
+        self.early_activates += other.early_activates;
+        self.stalled_bank_cycles += other.stalled_bank_cycles;
+        self.busy_pending_bank_cycles += other.busy_pending_bank_cycles;
+        self.per_channel_requests
+            .extend_from_slice(&other.per_channel_requests);
+        self.open_bank_integral += other.open_bank_integral;
+        self.bank_tick_integral += other.bank_tick_integral;
+        self.responses_delayed += other.responses_delayed;
+        self.responses_dropped += other.responses_dropped;
+        self.queue_saturation_windows += other.queue_saturation_windows;
+    }
+
     /// Channel imbalance: the max-over-mean ratio of per-channel completed
     /// requests (1.0 = perfectly balanced). The ORAM's uniform path
     /// randomization keeps this near 1 in the long run; short transactions

@@ -156,6 +156,33 @@ impl Standard for f64 {
     }
 }
 
+/// Derives the seed of an independent randomness stream from a master
+/// seed: the hash of the concatenation `master || stream` run through two
+/// rounds of [`SplitMix64`] mixing.
+///
+/// This is how sharded simulations split one configured seed into one
+/// stream per shard: stream `s` of master `m` is
+/// `derive_stream_seed(m, s)`. Because every 64-bit output of SplitMix64
+/// is bijectively mixed, distinct `(master, stream)` pairs land on
+/// well-separated xoshiro256** states, so the per-shard generators are
+/// statistically independent (the `shard_properties` suite additionally
+/// pins pairwise non-overlap of the first 10 k draws).
+///
+/// Stream 0 is *not* the master seed itself: callers that need an
+/// unsharded run to be bit-identical to legacy behaviour must pass the
+/// master seed through untouched for the single-stream case (see
+/// `string_oram::pipeline::shard`).
+#[must_use]
+pub fn derive_stream_seed(master: u64, stream: u64) -> u64 {
+    // Round 1: expand the master so nearby masters decorrelate.
+    let mut sm = SplitMix64::new(master);
+    let expanded = sm.next_u64();
+    // Round 2: fold the stream index into the expanded state. XOR before
+    // re-mixing keeps the pair bijective in `stream` for a fixed master.
+    let mut sm = SplitMix64::new(expanded ^ stream);
+    sm.next_u64()
+}
+
 /// An integer type usable with [`Rng::gen_range`].
 pub trait UniformInt: Copy {
     /// Draws a value uniformly from `range` (half-open).
@@ -363,6 +390,36 @@ mod tests {
         assert_eq!(seen.len(), 3);
         let empty: [u32; 0] = [];
         assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn derived_stream_seeds_are_distinct_and_frozen() {
+        // Distinct across streams and masters.
+        let mut seen = std::collections::HashSet::new();
+        for master in [0u64, 1, 42, 0xD15EA5E] {
+            for stream in 0..64u64 {
+                assert!(
+                    seen.insert(derive_stream_seed(master, stream)),
+                    "collision at master {master} stream {stream}"
+                );
+            }
+        }
+        // Deterministic: the derivation is part of the reproducibility
+        // contract, so freeze one reference value against the SplitMix64
+        // definition above.
+        let mut sm = SplitMix64::new(0xD15EA5E);
+        let expanded = sm.next_u64();
+        let mut sm = SplitMix64::new(expanded ^ 3);
+        assert_eq!(derive_stream_seed(0xD15EA5E, 3), sm.next_u64());
+        assert_eq!(derive_stream_seed(7, 0), derive_stream_seed(7, 0));
+    }
+
+    #[test]
+    fn derived_stream_zero_differs_from_master() {
+        // Stream 0 is a fresh stream, not the master passed through.
+        for master in [1u64, 99, 0xABCD] {
+            assert_ne!(derive_stream_seed(master, 0), master);
+        }
     }
 
     #[test]

@@ -20,7 +20,11 @@ use crate::types::BucketId;
 ///
 /// Implementations must be injective (no two slots share an address) and
 /// keep every address below [`TreeLayout::total_bytes`].
-pub trait TreeLayout: std::fmt::Debug {
+///
+/// Layouts are `Send` so a planner owning one can move to a shard worker
+/// thread (see `string_oram::pipeline::shard`); they are plain address
+/// arithmetic, so this costs implementations nothing.
+pub trait TreeLayout: std::fmt::Debug + Send {
     /// Byte address of `slot` within `bucket`.
     fn addr_of(&self, bucket: BucketId, slot: u32) -> u64;
 

@@ -54,6 +54,7 @@ pub mod plan;
 pub mod position_map;
 pub mod protocol;
 pub mod recursive;
+pub mod sharding;
 pub mod stash;
 pub mod tree;
 pub mod types;
@@ -62,5 +63,6 @@ pub use config::RingConfig;
 pub use faults::{FaultEvent, FaultEventKind, OramError, ResilienceConfig};
 pub use plan::{AccessPlan, OpKind, SlotTouch};
 pub use protocol::{AccessOutcome, ProtocolStats, RingOram, TargetSource};
+pub use sharding::ShardMap;
 pub use tree::TreeGeometry;
 pub use types::{BlockId, BucketId, FetchKind, Level, PathId};

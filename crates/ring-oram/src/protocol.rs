@@ -173,6 +173,35 @@ impl ProtocolStats {
         }
     }
 
+    /// Folds the counters of a *disjoint* ORAM instance into `self`, for
+    /// combining per-shard statistics into one merged view: every counter
+    /// adds; `stash_samples` appends `other`'s samples (callers merging
+    /// shards do so in shard-id order, keeping the merge deterministic).
+    pub fn merge_from(&mut self, other: &Self) {
+        self.read_paths += other.read_paths;
+        self.dummy_read_paths += other.dummy_read_paths;
+        self.evictions += other.evictions;
+        self.background_evictions += other.background_evictions;
+        self.early_reshuffles += other.early_reshuffles;
+        self.forced_reshuffles += other.forced_reshuffles;
+        self.greens_fetched += other.greens_fetched;
+        self.targets_from_tree += other.targets_from_tree;
+        self.targets_from_treetop += other.targets_from_treetop;
+        self.targets_from_stash += other.targets_from_stash;
+        self.new_blocks += other.new_blocks;
+        self.stash_samples.extend_from_slice(&other.stash_samples);
+        self.encryptions += other.encryptions;
+        self.decryptions += other.decryptions;
+        self.faults_injected += other.faults_injected;
+        self.faults_detected += other.faults_detected;
+        self.fault_retries += other.fault_retries;
+        self.faults_recovered += other.faults_recovered;
+        self.faults_unrecovered += other.faults_unrecovered;
+        self.degraded_entries += other.degraded_entries;
+        self.degraded_exits += other.degraded_exits;
+        self.background_escalations += other.background_escalations;
+    }
+
     /// Green blocks fetched per program read path (the paper's Fig. 13
     /// lower panel).
     #[must_use]
@@ -1149,6 +1178,16 @@ impl RingOram {
         // Exposed through a helper so `check_invariants` can iterate without
         // making PositionMap's internals public.
         self.position_map.entries()
+    }
+
+    /// Snapshot of every `(block, path)` pair the position map tracks, in
+    /// unspecified order: the blocks currently *resident* in this ORAM
+    /// instance (pre-loaded or touched). Hardware has no such operation;
+    /// it exists for invariant checks — in particular the cross-shard
+    /// residency audit, which proves no block lives in two shard ORAMs.
+    #[must_use]
+    pub fn position_entries(&self) -> Vec<(BlockId, PathId)> {
+        self.position_map_entries()
     }
 }
 

@@ -1,0 +1,173 @@
+//! Shard partitioning for the parallel simulation engine.
+//!
+//! The paper's subtree-packed layout and channel striping make each channel
+//! group an independently schedulable unit. This module partitions the
+//! *logical address space* into `N` disjoint shards — a subtree forest, one
+//! tree per shard — so every shard can run its own protocol instance,
+//! pipeline, and memory backend on a dedicated thread with no shared state.
+//!
+//! Routing is by low-order block-address bits: block `b` lives in shard
+//! `b mod N`, renumbered locally as `b / N`. With `N` a power of two this is
+//! a bit-slice (shard id = low `log2 N` bits), every shard receives an even
+//! interleave of any address stream, and the map is trivially bijective:
+//! `global = local * N + shard`.
+//!
+//! `N = 1` is the exact identity map — the sharded engine degenerates to the
+//! unsharded pipeline bit-for-bit, which `tests/shard_differential.rs` pins.
+
+use crate::config::RingConfig;
+use crate::types::BlockId;
+
+/// Disjoint partition of the block address space into `N` shards.
+///
+/// # Examples
+///
+/// ```
+/// use ring_oram::sharding::ShardMap;
+/// use ring_oram::types::BlockId;
+///
+/// let map = ShardMap::new(4).unwrap();
+/// let b = BlockId(42);
+/// let (shard, local) = (map.shard_of(b), map.local_block(b));
+/// assert_eq!(map.global_block(shard, local), b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+    /// `log2(shards)`; shard id is the low `bits` bits of a block address.
+    bits: u32,
+}
+
+impl ShardMap {
+    /// Builds a map over `shards` partitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if `shards` is zero or not a power of two
+    /// (power-of-two counts keep the routing a bit-slice and let the
+    /// per-shard tree be the whole tree minus `log2 N` levels).
+    pub fn new(shards: usize) -> Result<Self, String> {
+        if shards == 0 || !shards.is_power_of_two() {
+            return Err(format!(
+                "shard count ({shards}) must be a nonzero power of two"
+            ));
+        }
+        Ok(Self {
+            shards,
+            bits: shards.trailing_zeros(),
+        })
+    }
+
+    /// Number of shards `N`.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// `log2(N)` — tree levels absorbed by the forest split.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The shard owning `block` (its low `log2 N` address bits).
+    #[must_use]
+    pub fn shard_of(&self, block: BlockId) -> usize {
+        (block.0 & (self.shards as u64 - 1)) as usize
+    }
+
+    /// `block` renumbered into its shard's local address space.
+    #[must_use]
+    pub fn local_block(&self, block: BlockId) -> BlockId {
+        BlockId(block.0 >> self.bits)
+    }
+
+    /// Inverse of [`Self::shard_of`] + [`Self::local_block`].
+    #[must_use]
+    pub fn global_block(&self, shard: usize, local: BlockId) -> BlockId {
+        BlockId((local.0 << self.bits) | shard as u64)
+    }
+
+    /// Derives the per-shard tree configuration: each shard's tree is the
+    /// whole tree with `log2 N` fewer levels (the forest split replaces the
+    /// top of the tree), so total capacity across shards matches the
+    /// unsharded tree's order of magnitude. `N = 1` returns `cfg` unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the reduced tree would be too shallow: the
+    /// per-shard tree must keep at least `tree_top_cached_levels + 1`
+    /// levels, and the result must still pass [`RingConfig::validate`].
+    pub fn shard_ring_config(&self, cfg: &RingConfig) -> Result<RingConfig, String> {
+        if self.bits == 0 {
+            return Ok(cfg.clone());
+        }
+        if cfg.levels <= self.bits + cfg.tree_top_cached_levels {
+            return Err(format!(
+                "cannot split a {}-level tree (with {} cached levels) into {} shards",
+                cfg.levels, cfg.tree_top_cached_levels, self.shards
+            ));
+        }
+        let shard_cfg = RingConfig {
+            levels: cfg.levels - self.bits,
+            ..cfg.clone()
+        };
+        shard_cfg.validate()?;
+        Ok(shard_cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_and_non_power_of_two() {
+        assert!(ShardMap::new(0).is_err());
+        assert!(ShardMap::new(3).is_err());
+        assert!(ShardMap::new(6).is_err());
+        for n in [1usize, 2, 4, 8, 16] {
+            assert!(ShardMap::new(n).is_ok());
+        }
+    }
+
+    #[test]
+    fn routing_roundtrips_and_partitions() {
+        for n in [1usize, 2, 4, 8] {
+            let map = ShardMap::new(n).unwrap();
+            for b in 0..512u64 {
+                let block = BlockId(b);
+                let shard = map.shard_of(block);
+                assert!(shard < n);
+                let local = map.local_block(block);
+                assert_eq!(map.global_block(shard, local), block);
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_map_is_identity() {
+        let map = ShardMap::new(1).unwrap();
+        let cfg = RingConfig::test_small();
+        assert_eq!(map.shard_of(BlockId(99)), 0);
+        assert_eq!(map.local_block(BlockId(99)), BlockId(99));
+        assert_eq!(map.shard_ring_config(&cfg).unwrap(), cfg);
+    }
+
+    #[test]
+    fn shard_config_drops_log2_levels() {
+        let map = ShardMap::new(4).unwrap();
+        let cfg = RingConfig::test_small();
+        let shard_cfg = map.shard_ring_config(&cfg).unwrap();
+        assert_eq!(shard_cfg.levels, cfg.levels - 2);
+        assert_eq!(shard_cfg.z, cfg.z);
+    }
+
+    #[test]
+    fn shard_config_rejects_too_shallow_trees() {
+        let map = ShardMap::new(8).unwrap();
+        let mut cfg = RingConfig::test_small();
+        cfg.levels = 3;
+        assert!(map.shard_ring_config(&cfg).is_err());
+    }
+}

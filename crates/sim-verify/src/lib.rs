@@ -19,6 +19,9 @@
 //! * [`oracle`] — differential-run primitives: extracting the data-command
 //!   (RD/WR) sequence from a trace, checking the transaction-order security
 //!   contract, and locating the first divergence between two runs.
+//! * [`ShardResidencyAuditor`] — the sharded engine's global invariant:
+//!   per-shard residency snapshots must partition the block address space
+//!   (no block resident in two shards, no block routed to the wrong shard).
 //! * [`StreamConformance`] — the backend-agnostic bundle of the stream
 //!   checkers above, selecting which apply to a given memory backend (the
 //!   JEDEC shadow layer only attaches when a cycle-accurate DRAM model is
@@ -40,6 +43,7 @@
 pub mod audit;
 pub mod oracle;
 pub mod shadow;
+pub mod shard;
 pub mod stream;
 pub mod violation;
 
@@ -48,5 +52,6 @@ pub use oracle::{
     check_txn_order, data_commands, first_divergence, grouped_by_txn, DataCmd, TxnOrderChecker,
 };
 pub use shadow::ShadowTimingChecker;
+pub use shard::ShardResidencyAuditor;
 pub use stream::StreamConformance;
 pub use violation::{Rule, Violation};

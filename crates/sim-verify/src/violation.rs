@@ -70,6 +70,9 @@ pub enum Rule {
     RetryMismatch,
     /// Two runs that must agree (differential oracle) diverged.
     Divergence,
+    /// A block was resident in (or routed to) more than one shard of a
+    /// sharded simulation — shards must partition the address space.
+    ShardResidency,
 }
 
 impl std::fmt::Display for Rule {
@@ -101,6 +104,7 @@ impl std::fmt::Display for Rule {
             Self::FaultUnrecovered => "fault-unrecovered",
             Self::RetryMismatch => "retry-mismatch",
             Self::Divergence => "divergence",
+            Self::ShardResidency => "shard-residency",
         };
         f.write_str(name)
     }
@@ -179,6 +183,7 @@ mod tests {
             Rule::FaultUnrecovered,
             Rule::RetryMismatch,
             Rule::Divergence,
+            Rule::ShardResidency,
         ];
         let names: std::collections::HashSet<String> =
             rules.iter().map(ToString::to_string).collect();

@@ -168,6 +168,12 @@ pub struct SystemConfig {
     pub mapping: MappingKind,
     /// Memory backend serving the pipeline (paper default: cycle-accurate).
     pub backend: BackendKind,
+    /// Number of independent shard instances for the parallel engine
+    /// (`crate::ShardedSimulation`). Must be a power of two. `1` (the
+    /// default) is the unsharded single-threaded pipeline; `N > 1`
+    /// partitions the block address space into `N` subtree-forest shards,
+    /// each with its own pipeline, backend and seeded RNG stream.
+    pub shards: usize,
     /// Passive conformance checking (off for measurement, on in tests).
     pub verify: VerifyConfig,
     /// Deterministic fault injection across the memory stack. `None` (the
@@ -303,6 +309,7 @@ impl SystemConfig {
                 recursion: None,
                 mapping: MappingKind::PaperStriped,
                 backend: BackendKind::CycleAccurate,
+                shards: 1,
                 verify: VerifyConfig::off(),
                 faults: None,
             },
@@ -340,6 +347,7 @@ impl SystemConfig {
                 recursion: None,
                 mapping: MappingKind::PaperStriped,
                 backend: BackendKind::CycleAccurate,
+                shards: 1,
                 verify: VerifyConfig::checked(),
                 faults: None,
             },
@@ -404,6 +412,10 @@ impl SystemConfig {
         if !(0.0..=1.0).contains(&self.load_factor) {
             return Err("load_factor must be in [0, 1]".into());
         }
+        // Sharding: the map constructor enforces the power-of-two count and
+        // the per-shard tree derivation enforces the depth floor.
+        let map = ring_oram::ShardMap::new(self.shards)?;
+        map.shard_ring_config(&self.ring)?;
         if let Some(f) = &self.faults {
             if self.backend == BackendKind::FastFunctional {
                 return Err(
@@ -510,6 +522,19 @@ mod tests {
         assert!(cfg.validate().is_err());
         cfg.faults = None;
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn shard_count_must_be_power_of_two_and_splittable() {
+        let mut cfg = SystemConfig::test_small(Scheme::Baseline);
+        cfg.shards = 3;
+        assert!(cfg.validate().is_err());
+        cfg.shards = 4;
+        cfg.validate().unwrap();
+        // 14-level tree with 4 cached levels: 1024 shards would leave fewer
+        // than cached + 1 levels per shard.
+        cfg.shards = 1024;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub use config::{
     SystemConfig, VerifyConfig,
 };
 pub use cpu::{Core, CoreRequest, CoreState};
+pub use pipeline::ShardedSimulation;
 pub use report::{KindCycles, ResilienceSummary, RowClassCounts, SimReport};
 pub use space::{fig4_rows, table5_rows, SpaceRow};
 pub use system::{CycleLimitExceeded, Simulation};

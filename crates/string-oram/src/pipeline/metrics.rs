@@ -211,7 +211,9 @@ pub fn build_report(
     };
     SimReport {
         label,
+        shards: 1,
         total_cycles: elapsed,
+        makespan_cycles: elapsed,
         cycles_by_kind: window.cycles_by_kind,
         instructions: window.instructions,
         oram_accesses: window.oram_accesses,

@@ -32,10 +32,12 @@ pub mod backend;
 pub mod conformance;
 pub mod metrics;
 pub mod planner;
+pub mod shard;
 pub mod txns;
 
 pub use backend::build_backend;
 pub use conformance::Conformance;
 pub use metrics::{build_report, CounterSnapshot, Metrics};
 pub use planner::{PlannedTxn, Planner};
+pub use shard::ShardedSimulation;
 pub use txns::{Retired, TxnTracker, Wake};

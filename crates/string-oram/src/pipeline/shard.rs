@@ -1,0 +1,450 @@
+//! The sharded parallel simulation engine with deterministic merge.
+//!
+//! [`ShardedSimulation`] partitions the block address space into `N`
+//! independent shard instances (a subtree forest; see
+//! [`ring_oram::sharding`]), each owning its own five-stage pipeline,
+//! [`mem_sched::MemoryBackend`] and seeded `oram-rng` stream, and runs them
+//! on dedicated `std::thread`s. Everything observable is merged back
+//! **deterministically**:
+//!
+//! * results are joined and combined in **shard-id order**, never arrival
+//!   order, so thread interleaving cannot change the merged report;
+//! * every per-shard seed is derived from the master seed with
+//!   [`oram_rng::derive_stream_seed`]`(master, shard_id)` — except for
+//!   `N = 1`, which passes the master seed through unchanged so the sharded
+//!   engine is *bit-identical* to the unsharded [`Simulation`];
+//! * the merged access digest is an order-independent fold of the per-shard
+//!   FNV digests: `XOR` over `digest_s.rotate_left(s)` (the rotation keeps
+//!   the fold sensitive to which shard produced which digest, the `XOR`
+//!   keeps it independent of combination order);
+//! * merged counters are exact sums of per-shard counters (means are
+//!   recomputed as ratios of summed numerators and denominators, and
+//!   latency percentiles from the pooled raw samples — never averages of
+//!   averages).
+//!
+//! `sim-verify` attaches at both granularities: each shard runs its own
+//! stream checkers and ORAM audit per its `VerifyConfig`, and the merge
+//! point runs the global cross-shard invariant
+//! ([`sim_verify::ShardResidencyAuditor`]): no block resident in two
+//! shards, no block resident in the wrong shard.
+
+use oram_rng::derive_stream_seed;
+use ring_oram::sharding::ShardMap;
+use trace_synth::TraceRecord;
+
+use crate::config::{ConfigError, FaultConfig, SystemConfig};
+use crate::pipeline::{build_report, CounterSnapshot};
+use crate::report::SimReport;
+use crate::system::{CycleLimitExceeded, Simulation};
+
+/// `N` independent shard pipelines plus the deterministic merge stage.
+///
+/// # Examples
+///
+/// ```
+/// use string_oram::{ShardedSimulation, SystemConfig, Scheme};
+/// use trace_synth::{TraceGenerator, by_name};
+///
+/// let mut cfg = SystemConfig::test_small(Scheme::All);
+/// cfg.shards = 2;
+/// let traces = (0..cfg.cores)
+///     .map(|c| TraceGenerator::new(by_name("black").unwrap(), 1, c as u32).take_records(50))
+///     .collect();
+/// let mut sim = ShardedSimulation::new(cfg, traces);
+/// let report = sim.run(10_000_000).unwrap();
+/// assert_eq!(report.shards, 2);
+/// assert_eq!(report.oram_accesses, 100);
+/// ```
+#[derive(Debug)]
+pub struct ShardedSimulation {
+    /// The master configuration (`cfg.shards = N`).
+    cfg: SystemConfig,
+    map: ShardMap,
+    /// One single-instance pipeline per shard, in shard-id order.
+    shards: Vec<Simulation>,
+    label: String,
+}
+
+impl ShardedSimulation {
+    /// Builds a sharded simulation of `cfg` (with `cfg.shards` instances)
+    /// running one trace per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation or the number of traces does not
+    /// match `cfg.cores` (see [`Self::try_new`]).
+    #[must_use]
+    pub fn new(cfg: SystemConfig, traces: Vec<Vec<TraceRecord>>) -> Self {
+        match Self::try_new(cfg, traces) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds a sharded simulation, reporting configuration problems
+    /// instead of panicking.
+    ///
+    /// With `cfg.shards == 1` the single shard is configured *identically*
+    /// to [`Simulation::try_new`] — same seed, same tree, same traces — so
+    /// digests and reports are bit-identical to the unsharded pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Invalid`] if `cfg` fails validation (including the
+    /// shard-count and per-shard tree-depth checks) and
+    /// [`ConfigError::TraceCount`] if the number of traces does not match
+    /// `cfg.cores`.
+    pub fn try_new(cfg: SystemConfig, traces: Vec<Vec<TraceRecord>>) -> Result<Self, ConfigError> {
+        Self::try_new_with_shard_faults(cfg, traces, &[])
+    }
+
+    /// [`Self::try_new`] with per-shard fault-injection overrides:
+    /// `fault_overrides[s]`, when `Some`, replaces `cfg.faults` for shard
+    /// `s` (missing entries fall back to `cfg.faults`). This is how a test
+    /// seeds faults into exactly one shard while the others run clean.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::try_new`]; an override that fails the per-shard fault
+    /// validation is also [`ConfigError::Invalid`].
+    pub fn try_new_with_shard_faults(
+        cfg: SystemConfig,
+        traces: Vec<Vec<TraceRecord>>,
+        fault_overrides: &[Option<FaultConfig>],
+    ) -> Result<Self, ConfigError> {
+        cfg.validate().map_err(ConfigError::Invalid)?;
+        if traces.len() != cfg.cores {
+            return Err(ConfigError::TraceCount {
+                expected: cfg.cores,
+                got: traces.len(),
+            });
+        }
+        let map = ShardMap::new(cfg.shards).map_err(ConfigError::Invalid)?;
+        let shard_ring = map
+            .shard_ring_config(&cfg.ring)
+            .map_err(ConfigError::Invalid)?;
+        let shard_traces = partition_traces(&map, &traces);
+        let mut shards = Vec::with_capacity(map.shards());
+        for (s, shard_trace) in shard_traces.into_iter().enumerate() {
+            let mut shard_cfg = cfg.clone();
+            shard_cfg.shards = 1;
+            shard_cfg.ring = shard_ring.clone();
+            // N = 1 keeps the master seed (bit-identity with the unsharded
+            // pipeline); N > 1 derives a decorrelated stream per shard.
+            if map.shards() > 1 {
+                shard_cfg.seed = derive_stream_seed(cfg.seed, s as u64);
+            }
+            if let Some(over) = fault_overrides.get(s).copied().flatten() {
+                shard_cfg.faults = Some(over);
+            }
+            shards.push(Simulation::try_new(shard_cfg, shard_trace)?);
+        }
+        Ok(Self {
+            cfg,
+            map,
+            shards,
+            label: String::new(),
+        })
+    }
+
+    /// Sets the merged report label (workload / scheme).
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = label.into();
+    }
+
+    /// The master configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Number of shard instances.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard pipelines, in shard-id order (for inspection in tests).
+    #[must_use]
+    pub fn shards(&self) -> &[Simulation] {
+        &self.shards
+    }
+
+    /// Mutable access to the shard pipelines, for harnesses that drive
+    /// shards individually — e.g. timing each shard in isolation to
+    /// project the parallel makespan on a core-starved host. Shards are
+    /// fully independent, so driving them in any order (or serially)
+    /// produces the same merged report as [`Self::run`].
+    #[must_use]
+    pub fn shards_mut(&mut self) -> &mut [Simulation] {
+        &mut self.shards
+    }
+
+    /// Program accesses planned so far, summed over shards.
+    #[must_use]
+    pub fn oram_accesses(&self) -> u64 {
+        self.shards.iter().map(Simulation::oram_accesses).sum()
+    }
+
+    /// Whether every shard finished its traces and drained its memory work.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.shards.iter().all(Simulation::is_finished)
+    }
+
+    /// Per-shard access digests, in shard-id order.
+    #[must_use]
+    pub fn shard_digests(&self) -> Vec<u64> {
+        self.shards.iter().map(Simulation::access_digest).collect()
+    }
+
+    /// The combined access digest: an order-independent fold of the
+    /// per-shard FNV digests (`XOR` of `digest_s.rotate_left(s)`). For
+    /// `N = 1` this is exactly shard 0's digest, hence bit-identical to
+    /// [`Simulation::access_digest`] on the unsharded pipeline.
+    #[must_use]
+    pub fn merged_digest(&self) -> u64 {
+        self.shards.iter().enumerate().fold(0u64, |acc, (s, sim)| {
+            acc ^ sim.access_digest().rotate_left(s as u32)
+        })
+    }
+
+    /// Runs every shard to completion, each on its own thread, and returns
+    /// the deterministically merged report.
+    ///
+    /// `max_cycles` bounds each shard individually (shards advance their
+    /// own cycle counters; there is no global clock to bound).
+    ///
+    /// # Errors
+    ///
+    /// [`CycleLimitExceeded`] from the lowest-id shard that hit the limit
+    /// (chosen by shard id, not completion order, so the error is as
+    /// deterministic as the success path); its `partial` report covers that
+    /// shard only.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic from a shard worker thread.
+    pub fn run(&mut self, max_cycles: u64) -> Result<SimReport, CycleLimitExceeded> {
+        let results: Vec<Result<SimReport, CycleLimitExceeded>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|sim| scope.spawn(move || sim.run(max_cycles)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+        Ok(self.report())
+    }
+
+    /// Runs the global cross-shard invariant: the per-shard position maps,
+    /// renumbered back to global block addresses, must partition the block
+    /// address space (no duplicates, no misrouted residents).
+    #[must_use]
+    pub fn check_cross_shard(&self) -> Vec<sim_verify::Violation> {
+        let mut auditor = sim_verify::ShardResidencyAuditor::new(self.map.shards());
+        for (s, sim) in self.shards.iter().enumerate() {
+            auditor.record_shard(
+                s,
+                sim.oram()
+                    .position_entries()
+                    .into_iter()
+                    .map(|(block, _)| self.map.global_block(s, block).0),
+            );
+        }
+        auditor.finish()
+    }
+
+    /// Builds the merged report (also callable mid-run for progress).
+    ///
+    /// For `N = 1` this is exactly the single shard's report (bit-identical
+    /// to the unsharded pipeline, aside from the label set on this engine).
+    /// For `N > 1` every extensive counter is the sum over shards in
+    /// shard-id order, means are recomputed from summed raw counters,
+    /// latency percentiles from the pooled per-shard samples, and
+    /// `makespan_cycles` is the slowest shard's cycle count. Violations are
+    /// per-shard findings prefixed with their shard id, followed by any
+    /// cross-shard residency findings (when the master `VerifyConfig`
+    /// enables the ORAM audit).
+    #[must_use]
+    pub fn report(&self) -> SimReport {
+        if self.shards.len() == 1 {
+            let mut r = self.shards[0].report();
+            if !self.label.is_empty() {
+                r.label.clone_from(&self.label);
+            }
+            return r;
+        }
+        let snapshots: Vec<CounterSnapshot> = self.shards.iter().map(Simulation::capture).collect();
+        let merged = merge_snapshots(&snapshots);
+        let pooled: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read_latency_samples().iter().copied())
+            .collect();
+        let mut violations: Vec<String> = Vec::new();
+        for (s, sim) in self.shards.iter().enumerate() {
+            violations.extend(sim.violations().iter().map(|v| format!("shard {s}: {v}")));
+        }
+        if self.cfg.verify.oram_audit {
+            violations.extend(self.check_cross_shard().iter().map(ToString::to_string));
+        }
+        let mut report = build_report(&self.cfg, self.label.clone(), &merged, &pooled, violations);
+        report.shards = self.shards.len();
+        report.makespan_cycles = snapshots.iter().map(|s| s.cycle).max().unwrap_or(0);
+        // Bank idleness is a per-shard proportion over that shard's own
+        // elapsed time; the merged value is the cycle-weighted mean, not a
+        // recomputation against the summed clock (which would overstate
+        // idleness by ~N by holding each bank to every shard's cycles).
+        let total: u64 = snapshots.iter().map(|s| s.cycle).sum();
+        if total > 0 {
+            report.bank_idle_proportion = self
+                .shards
+                .iter()
+                .zip(&snapshots)
+                .map(|(sim, snap)| {
+                    let per_shard = sim.report();
+                    per_shard.bank_idle_proportion * snap.cycle as f64
+                })
+                .sum::<f64>()
+                / total as f64;
+        }
+        report
+    }
+}
+
+/// Splits per-core traces into per-shard, per-core traces: each record is
+/// routed by its block's low address bits and renumbered into the shard's
+/// local block space. Record order within a (shard, core) pair preserves
+/// the original program order.
+fn partition_traces(map: &ShardMap, traces: &[Vec<TraceRecord>]) -> Vec<Vec<Vec<TraceRecord>>> {
+    if map.shards() == 1 {
+        // Identity: hand the original traces through untouched.
+        return vec![traces.to_vec()];
+    }
+    let mut out = vec![vec![Vec::new(); traces.len()]; map.shards()];
+    for (core, trace) in traces.iter().enumerate() {
+        for rec in trace {
+            let block = ring_oram::BlockId(rec.op.block);
+            let shard = map.shard_of(block);
+            let mut local = *rec;
+            local.op.block = map.local_block(block).0;
+            out[shard][core].push(local);
+        }
+    }
+    out
+}
+
+/// Folds per-shard whole-run snapshots (shard-id order) into one merged
+/// snapshot: every counter sums; the backend and protocol layers merge via
+/// their own disjoint-instance folds.
+fn merge_snapshots(snaps: &[CounterSnapshot]) -> CounterSnapshot {
+    let mut acc = snaps[0].clone();
+    acc.read_latency_idx = 0;
+    for s in &snaps[1..] {
+        acc.cycle += s.cycle;
+        acc.instructions += s.instructions;
+        acc.oram_accesses += s.oram_accesses;
+        acc.cycles_by_kind.read += s.cycles_by_kind.read;
+        acc.cycles_by_kind.evict += s.cycles_by_kind.evict;
+        acc.cycles_by_kind.reshuffle += s.cycles_by_kind.reshuffle;
+        acc.cycles_by_kind.other += s.cycles_by_kind.other;
+        for (k, v) in &s.transactions_by_kind {
+            *acc.transactions_by_kind.entry(k).or_default() += v;
+        }
+        for (k, v) in &s.row_class_by_kind {
+            let e = acc.row_class_by_kind.entry(k).or_default();
+            e.hits += v.hits;
+            e.misses += v.misses;
+            e.conflicts += v.conflicts;
+        }
+        acc.retry_cycles += s.retry_cycles;
+        acc.backend.merge_from(&s.backend);
+        acc.protocol.merge_from(&s.protocol);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+    use trace_synth::by_name;
+    use trace_synth::TraceGenerator;
+
+    fn traces(cfg: &SystemConfig, n: usize) -> Vec<Vec<TraceRecord>> {
+        (0..cfg.cores)
+            .map(|c| TraceGenerator::new(by_name("black").unwrap(), 11, c as u32).take_records(n))
+            .collect()
+    }
+
+    #[test]
+    fn partition_is_a_permutation_of_the_records() {
+        let cfg = SystemConfig::test_small(Scheme::Baseline);
+        let t = traces(&cfg, 200);
+        let map = ShardMap::new(4).unwrap();
+        let parts = partition_traces(&map, &t);
+        assert_eq!(parts.len(), 4);
+        for core in 0..cfg.cores {
+            let total: usize = parts.iter().map(|p| p[core].len()).sum();
+            assert_eq!(total, t[core].len());
+        }
+        // Every routed record round-trips to its original global block.
+        for (shard, per_core) in parts.iter().enumerate() {
+            for trace in per_core {
+                for rec in trace {
+                    let global = map.global_block(shard, ring_oram::BlockId(rec.op.block));
+                    assert_eq!(map.shard_of(global), shard);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_partition_is_identity() {
+        let cfg = SystemConfig::test_small(Scheme::Baseline);
+        let t = traces(&cfg, 50);
+        let map = ShardMap::new(1).unwrap();
+        let parts = partition_traces(&map, &t);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], t);
+    }
+
+    #[test]
+    fn sharded_run_merges_access_counts() {
+        let mut cfg = SystemConfig::test_small(Scheme::All);
+        cfg.shards = 2;
+        let t = traces(&cfg, 60);
+        let mut sim = ShardedSimulation::new(cfg, t);
+        let r = sim.run(50_000_000).expect("completes");
+        assert_eq!(r.shards, 2);
+        assert_eq!(r.oram_accesses, 120);
+        assert_eq!(r.cycles_by_kind.total(), r.total_cycles);
+        assert!(r.makespan_cycles <= r.total_cycles);
+        assert!(r.makespan_cycles > 0);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert!(sim.check_cross_shard().is_empty());
+    }
+
+    #[test]
+    fn shards_must_match_config() {
+        let cfg = SystemConfig::test_small(Scheme::Baseline);
+        // Simulation refuses a sharded config...
+        let mut sharded = cfg.clone();
+        sharded.shards = 2;
+        let t = traces(&sharded, 10);
+        assert!(matches!(
+            Simulation::try_new(sharded, t),
+            Err(ConfigError::Invalid(_))
+        ));
+        // ...while ShardedSimulation accepts shards = 1 and stays identical.
+        let t = traces(&cfg, 10);
+        assert!(ShardedSimulation::try_new(cfg, t).is_ok());
+    }
+}

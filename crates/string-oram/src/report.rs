@@ -147,6 +147,30 @@ impl LatencyPercentiles {
             max: v[v.len() - 1],
         }
     }
+
+    /// Computes merged percentiles over per-shard sample populations (the
+    /// sharded engine's pooled view). Shards with empty windows contribute
+    /// nothing; an all-empty input yields the all-zero summary, same as
+    /// [`Self::from_samples`] on an empty slice — never a panic.
+    #[must_use]
+    pub fn from_shard_samples(per_shard: &[&[u64]]) -> Self {
+        let pooled: Vec<u64> = per_shard.iter().flat_map(|s| s.iter().copied()).collect();
+        Self::from_samples(&pooled)
+    }
+
+    /// Whether the population is empty (percentiles are the zero defaults,
+    /// not observed values).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+
+    /// Median, or `None` for an empty population — for callers that must
+    /// distinguish "no reads completed" from a measured 0-cycle latency.
+    #[must_use]
+    pub fn median(&self) -> Option<u64> {
+        (!self.is_empty()).then_some(self.p50)
+    }
 }
 
 /// Resilience counters for one run: what the fault layer injected and how
@@ -195,8 +219,18 @@ pub struct ResilienceSummary {
 pub struct SimReport {
     /// Free-form run label (workload / scheme).
     pub label: String,
-    /// Total memory-bus cycles simulated.
+    /// Shard instances the run used (1 = the unsharded pipeline). For a
+    /// merged sharded report, every extensive counter below is the sum over
+    /// shards, combined in shard-id order.
+    pub shards: usize,
+    /// Total memory-bus cycles simulated. For a merged sharded report this
+    /// is the *sum* of per-shard cycles (total work; it keeps
+    /// `cycles_by_kind.total()` equal to `total_cycles`); wall-clock-like
+    /// completion is [`Self::makespan_cycles`].
     pub total_cycles: u64,
+    /// Cycles until the slowest shard finished (max over shards). Equals
+    /// `total_cycles` for an unsharded run.
+    pub makespan_cycles: u64,
     /// Cycle attribution by operation kind.
     pub cycles_by_kind: KindCycles,
     /// Total instructions retired across cores.
@@ -328,6 +362,36 @@ mod tests {
             LatencyPercentiles::from_samples(&[]),
             LatencyPercentiles::default()
         );
+    }
+
+    /// Satellite regression: pooling an all-empty shard window with a
+    /// populated one must behave exactly like the populated window alone,
+    /// and an all-empty pool must be the zero summary (`median()` `None`),
+    /// never a panic.
+    #[test]
+    fn shard_sample_merge_handles_empty_windows() {
+        let populated: Vec<u64> = (1..=50).collect();
+        let merged = LatencyPercentiles::from_shard_samples(&[&[], &populated]);
+        assert_eq!(merged, LatencyPercentiles::from_samples(&populated));
+        assert!(!merged.is_empty());
+        assert_eq!(merged.median(), Some(25));
+
+        let all_empty = LatencyPercentiles::from_shard_samples(&[&[], &[], &[]]);
+        assert_eq!(all_empty, LatencyPercentiles::default());
+        assert!(all_empty.is_empty());
+        assert_eq!(all_empty.median(), None);
+        assert_eq!(all_empty.p50, 0);
+        assert_eq!(all_empty.max, 0);
+    }
+
+    #[test]
+    fn shard_sample_merge_pools_across_shards() {
+        let a: Vec<u64> = (1..=50).collect();
+        let b: Vec<u64> = (51..=100).collect();
+        let merged = LatencyPercentiles::from_shard_samples(&[&a, &b]);
+        let direct: Vec<u64> = (1..=100).collect();
+        assert_eq!(merged, LatencyPercentiles::from_samples(&direct));
+        assert_eq!(merged.samples, 100);
     }
 
     #[test]

@@ -119,6 +119,13 @@ impl Simulation {
     /// the number of traces does not match `cfg.cores`.
     pub fn try_new(cfg: SystemConfig, traces: Vec<Vec<TraceRecord>>) -> Result<Self, ConfigError> {
         cfg.validate().map_err(ConfigError::Invalid)?;
+        if cfg.shards != 1 {
+            return Err(ConfigError::Invalid(format!(
+                "Simulation is the single-instance pipeline; use ShardedSimulation for \
+                 shards = {}",
+                cfg.shards
+            )));
+        }
         if traces.len() != cfg.cores {
             return Err(ConfigError::TraceCount {
                 expected: cfg.cores,
@@ -314,8 +321,16 @@ impl Simulation {
         self.conformance.violations()
     }
 
-    /// Freezes every counter in the system into one snapshot.
-    fn capture(&self) -> CounterSnapshot {
+    /// Raw program read-path latency samples recorded so far, in cycles —
+    /// the sharded engine pools these across shards before recomputing
+    /// merged percentiles (percentiles of percentiles would be wrong).
+    pub(crate) fn read_latency_samples(&self) -> &[u64] {
+        &self.metrics.read_latencies
+    }
+
+    /// Freezes every counter in the system into one snapshot (also the
+    /// sharded engine's per-shard merge input).
+    pub(crate) fn capture(&self) -> CounterSnapshot {
         CounterSnapshot {
             cycle: self.cycle,
             instructions: self.cores.iter().map(Core::instructions_retired).sum(),

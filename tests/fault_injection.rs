@@ -6,7 +6,8 @@
 
 use ring_oram::{BlockId, FaultEvent, ResilienceConfig, RingConfig, RingOram};
 use string_oram::{
-    ConfigError, FaultConfig, ResilienceSummary, Scheme, SimReport, Simulation, SystemConfig,
+    ConfigError, FaultConfig, ResilienceSummary, Scheme, ShardedSimulation, SimReport, Simulation,
+    SystemConfig,
 };
 use trace_synth::{by_name, TraceGenerator, TraceRecord};
 
@@ -244,6 +245,115 @@ fn try_new_reports_errors_instead_of_panicking() {
         }
         other => panic!("expected TraceCount, got {other:?}"),
     }
+}
+
+/// Sharded fault isolation: faults seeded into exactly one shard (via the
+/// per-shard override hook) must not perturb any *other* shard's access
+/// sequence or cycle count — shards share no protocol state, no backend
+/// and no RNG stream, so a fault is a strictly local event.
+fn armed_override(stash_capacity: usize) -> FaultConfig {
+    // The smoke schedule plus a bit-flip rate high enough to guarantee
+    // transit corruptions within a 100-record run (and the retry budget to
+    // recover every one of them).
+    let mut fc = FaultConfig::smoke(0xF417, 0.2, stash_capacity);
+    fc.resilience.bit_flip_rate = 0.5;
+    fc.resilience.max_retries = 6;
+    fc
+}
+
+#[test]
+fn faults_in_one_shard_do_not_perturb_the_others() {
+    let build = |faulty: bool| {
+        let mut cfg = SystemConfig::test_small(Scheme::All);
+        cfg.shards = 2;
+        let traces = traces_for(&cfg, "black", 11, 100);
+        let overrides = if faulty {
+            vec![Some(armed_override(cfg.ring.stash_capacity)), None]
+        } else {
+            Vec::new()
+        };
+        let mut sim = ShardedSimulation::try_new_with_shard_faults(cfg, traces, &overrides)
+            .expect("valid sharded config");
+        sim.run(50_000_000).expect("completes");
+        sim
+    };
+    let clean = build(false);
+    let faulty = build(true);
+
+    let fr = faulty.shards()[0].report();
+    assert!(
+        fr.resilience.faults_injected > 0,
+        "the override must arm fault injection in shard 0"
+    );
+    assert_eq!(
+        clean.shards()[1].report().resilience,
+        ResilienceSummary::default()
+    );
+    assert_eq!(
+        faulty.shards()[1].report().resilience,
+        ResilienceSummary::default()
+    );
+
+    // The clean shard is bit-for-bit unperturbed by its faulty neighbor.
+    assert_eq!(
+        faulty.shard_digests()[1],
+        clean.shard_digests()[1],
+        "shard 1's access sequence changed when shard 0 took faults"
+    );
+    assert_eq!(
+        faulty.shards()[1].cycles(),
+        clean.shards()[1].cycles(),
+        "shard 1's cycle count changed when shard 0 took faults"
+    );
+
+    // Faults cost latency, not access-pattern changes, even shard-locally.
+    assert_eq!(
+        faulty.shards()[0].oram_accesses(),
+        clean.shards()[0].oram_accesses()
+    );
+}
+
+/// The merged resilience counters of a sharded run are the per-shard sums:
+/// with one faulty and one clean shard, the merge equals the faulty
+/// shard's counters exactly — and stays deterministic across repeats.
+#[test]
+fn merged_resilience_counters_equal_per_shard_sums() {
+    let run = || {
+        let mut cfg = SystemConfig::test_small(Scheme::All);
+        cfg.shards = 2;
+        let traces = traces_for(&cfg, "black", 11, 100);
+        let overrides = vec![Some(armed_override(cfg.ring.stash_capacity)), None];
+        let mut sim = ShardedSimulation::try_new_with_shard_faults(cfg, traces, &overrides)
+            .expect("valid sharded config");
+        let report = sim.run(50_000_000).expect("completes");
+        (sim, report)
+    };
+    let (sim, merged) = run();
+    assert!(merged.violations.is_empty(), "{:?}", merged.violations);
+
+    let s0 = sim.shards()[0].report().resilience;
+    let s1 = sim.shards()[1].report().resilience;
+    assert!(s0.faults_injected > 0);
+    assert_eq!(s1, ResilienceSummary::default());
+    // sum = s0 + zeros, so the merge must reproduce s0 field for field.
+    assert_eq!(
+        merged.resilience, s0,
+        "merged resilience is not the shard sum"
+    );
+    assert_eq!(
+        merged.resilience.faults_injected,
+        s0.faults_injected + s1.faults_injected
+    );
+    assert_eq!(
+        merged.resilience.retry_cycles,
+        s0.retry_cycles + s1.retry_cycles
+    );
+
+    // Determinism is preserved under per-shard fault overrides.
+    let (sim2, merged2) = run();
+    assert_eq!(sim.merged_digest(), sim2.merged_digest());
+    assert_eq!(merged.resilience, merged2.resilience);
+    assert_eq!(merged.total_cycles, merged2.total_cycles);
 }
 
 /// Fault configurations themselves are validated: out-of-range rates and

@@ -1,0 +1,195 @@
+//! Shard-differential tests: the sharded parallel engine must be a pure
+//! repartitioning of the unsharded pipeline, never a different machine.
+//!
+//! Three contracts are pinned here:
+//!
+//! * **`shards = 1` identity** — the sharded engine configured with one
+//!   shard is *bit-identical* to [`Simulation`]: same access digest (pinned
+//!   as a golden constant below), same `SimReport` field for field. One
+//!   shard means no trace repartitioning, no seed derivation, no tree
+//!   shrinking — any divergence is a bug in the engine's plumbing.
+//! * **Thread-interleaving determinism** — for `shards ∈ {2, 4}` the
+//!   merged digest and merged report are identical across repeated runs
+//!   with the same master seed, regardless of how the OS schedules the
+//!   shard threads (the merge folds in shard-id order, never arrival
+//!   order).
+//! * **Backend independence survives sharding** — the merged digest is a
+//!   fold of per-shard planner digests, which never see timing, so the
+//!   cycle-accurate and fast functional backends must agree shard for
+//!   shard.
+//!
+//! A single core keeps per-shard access order a pure function of the
+//! trace (same argument as `backend_differential`).
+
+use string_oram::{BackendKind, Scheme, ShardedSimulation, SimReport, Simulation, SystemConfig};
+use trace_synth::{by_name, TraceGenerator, TraceRecord};
+
+/// Golden access digest for the canonical run below (`test_small`, ALL
+/// scheme, one core, workload `black`, trace seed 11, 200 records, master
+/// seed from `test_small`). Pins the planner's bus-visible access sequence
+/// across refactors of the sharded engine *and* the unsharded pipeline —
+/// if this changes, the simulated machine changed, not just the code.
+const GOLDEN_DIGEST: u64 = 0x8FEF_A689_12F2_C2F5;
+
+fn canonical_cfg(shards: usize, backend: BackendKind) -> SystemConfig {
+    let mut cfg = SystemConfig::test_small(Scheme::All);
+    cfg.cores = 1;
+    cfg.shards = shards;
+    cfg.backend = backend;
+    cfg
+}
+
+fn canonical_trace() -> Vec<Vec<TraceRecord>> {
+    vec![TraceGenerator::new(by_name("black").unwrap(), 11, 0).take_records(200)]
+}
+
+fn run_sharded(shards: usize, backend: BackendKind) -> (ShardedSimulation, SimReport) {
+    let mut sim = ShardedSimulation::new(canonical_cfg(shards, backend), canonical_trace());
+    sim.set_label(format!("shard-diff-{shards}"));
+    let report = sim.run(50_000_000).expect("sharded run completes");
+    (sim, report)
+}
+
+/// The golden pin: the unsharded pipeline and the one-shard engine both
+/// produce the frozen digest on the canonical run.
+#[test]
+fn golden_digest_is_pinned() {
+    let mut unsharded = Simulation::new(
+        canonical_cfg(1, BackendKind::CycleAccurate),
+        canonical_trace(),
+    );
+    unsharded.run(50_000_000).expect("unsharded run completes");
+    assert_eq!(
+        unsharded.access_digest(),
+        GOLDEN_DIGEST,
+        "unsharded access digest moved off the golden value: 0x{:016X}",
+        unsharded.access_digest()
+    );
+
+    let (sharded, _) = run_sharded(1, BackendKind::CycleAccurate);
+    assert_eq!(
+        sharded.merged_digest(),
+        GOLDEN_DIGEST,
+        "one-shard merged digest moved off the golden value: 0x{:016X}",
+        sharded.merged_digest()
+    );
+}
+
+/// `shards = 1` is bit-identical to the unsharded pipeline: every
+/// `SimReport` field agrees, not just the digest. The reports are compared
+/// by their complete `Debug` rendering (which covers every field including
+/// the float-valued means and the energy model) after aligning the labels.
+#[test]
+fn one_shard_report_is_bit_identical_to_unsharded() {
+    let mut unsharded = Simulation::new(
+        canonical_cfg(1, BackendKind::CycleAccurate),
+        canonical_trace(),
+    );
+    unsharded.set_label("shard-diff-1");
+    unsharded.run(50_000_000).expect("unsharded run completes");
+    let base = unsharded.report();
+
+    let (sharded, merged) = run_sharded(1, BackendKind::CycleAccurate);
+
+    // Field-by-field on the load-bearing counters first, for readable
+    // failures...
+    assert_eq!(sharded.merged_digest(), unsharded.access_digest());
+    assert_eq!(merged.shards, 1);
+    assert_eq!(merged.total_cycles, base.total_cycles);
+    assert_eq!(merged.makespan_cycles, base.makespan_cycles);
+    assert_eq!(merged.cycles_by_kind, base.cycles_by_kind);
+    assert_eq!(merged.instructions, base.instructions);
+    assert_eq!(merged.oram_accesses, base.oram_accesses);
+    assert_eq!(merged.transactions_by_kind, base.transactions_by_kind);
+    assert_eq!(merged.row_class_by_kind, base.row_class_by_kind);
+    assert_eq!(merged.protocol, base.protocol);
+    assert_eq!(merged.resilience, base.resilience);
+    assert_eq!(merged.requests_completed, base.requests_completed);
+    assert_eq!(merged.read_latency, base.read_latency);
+    assert_eq!(merged.violations, base.violations);
+
+    // ...then the whole report, floats and all: bit-identical.
+    assert_eq!(format!("{merged:?}"), format!("{base:?}"));
+}
+
+/// Thread-interleaving determinism: two runs with the same master seed
+/// produce identical merged digests, identical per-shard digests and
+/// identical merged counters, for both tested shard counts.
+#[test]
+fn sharded_runs_are_deterministic_across_repeats() {
+    for shards in [2usize, 4] {
+        let (a, ra) = run_sharded(shards, BackendKind::CycleAccurate);
+        let (b, rb) = run_sharded(shards, BackendKind::CycleAccurate);
+        assert_eq!(
+            a.merged_digest(),
+            b.merged_digest(),
+            "{shards} shards: merged digest not reproducible"
+        );
+        assert_eq!(a.shard_digests(), b.shard_digests());
+        assert_eq!(ra.total_cycles, rb.total_cycles);
+        assert_eq!(ra.makespan_cycles, rb.makespan_cycles);
+        assert_eq!(ra.transactions_by_kind, rb.transactions_by_kind);
+        assert_eq!(ra.protocol, rb.protocol);
+        assert_eq!(ra.read_latency, rb.read_latency);
+        assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
+        assert!(ra.violations.is_empty(), "{:?}", ra.violations);
+    }
+}
+
+/// The merged digest is backend-independent: per-shard planners never see
+/// timing, so the cycle-accurate and functional backends observe the same
+/// per-shard access sequences and hence the same fold.
+#[test]
+fn sharded_backends_agree_on_merged_digest() {
+    for shards in [1usize, 2, 4] {
+        let (slow, rs) = run_sharded(shards, BackendKind::CycleAccurate);
+        let (fast, rf) = run_sharded(shards, BackendKind::FastFunctional);
+        assert_eq!(
+            slow.merged_digest(),
+            fast.merged_digest(),
+            "{shards} shards: backends diverge"
+        );
+        assert_eq!(slow.shard_digests(), fast.shard_digests());
+        assert_eq!(rs.transactions_by_kind, rf.transactions_by_kind);
+        assert_eq!(rs.protocol, rf.protocol);
+        assert_eq!(rs.instructions, rf.instructions);
+        assert_eq!(rs.oram_accesses, rf.oram_accesses);
+    }
+}
+
+/// Different shard counts are different machines (smaller trees, different
+/// seed streams) — their digests must *not* collide, or the golden pin
+/// above would be vacuous.
+#[test]
+fn shard_counts_produce_distinct_digests() {
+    let d1 = run_sharded(1, BackendKind::FastFunctional)
+        .0
+        .merged_digest();
+    let d2 = run_sharded(2, BackendKind::FastFunctional)
+        .0
+        .merged_digest();
+    let d4 = run_sharded(4, BackendKind::FastFunctional)
+        .0
+        .merged_digest();
+    assert_ne!(d1, d2);
+    assert_ne!(d2, d4);
+    assert_ne!(d1, d4);
+}
+
+/// The program work is invariant under sharding: the same 200-record trace
+/// produces the same number of ORAM accesses and retired instructions no
+/// matter how the address space is partitioned.
+#[test]
+fn program_work_is_invariant_under_sharding() {
+    let (_, r1) = run_sharded(1, BackendKind::CycleAccurate);
+    for shards in [2usize, 4] {
+        let (_, r) = run_sharded(shards, BackendKind::CycleAccurate);
+        assert_eq!(r.oram_accesses, r1.oram_accesses, "{shards} shards");
+        assert_eq!(r.instructions, r1.instructions, "{shards} shards");
+        assert_eq!(
+            r.transactions_by_kind.get("read"),
+            r1.transactions_by_kind.get("read"),
+            "{shards} shards: program read paths"
+        );
+    }
+}

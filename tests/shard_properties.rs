@@ -1,0 +1,210 @@
+//! Property-style tests on the sharding layer, driven by the in-repo
+//! deterministic PRNG (`oram-rng`) in the seeded-enumeration style of
+//! `protocol_properties` — no external crates, identical cases offline.
+//!
+//! Three families of invariants:
+//!
+//! * the shard map is a **partition**: no block routes to two shards, every
+//!   (shard, local) pair round-trips to a unique global block;
+//! * per-shard RNG streams derived with [`oram_rng::derive_stream_seed`]
+//!   are pairwise non-overlapping over their first 10 000 draws;
+//! * the merged report of a sharded run is the exact **sum** of its
+//!   per-shard reports, counter for counter.
+
+use std::collections::HashSet;
+
+use oram_rng::{derive_stream_seed, Rng, StdRng};
+use ring_oram::{BlockId, ShardMap};
+use string_oram::{BackendKind, Scheme, ShardedSimulation, SystemConfig};
+use trace_synth::{by_name, TraceGenerator, TraceRecord};
+
+/// Number of random cases per cheap property (mirrors `protocol_properties`).
+const CASES: u64 = 64;
+
+/// Cases for the full-system sum property — each case runs a complete
+/// sharded simulation, so the count is kept smaller than [`CASES`].
+const SIM_CASES: u64 = 12;
+
+/// The shard map is a function and a partition: a block routes to exactly
+/// one shard, and the (shard, local) decomposition round-trips.
+#[test]
+fn no_block_maps_to_two_shards() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let shards = 1usize << rng.gen_range(0u32..5); // 1, 2, 4, 8, 16
+        let map = ShardMap::new(shards).unwrap();
+        for _ in 0..256 {
+            let b = BlockId(rng.gen_range(0u64..1 << 20));
+            let s = map.shard_of(b);
+            assert!(s < shards);
+            // Routing is consistent with the decomposition: the same block
+            // decomposes to exactly one (shard, local) pair and back.
+            assert_eq!(map.global_block(s, map.local_block(b)), b);
+            // ...and no *other* shard reconstructs this block from any
+            // local address (globals of shard t all route to t).
+            let t = (s + 1) % shards;
+            if shards > 1 {
+                let foreign = map.global_block(t, map.local_block(b));
+                assert_ne!(foreign, b);
+                assert_eq!(map.shard_of(foreign), t);
+            }
+        }
+    }
+}
+
+/// Exhaustive small-range check: partitioning a contiguous block range
+/// assigns every block to exactly one shard, and the per-shard local
+/// addresses are themselves collision-free.
+#[test]
+fn contiguous_range_partitions_exactly_once() {
+    for shards in [1usize, 2, 4, 8] {
+        let map = ShardMap::new(shards).unwrap();
+        let mut locals: Vec<HashSet<u64>> = vec![HashSet::new(); shards];
+        let mut counts = vec![0u64; shards];
+        for b in 0..4096u64 {
+            let s = map.shard_of(BlockId(b));
+            counts[s] += 1;
+            assert!(
+                locals[s].insert(map.local_block(BlockId(b)).0),
+                "local collision in shard {s} for block {b}"
+            );
+        }
+        // Low-bit routing splits a contiguous range perfectly evenly.
+        assert!(counts.iter().all(|&c| c == 4096 / shards as u64));
+    }
+}
+
+/// Derived per-shard RNG streams never collide in their first 10 000
+/// draws: the seed derivation decorrelates shard randomness well enough
+/// that no value (let alone a subsequence) is shared between streams.
+#[test]
+fn shard_rng_streams_are_pairwise_non_overlapping() {
+    for case in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(case);
+        let master: u64 = rng.gen_range(0u64..u64::MAX);
+        let streams: Vec<HashSet<u64>> = (0..8u64)
+            .map(|s| {
+                let mut r = StdRng::seed_from_u64(derive_stream_seed(master, s));
+                (0..10_000).map(|_| r.next_u64()).collect()
+            })
+            .collect();
+        for i in 0..streams.len() {
+            // Distinct derived seeds in the first place.
+            assert_ne!(
+                derive_stream_seed(master, i as u64),
+                master,
+                "stream {i} must not reuse the master seed"
+            );
+            for j in i + 1..streams.len() {
+                assert!(
+                    streams[i].is_disjoint(&streams[j]),
+                    "master {master:#x}: streams {i} and {j} overlap"
+                );
+            }
+        }
+    }
+}
+
+fn traces_for(cfg: &SystemConfig, workload: &str, seed: u64, n: usize) -> Vec<Vec<TraceRecord>> {
+    (0..cfg.cores)
+        .map(|c| TraceGenerator::new(by_name(workload).unwrap(), seed, c as u32).take_records(n))
+        .collect()
+}
+
+/// The merged report is the exact sum of the per-shard reports: every
+/// extensive counter, the transaction mix, the protocol statistics and the
+/// pooled latency sample count — with `makespan_cycles` the max, not the
+/// sum.
+#[test]
+fn per_shard_counters_sum_to_merged_totals() {
+    let schemes = [Scheme::Baseline, Scheme::Cb, Scheme::Pb, Scheme::All];
+    let workloads = ["black", "libq", "stream"];
+    for case in 0..SIM_CASES {
+        let mut rng = StdRng::seed_from_u64(0x5AD + case);
+        let shards = 1usize << rng.gen_range(1u32..3); // 2 or 4
+        let scheme = schemes[rng.gen_range(0usize..schemes.len())];
+        let workload = workloads[rng.gen_range(0usize..workloads.len())];
+        let records = rng.gen_range(30usize..70);
+
+        let mut cfg = SystemConfig::test_small(scheme);
+        cfg.shards = shards;
+        cfg.backend = BackendKind::FastFunctional;
+        let traces = traces_for(&cfg, workload, 7 + case, records);
+        let mut sim = ShardedSimulation::new(cfg, traces);
+        let merged = sim.run(50_000_000).expect("sharded run completes");
+        let ctx = format!("case {case}: {shards} shards, {scheme}, {workload}×{records}");
+
+        assert_eq!(merged.shards, shards, "{ctx}");
+        assert!(
+            merged.violations.is_empty(),
+            "{ctx}: {:?}",
+            merged.violations
+        );
+
+        let per_shard: Vec<_> = sim.shards().iter().map(|s| s.report()).collect();
+        let sum = |f: fn(&string_oram::SimReport) -> u64| per_shard.iter().map(f).sum::<u64>();
+
+        assert_eq!(merged.oram_accesses, sum(|r| r.oram_accesses), "{ctx}");
+        assert_eq!(merged.instructions, sum(|r| r.instructions), "{ctx}");
+        assert_eq!(merged.total_cycles, sum(|r| r.total_cycles), "{ctx}");
+        assert_eq!(
+            merged.requests_completed,
+            sum(|r| r.requests_completed),
+            "{ctx}"
+        );
+        assert_eq!(
+            merged.makespan_cycles,
+            per_shard.iter().map(|r| r.total_cycles).max().unwrap(),
+            "{ctx}: makespan is the slowest shard"
+        );
+        assert_eq!(
+            merged.read_latency.samples,
+            per_shard
+                .iter()
+                .map(|r| r.read_latency.samples)
+                .sum::<u64>(),
+            "{ctx}: pooled latency population"
+        );
+
+        // Cycle attribution sums bucket-wise and stays complete.
+        assert_eq!(
+            merged.cycles_by_kind.total(),
+            sum(|r| r.cycles_by_kind.total()),
+            "{ctx}"
+        );
+        assert_eq!(merged.cycles_by_kind.total(), merged.total_cycles, "{ctx}");
+
+        // The transaction mix sums key-wise.
+        let mut kinds: HashSet<&str> = HashSet::new();
+        for r in &per_shard {
+            kinds.extend(r.transactions_by_kind.keys().copied());
+        }
+        for kind in kinds {
+            let want: u64 = per_shard
+                .iter()
+                .filter_map(|r| r.transactions_by_kind.get(kind))
+                .sum();
+            assert_eq!(
+                merged.transactions_by_kind.get(kind).copied().unwrap_or(0),
+                want,
+                "{ctx}: transactions_by_kind[{kind}]"
+            );
+        }
+
+        // The protocol layer merges via its own fold; reproducing that
+        // fold over the per-shard stats must land on the merged value.
+        let mut proto = per_shard[0].protocol.clone();
+        for r in &per_shard[1..] {
+            proto.merge_from(&r.protocol);
+        }
+        assert_eq!(merged.protocol, proto, "{ctx}");
+
+        // And the digest fold is reproducible from the shard digests.
+        let folded = sim
+            .shard_digests()
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (s, d)| acc ^ d.rotate_left(s as u32));
+        assert_eq!(sim.merged_digest(), folded, "{ctx}");
+    }
+}
