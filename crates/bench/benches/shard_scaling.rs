@@ -4,7 +4,13 @@
 //! `EXPERIMENTS.md`; the committed copy is re-validated by the bench
 //! lib's tests and the CI smoke step).
 //!
-//! Two timings are recorded per point, because CI containers are often
+//! Setup and run are timed **separately**: construction (position maps,
+//! backend state, per-shard trace partitioning — parallelized across
+//! worker threads in `ShardedSimulation`) is a one-time cost that must not
+//! pollute the steady-state throughput numbers, and conversely a fast
+//! steady state must not hide a setup phase that scales badly with `N`.
+//!
+//! Two run timings are recorded per point, because CI containers are often
 //! core-starved and a thread-per-shard run cannot speed up on one core:
 //!
 //! * **measured** — wall-clock of the real threaded [`ShardedSimulation`]
@@ -18,9 +24,17 @@
 //! The serial re-run doubles as a determinism check: its merged digest
 //! must equal the threaded run's, or the merge is interleaving-sensitive.
 //!
-//! `STRING_ORAM_SHARD_ACCESSES` scales the per-core trace (default 2000);
+//! `STRING_ORAM_SHARD_ACCESSES` scales the per-core trace (default 25000,
+//! i.e. 50k accesses over the two simulated cores);
 //! `STRING_ORAM_BENCH_JSON` overrides the output path (CI smoke writes to
 //! a scratch file instead of the committed trajectory).
+//!
+//! Exit gates: the functional 4-shard point must show a projected
+//! throughput >= 2x the 1-shard run, and — at full trace sizes (>=
+//! [`MEASURED_GATE_MIN_RECORDS`] records/core, where thread and setup
+//! overheads are amortized) — a *measured* run-phase speedup >= 2.5x.
+//! The CI `perf-smoke` job runs this bench at the default size and relies
+//! on these gates.
 
 use std::time::{Duration, Instant};
 
@@ -32,11 +46,16 @@ const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const WORKLOAD: &str = "black";
 const TRACE_SEED: u64 = 11;
 
+/// Smallest per-core trace at which the measured-speedup gate applies:
+/// below this, sub-second runs are dominated by thread spawn and cache
+/// warm-up and the measured numbers are noise, not signal.
+const MEASURED_GATE_MIN_RECORDS: usize = 10_000;
+
 fn records_per_core() -> usize {
     std::env::var("STRING_ORAM_SHARD_ACCESSES")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(2000)
+        .unwrap_or(25_000)
 }
 
 fn out_path() -> String {
@@ -68,16 +87,29 @@ struct Point {
     shards: usize,
     report: SimReport,
     digest: u64,
-    measured: Duration,
+    /// Wall-clock of constructing the threaded engine (trace generation
+    /// excluded; shard construction itself is parallel for `N > 1`).
+    setup: Duration,
+    /// Wall-clock of the threaded run, setup excluded.
+    run: Duration,
     shard_walls: Vec<Duration>,
 }
 
 fn measure(backend: BackendKind, shards: usize, records: usize) -> Point {
-    // The real threaded run.
-    let mut threaded = build(backend, shards, records);
+    // Trace synthesis is workload input, not engine cost: keep it outside
+    // the setup timer.
+    let cfg = cfg_for(backend, shards);
+    let traces = traces_for(&cfg, WORKLOAD, records, TRACE_SEED);
+
+    // Setup phase: parallel shard construction.
+    let t = Instant::now();
+    let mut threaded = ShardedSimulation::new(cfg, traces);
+    let setup = t.elapsed();
+
+    // Run phase: the real threaded run.
     let start = Instant::now();
     let report = threaded.run(u64::MAX).expect("threaded run completes");
-    let measured = start.elapsed();
+    let run = start.elapsed();
 
     // Each shard in isolation, for the projected parallel makespan.
     let mut serial = build(backend, shards, records);
@@ -100,7 +132,8 @@ fn measure(backend: BackendKind, shards: usize, records: usize) -> Point {
         shards,
         report,
         digest: threaded.merged_digest(),
-        measured,
+        setup,
+        run,
         shard_walls,
     }
 }
@@ -109,7 +142,13 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
-fn point_json(p: &Point, records: usize, cores: usize) -> Value {
+/// Finite-checked number: a NaN/inf measurement is a harness bug, not a
+/// value to serialize ([`Value`]'s `TryFrom<f64>` refuses non-finite).
+fn num(n: f64) -> Value {
+    Value::try_from(n).expect("bench measurements are finite")
+}
+
+fn point_json(p: &Point, records: usize, cores: usize, baseline_run: Duration) -> Value {
     let accesses = (records * cores) as f64;
     let projected = p.shard_walls.iter().max().copied().unwrap_or_default();
     Value::object(vec![
@@ -121,19 +160,27 @@ fn point_json(p: &Point, records: usize, cores: usize) -> Value {
         ),
         ("total_cycles", p.report.total_cycles.into()),
         ("makespan_cycles", p.report.makespan_cycles.into()),
-        ("measured_wall_ms", ms(p.measured).into()),
+        ("setup_wall_ms", num(ms(p.setup))),
+        ("run_wall_ms", num(ms(p.run))),
+        // Historical alias of run_wall_ms (setup was never inside this
+        // timer); kept so older consumers of the trajectory still parse.
+        ("measured_wall_ms", num(ms(p.run))),
+        (
+            "measured_speedup_vs_n1",
+            num(baseline_run.as_secs_f64() / p.run.as_secs_f64()),
+        ),
         (
             "measured_accesses_per_sec",
-            (accesses / p.measured.as_secs_f64()).into(),
+            num(accesses / p.run.as_secs_f64()),
         ),
         (
             "shard_wall_ms",
-            Value::Array(p.shard_walls.iter().map(|w| ms(*w).into()).collect()),
+            Value::Array(p.shard_walls.iter().map(|w| num(ms(*w))).collect()),
         ),
-        ("projected_parallel_ms", ms(projected).into()),
+        ("projected_parallel_ms", num(ms(projected))),
         (
             "projected_accesses_per_sec",
-            (accesses / projected.as_secs_f64()).into(),
+            num(accesses / projected.as_secs_f64()),
         ),
     ])
 }
@@ -146,43 +193,52 @@ fn main() {
 
     let mut backends = Vec::new();
     let mut functional_projected: Vec<(usize, f64)> = Vec::new();
+    let mut functional_measured: Vec<(usize, f64)> = Vec::new();
     for (backend, name) in [
         (BackendKind::CycleAccurate, "cycle-accurate"),
         (BackendKind::FastFunctional, "fast-functional"),
     ] {
         println!("\n{name}");
         println!(
-            "{:>7} {:>14} {:>14} {:>15} {:>15}",
-            "shards", "measured ms", "projected ms", "meas acc/s", "proj acc/s"
+            "{:>7} {:>11} {:>11} {:>13} {:>9} {:>13} {:>13}",
+            "shards", "setup ms", "run ms", "projected ms", "speedup", "meas acc/s", "proj acc/s"
         );
-        let mut points = Vec::new();
-        for shards in SHARD_COUNTS {
-            let p = measure(backend, shards, records);
+        let points: Vec<Point> = SHARD_COUNTS
+            .iter()
+            .map(|&shards| measure(backend, shards, records))
+            .collect();
+        let baseline_run = points[0].run;
+        let mut json_points = Vec::new();
+        for p in &points {
             let projected = p.shard_walls.iter().max().copied().unwrap_or_default();
             let accesses = p.report.oram_accesses as f64;
             let proj_rate = accesses / projected.as_secs_f64();
+            let speedup = baseline_run.as_secs_f64() / p.run.as_secs_f64();
             println!(
-                "{:>7} {:>14.3} {:>14.3} {:>15.0} {:>15.0}",
-                shards,
-                ms(p.measured),
+                "{:>7} {:>11.3} {:>11.3} {:>13.3} {:>8.2}x {:>13.0} {:>13.0}",
+                p.shards,
+                ms(p.setup),
+                ms(p.run),
                 ms(projected),
-                accesses / p.measured.as_secs_f64(),
+                speedup,
+                accesses / p.run.as_secs_f64(),
                 proj_rate,
             );
             if backend == BackendKind::FastFunctional {
-                functional_projected.push((shards, proj_rate));
+                functional_projected.push((p.shards, proj_rate));
+                functional_measured.push((p.shards, speedup));
             }
-            points.push(point_json(&p, records, cores));
+            json_points.push(point_json(p, records, cores, baseline_run));
         }
         backends.push(Value::object(vec![
             ("backend", name.into()),
-            ("points", Value::Array(points)),
+            ("points", Value::Array(json_points)),
         ]));
     }
 
     let doc = Value::object(vec![
         ("bench", "shard_scaling".into()),
-        ("schema_version", 1usize.into()),
+        ("schema_version", 2usize.into()),
         ("host_parallelism", host.into()),
         ("workload", WORKLOAD.into()),
         ("scheme", "All".into()),
@@ -199,10 +255,9 @@ fn main() {
     std::fs::write(&path, format!("{doc}\n")).expect("write trajectory");
     println!("\nwrote {path}");
 
-    // Scaling acceptance: with 4 shards the functional engine's projected
-    // throughput (the slowest shard's isolated wall) must be at least 2x
-    // the 1-shard run. Projected, not measured: a one-core CI container
-    // cannot show threaded speedup, and fabricating one would be worse.
+    // Scaling acceptance, projected: with 4 shards the functional engine's
+    // projected throughput (the slowest shard's isolated wall) must be at
+    // least 2x the 1-shard run — this holds even on a one-core container.
     let rate = |n: usize| {
         functional_projected
             .iter()
@@ -212,10 +267,32 @@ fn main() {
     };
     let speedup = rate(4) / rate(1);
     println!("functional projected speedup at 4 shards: {speedup:.2}x (bound: >= 2.00x)");
-    if speedup >= 2.0 {
-        println!("PASS: 4-shard projected throughput >= 2x single-shard");
-    } else {
+    if speedup < 2.0 {
         println!("FAIL: projected speedup only {speedup:.2}x");
         std::process::exit(1);
+    }
+    println!("PASS: 4-shard projected throughput >= 2x single-shard");
+
+    // Scaling acceptance, measured: at full trace sizes the *measured*
+    // run-phase wall at 4 shards must beat the 1-shard run by 2.5x. This
+    // holds even core-starved, because sharding shrinks per-shard trees
+    // (shallower paths, smaller position maps) — the work itself drops.
+    let measured = functional_measured
+        .iter()
+        .find(|(s, _)| *s == 4)
+        .map(|(_, r)| *r)
+        .expect("measured speedup recorded");
+    if records >= MEASURED_GATE_MIN_RECORDS {
+        println!("functional measured speedup at 4 shards: {measured:.2}x (bound: >= 2.50x)");
+        if measured < 2.5 {
+            println!("FAIL: measured run-phase speedup only {measured:.2}x");
+            std::process::exit(1);
+        }
+        println!("PASS: 4-shard measured run-phase wall >= 2.5x faster than single-shard");
+    } else {
+        println!(
+            "note: measured speedup {measured:.2}x at {records} records/core — gate skipped \
+             below {MEASURED_GATE_MIN_RECORDS} records/core (overhead-dominated)"
+        );
     }
 }

@@ -17,8 +17,11 @@ pub enum Value {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// A finite number (emitted via Rust's shortest-roundtrip `f64`
-    /// formatting; integers up to 2^53 survive exactly).
+    /// A finite number. Emission is exact: `parse(emit(x))` returns `x`
+    /// bit for bit (Rust's shortest-roundtrip `f64` formatting, with
+    /// integral values up to 2^53 written without a decimal point and
+    /// `-0.0` keeping its sign). Construct from floats via `TryFrom<f64>`,
+    /// which rejects NaN and infinities — JSON cannot represent them.
     Number(f64),
     /// A string.
     String(String),
@@ -95,9 +98,30 @@ impl From<usize> for Value {
     }
 }
 
-impl From<f64> for Value {
-    fn from(v: f64) -> Self {
-        Value::Number(v)
+/// Error for a float that JSON cannot represent: NaN or an infinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonFiniteNumber;
+
+impl fmt::Display for NonFiniteNumber {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON cannot represent a non-finite number (NaN or infinity)"
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteNumber {}
+
+impl TryFrom<f64> for Value {
+    type Error = NonFiniteNumber;
+
+    fn try_from(v: f64) -> Result<Self, NonFiniteNumber> {
+        if v.is_finite() {
+            Ok(Value::Number(v))
+        } else {
+            Err(NonFiniteNumber)
+        }
     }
 }
 
@@ -136,7 +160,16 @@ fn write_indented(f: &mut fmt::Formatter<'_>, v: &Value, indent: usize) -> fmt::
         Value::Null => write!(f, "null"),
         Value::Bool(b) => write!(f, "{b}"),
         Value::Number(n) => {
-            if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+            if !n.is_finite() {
+                // `TryFrom<f64>` refuses these; a hand-built non-finite
+                // Number fails emission rather than writing invalid JSON.
+                return Err(fmt::Error);
+            }
+            if *n == 0.0 && n.is_sign_negative() {
+                // The integral fast path below would go through i64 and
+                // strip the sign; "-0" parses back to -0.0 exactly.
+                write!(f, "-0")
+            } else if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
                 write!(f, "{}", *n as i64)
             } else {
                 write!(f, "{n}")
@@ -353,7 +386,7 @@ mod tests {
         let v = Value::object(vec![
             ("name", "shard_scaling".into()),
             ("count", 4u64.into()),
-            ("ratio", 2.5.into()),
+            ("ratio", Value::Number(2.5)),
             (
                 "points",
                 Value::Array(vec![Value::object(vec![("shards", 1u64.into())])]),
@@ -378,7 +411,95 @@ mod tests {
     #[test]
     fn integers_emit_without_decimal_point() {
         assert_eq!(Value::from(12u64).to_string(), "12");
-        assert_eq!(Value::from(0.5).to_string(), "0.5");
+        assert_eq!(Value::Number(0.5).to_string(), "0.5");
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(Value::try_from(bad), Err(NonFiniteNumber));
+        }
+        assert!(Value::try_from(0.0).is_ok());
+        assert!(Value::try_from(f64::MAX).is_ok());
+        // A hand-built non-finite Number fails emission instead of writing
+        // invalid JSON.
+        use std::fmt::Write;
+        let mut out = String::new();
+        assert!(write!(out, "{}", Value::Number(f64::NAN)).is_err());
+        assert!(write!(out, "{}", Value::Number(f64::INFINITY)).is_err());
+        // And the parser refuses the textual spellings.
+        assert!(parse("NaN").is_err());
+        assert!(parse("Infinity").is_err());
+        assert!(parse("-Infinity").is_err());
+    }
+
+    /// Property: every finite `f64` round-trips **exactly** through the
+    /// emitter and parser — `to_bits` equality, which is stricter than
+    /// `==` (it distinguishes `-0.0` from `0.0`). Runs a fixed list of
+    /// awkward values plus a deterministic xorshift sweep over raw bit
+    /// patterns.
+    #[test]
+    fn float_numbers_roundtrip_exactly() {
+        let mut cases: Vec<f64> = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            -0.1,
+            core::f64::consts::PI,
+            f64::MIN,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            5e-324,             // smallest subnormal
+            9007199254740992.0, // 2^53: last exactly-integral fast-path value
+            -9007199254740992.0,
+            9007199254740993.0, // 2^53 + 1 (rounds to 2^53; still a value)
+            1e300,
+            1e-300,
+            -2.5,
+            1234567890.123456,
+        ];
+        // Deterministic xorshift64 over raw bit patterns: exercises
+        // subnormals, extreme exponents and full-precision mantissas.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..1000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let x = f64::from_bits(state);
+            if x.is_finite() {
+                cases.push(x);
+            }
+        }
+        for &x in &cases {
+            let v = Value::try_from(x).expect("finite");
+            let text = v.to_string();
+            let y = parse(&text)
+                .unwrap_or_else(|e| panic!("emitted {text} does not parse: {e}"))
+                .as_f64()
+                .expect("number");
+            assert_eq!(
+                y.to_bits(),
+                x.to_bits(),
+                "{x:?} emitted as {text} parsed back as {y:?}"
+            );
+            // Same inside a document, where numbers sit between structure.
+            let doc = Value::object(vec![
+                ("x", Value::Number(x)),
+                ("a", Value::Array(vec![Value::Number(x)])),
+            ]);
+            let back = parse(&doc.to_string()).expect("document parses");
+            for key in ["x", "a"] {
+                let got = match key {
+                    "x" => back.get("x").unwrap().as_f64().unwrap(),
+                    _ => back.get("a").unwrap().as_array().unwrap()[0]
+                        .as_f64()
+                        .unwrap(),
+                };
+                assert_eq!(got.to_bits(), x.to_bits(), "key {key} for {x:?}");
+            }
+        }
     }
 
     #[test]

@@ -190,10 +190,15 @@ fn require_positive(obj: &Value, key: &str, ctx: &str) -> Result<f64, String> {
 }
 
 /// Validates a parsed `BENCH_shard_scaling.json` document against the
-/// schema documented in `EXPERIMENTS.md` — **structure only**: required
-/// keys, types, shard counts that are powers of two, per-shard wall arrays
-/// of matching length, and a well-formed 16-hex-digit merged digest. It
-/// deliberately does not judge the recorded performance numbers.
+/// schema documented in `EXPERIMENTS.md` — required keys, types, shard
+/// counts that are powers of two, per-shard wall arrays of matching
+/// length, and a well-formed 16-hex-digit merged digest. It does not judge
+/// how *fast* the recorded numbers are, but it does enforce one physical
+/// consistency bound: the measured threaded wall cannot exceed the summed
+/// isolated shard walls beyond a noise allowance (`x1.25 + 2ms`), because
+/// the threaded run does strictly no more simulation work than running
+/// every shard back to back — a larger measured wall means the timers or
+/// the threading are broken, not the machine slow.
 ///
 /// # Errors
 ///
@@ -247,7 +252,10 @@ pub fn validate_shard_scaling(doc: &Value) -> Result<(), String> {
             require_u64(point, "oram_accesses", &pctx)?;
             require_u64(point, "total_cycles", &pctx)?;
             require_u64(point, "makespan_cycles", &pctx)?;
-            require_positive(point, "measured_wall_ms", &pctx)?;
+            require_positive(point, "setup_wall_ms", &pctx)?;
+            require_positive(point, "run_wall_ms", &pctx)?;
+            let measured = require_positive(point, "measured_wall_ms", &pctx)?;
+            require_positive(point, "measured_speedup_vs_n1", &pctx)?;
             require_positive(point, "measured_accesses_per_sec", &pctx)?;
             require_positive(point, "projected_parallel_ms", &pctx)?;
             require_positive(point, "projected_accesses_per_sec", &pctx)?;
@@ -274,6 +282,15 @@ pub fn validate_shard_scaling(doc: &Value) -> Result<(), String> {
                 .all(|w| matches!(w.as_f64(), Some(n) if n > 0.0))
             {
                 return Err(format!("{pctx}: non-positive per-shard wall"));
+            }
+            let wall_sum: f64 = walls.iter().filter_map(Value::as_f64).sum();
+            let bound = wall_sum * 1.25 + 2.0;
+            if measured > bound {
+                return Err(format!(
+                    "{pctx}: measured wall {measured:.3}ms exceeds the summed isolated shard \
+                     walls {wall_sum:.3}ms beyond tolerance ({bound:.3}ms) — the threaded run \
+                     does no more work than all shards serially"
+                ));
             }
         }
     }
@@ -316,7 +333,7 @@ mod tests {
 
     fn minimal_trajectory() -> String {
         r#"{
-            "bench": "shard_scaling", "schema_version": 1,
+            "bench": "shard_scaling", "schema_version": 2,
             "host_parallelism": 1, "workload": "black", "scheme": "All",
             "records_per_core": 2000, "cores": 2, "master_seed": 219966046,
             "backends": [{
@@ -325,7 +342,9 @@ mod tests {
                     "shards": 2, "oram_accesses": 4000,
                     "merged_digest": "0x8FEFA68912F2C2F5",
                     "total_cycles": 10, "makespan_cycles": 6,
-                    "measured_wall_ms": 1.5, "measured_accesses_per_sec": 100.0,
+                    "setup_wall_ms": 0.4, "run_wall_ms": 1.5,
+                    "measured_wall_ms": 1.5, "measured_speedup_vs_n1": 1.9,
+                    "measured_accesses_per_sec": 100.0,
                     "shard_wall_ms": [0.7, 0.8],
                     "projected_parallel_ms": 0.8,
                     "projected_accesses_per_sec": 200.0
@@ -365,6 +384,21 @@ mod tests {
                 "\"measured_wall_ms\": 1.5",
                 "\"measured_wall_ms\": -1",
                 "negative wall",
+            ),
+            (
+                "\"setup_wall_ms\": 0.4",
+                "\"setup_wall_ms\": 0",
+                "zero setup wall",
+            ),
+            (
+                "\"measured_speedup_vs_n1\": 1.9",
+                "\"measured_speedup_vs_n1\": 0",
+                "zero measured speedup",
+            ),
+            (
+                "\"measured_wall_ms\": 1.5",
+                "\"measured_wall_ms\": 4.0",
+                "measured wall beyond summed shard walls",
             ),
         ] {
             let damaged = good.replacen(needle, replacement, 1);

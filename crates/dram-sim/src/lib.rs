@@ -37,6 +37,8 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![warn(clippy::redundant_clone)]
+#![warn(clippy::large_enum_variant)]
 // Library code must surface failures as values or documented panics, never
 // as ad-hoc unwraps; tests are free to unwrap (a panic IS the failure).
 #![warn(clippy::unwrap_used)]

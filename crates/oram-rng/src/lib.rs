@@ -32,6 +32,8 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![warn(clippy::redundant_clone)]
+#![warn(clippy::large_enum_variant)]
 
 use core::ops::Range;
 

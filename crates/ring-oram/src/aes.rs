@@ -30,6 +30,15 @@ fn gf_mul(mut a: u8, mut b: u8) -> u8 {
     out
 }
 
+/// Process-wide S-box, derived once and shared by every `Aes128` instance.
+/// Key schedules are per-key, but the S-box is key-independent: caching it
+/// keeps cipher construction cheap when N shard ciphers are built on worker
+/// threads during parallel setup.
+fn shared_sbox() -> &'static [u8; 256] {
+    static SBOX: std::sync::OnceLock<[u8; 256]> = std::sync::OnceLock::new();
+    SBOX.get_or_init(build_sbox)
+}
+
 /// Builds the AES S-box from its definition: `S(x) = affine(x^-1)` with
 /// `S(0) = affine(0) = 0x63`.
 #[allow(clippy::expect_used)] // invariant, stated in the expect message
@@ -65,7 +74,7 @@ impl Aes128 {
     /// Expands `key` into the round-key schedule.
     #[must_use]
     pub fn new(key: [u8; 16]) -> Self {
-        let sbox = build_sbox();
+        let sbox = *shared_sbox();
         let mut w = [[0u8; 4]; 44];
         for (i, chunk) in key.chunks_exact(4).enumerate() {
             w[i].copy_from_slice(chunk);

@@ -76,7 +76,7 @@ impl Bucket {
     #[must_use]
     pub fn with_entries<R: Rng + ?Sized>(
         cfg: &RingConfig,
-        entries: Vec<BlockEntry>,
+        mut entries: Vec<BlockEntry>,
         rng: &mut R,
     ) -> Self {
         let mut bucket = Self {
@@ -86,7 +86,7 @@ impl Bucket {
             n_valid_reals: 0,
             n_valid_dummies: 0,
         };
-        bucket.reload(cfg, entries, rng);
+        bucket.reload(cfg, &mut entries, rng);
         bucket
     }
 
@@ -322,6 +322,14 @@ impl Bucket {
     /// slots of the bucket).
     pub fn take_real_blocks(&mut self) -> Vec<BlockEntry> {
         let mut out = Vec::new();
+        self.take_real_blocks_into(&mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Self::take_real_blocks`]: appends the
+    /// removed entries to a caller-provided (reusable) buffer.
+    pub fn take_real_blocks_into(&mut self, out: &mut Vec<BlockEntry>) {
+        let before = out.len();
         for s in &mut self.slots {
             if s.valid {
                 if let Some(b) = s.block.take() {
@@ -330,14 +338,15 @@ impl Bucket {
             }
         }
         // The emptied slots stay valid, so each one now counts as a dummy.
-        self.n_valid_reals -= out.len() as u32;
-        self.n_valid_dummies += out.len() as u32;
-        out
+        let taken = (out.len() - before) as u32;
+        self.n_valid_reals -= taken;
+        self.n_valid_dummies += taken;
     }
 
-    /// Reshuffles the bucket: installs `entries` (at most `Z`), resets all
-    /// metadata and re-permutes the slots (the eviction/reshuffle write
-    /// phase: `Z + S - Y` encrypted blocks are written back).
+    /// Reshuffles the bucket: installs `entries` (at most `Z`, drained from
+    /// the caller's reusable buffer), resets all metadata and re-permutes
+    /// the slots (the eviction/reshuffle write phase: `Z + S - Y` encrypted
+    /// blocks are written back).
     ///
     /// # Panics
     ///
@@ -345,7 +354,7 @@ impl Bucket {
     pub fn reload<R: Rng + ?Sized>(
         &mut self,
         cfg: &RingConfig,
-        entries: Vec<BlockEntry>,
+        entries: &mut Vec<BlockEntry>,
         rng: &mut R,
     ) {
         assert!(
@@ -359,7 +368,7 @@ impl Bucket {
         // every eviction level and every reshuffle; a fresh allocation per
         // call dominates the protocol's own work).
         self.slots.clear();
-        self.slots.extend(entries.into_iter().map(|(b, data)| Slot {
+        self.slots.extend(entries.drain(..).map(|(b, data)| Slot {
             block: Some(b),
             valid: true,
             data,
@@ -590,7 +599,7 @@ mod tests {
         let c = cfg();
         let mut b = Bucket::with_blocks(&c, &[BlockId(1)], &mut r);
         let _ = b.serve_read(&c, None, &mut r);
-        b.reload(&c, vec![(BlockId(9), None)], &mut r);
+        b.reload(&c, &mut vec![(BlockId(9), None)], &mut r);
         assert_eq!(b.accesses(), 0);
         assert_eq!(b.greens_used(), 0);
         assert_eq!(b.real_blocks(), vec![BlockId(9)]);

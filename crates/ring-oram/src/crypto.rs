@@ -144,19 +144,62 @@ impl BlockCipher {
         acc.to_le_bytes()
     }
 
+    /// Length of the sealed blob produced for a `plain_len`-byte payload.
+    #[must_use]
+    pub const fn sealed_len(plain_len: usize) -> usize {
+        Self::NONCE_BYTES + plain_len + Self::TAG_BYTES
+    }
+
     /// Encrypts `plaintext` under the given `nonce`, producing
     /// `nonce || ciphertext || tag`. Fresh nonces make repeated writes of
     /// the same content unlinkable — the property ORAM re-encryption relies
     /// on — and the tag lets [`Self::open`] detect corruption.
     #[must_use]
     pub fn seal(&self, nonce: u64, plaintext: &[u8]) -> Vec<u8> {
-        let mut out = Vec::with_capacity(Self::NONCE_BYTES + plaintext.len() + Self::TAG_BYTES);
-        out.extend_from_slice(&nonce.to_le_bytes());
-        out.extend_from_slice(plaintext);
-        self.keystream_xor(nonce, &mut out[Self::NONCE_BYTES..]);
-        let tag = self.tag(nonce, &out[Self::NONCE_BYTES..]);
-        out.extend_from_slice(&tag);
+        let mut out = vec![0u8; Self::sealed_len(plaintext.len())];
+        self.seal_into(nonce, plaintext, &mut out);
         out
+    }
+
+    /// Allocation-free [`Self::seal`]: writes `nonce || ciphertext || tag`
+    /// into a caller-provided buffer. The buffer must be exactly
+    /// [`Self::sealed_len`]`(plaintext.len())` bytes — ORAM blocks are
+    /// fixed-size, so callers recycle one buffer per slot.
+    ///
+    /// # Panics
+    ///
+    /// If `out.len() != Self::sealed_len(plaintext.len())`.
+    pub fn seal_into(&self, nonce: u64, plaintext: &[u8], out: &mut [u8]) {
+        assert_eq!(
+            out.len(),
+            Self::sealed_len(plaintext.len()),
+            "sealed buffer must be nonce + payload + tag sized"
+        );
+        out[..Self::NONCE_BYTES].copy_from_slice(&nonce.to_le_bytes());
+        let (body, tag_slot) = out[Self::NONCE_BYTES..].split_at_mut(plaintext.len());
+        body.copy_from_slice(plaintext);
+        self.keystream_xor(nonce, body);
+        let tag = self.tag(nonce, body);
+        tag_slot.copy_from_slice(&tag);
+    }
+
+    /// Seals a contiguous batch of equal-shaped payloads under consecutive
+    /// nonces starting at `first_nonce`, one `(plaintext, out)` pair per
+    /// slot. The cipher state (expanded round keys, shared S-box, tag-key
+    /// schedule) is set up once for the whole transaction instead of per
+    /// slot, which is how the reshuffle/evict paths reseal a bucket's slots
+    /// in one sweep. Returns the nonce following the batch, which the
+    /// caller commits back to its nonce counter.
+    pub fn seal_batch<'a, I>(&self, first_nonce: u64, jobs: I) -> u64
+    where
+        I: IntoIterator<Item = (&'a [u8], &'a mut [u8])>,
+    {
+        let mut nonce = first_nonce;
+        for (plaintext, out) in jobs {
+            self.seal_into(nonce, plaintext, out);
+            nonce = nonce.wrapping_add(1);
+        }
+        nonce
     }
 
     /// Decrypts a `nonce || ciphertext || tag` blob produced by
@@ -168,6 +211,28 @@ impl BlockCipher {
     /// [`OpenError::TagMismatch`] if the tag fails to verify (corruption or
     /// wrong key).
     pub fn open(&self, sealed: &[u8]) -> Result<Vec<u8>, OpenError> {
+        let mut out = vec![
+            0u8;
+            sealed
+                .len()
+                .saturating_sub(Self::NONCE_BYTES + Self::TAG_BYTES)
+        ];
+        self.open_into(sealed, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`Self::open`]: verifies the tag and decrypts into a
+    /// caller-provided buffer of exactly `sealed.len() - NONCE_BYTES -
+    /// TAG_BYTES` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::open`]; on error `out` is left untouched.
+    ///
+    /// # Panics
+    ///
+    /// If the blob is long enough but `out` is not exactly payload-sized.
+    pub fn open_into(&self, sealed: &[u8], out: &mut [u8]) -> Result<(), OpenError> {
         if sealed.len() < Self::NONCE_BYTES + Self::TAG_BYTES {
             return Err(OpenError::Truncated);
         }
@@ -180,9 +245,10 @@ impl BlockCipher {
         if self.tag(nonce, body) != *tag {
             return Err(OpenError::TagMismatch);
         }
-        let mut out = body.to_vec();
-        self.keystream_xor(nonce, &mut out);
-        Ok(out)
+        assert_eq!(out.len(), body.len(), "plaintext buffer must match payload");
+        out.copy_from_slice(body);
+        self.keystream_xor(nonce, out);
+        Ok(())
     }
 }
 
@@ -300,6 +366,62 @@ mod tests {
         let sealed = aes.seal(3, &data);
         assert_eq!(aes.open(&sealed).unwrap(), data);
         assert_eq!(toy.open(&sealed), Err(OpenError::TagMismatch));
+    }
+
+    #[test]
+    fn seal_into_matches_seal_and_open_into_matches_open() {
+        // The in-place pair must be byte-identical to the allocating pair
+        // for both keystream modes: the protocol's pooled buffers rely on
+        // wire-format equivalence.
+        for cipher in [BlockCipher::new(42), BlockCipher::aes([3u8; 16])] {
+            let data: Vec<u8> = (0..64u8).collect();
+            let sealed = cipher.seal(9, &data);
+            let mut sealed_into = vec![0u8; BlockCipher::sealed_len(data.len())];
+            cipher.seal_into(9, &data, &mut sealed_into);
+            assert_eq!(sealed, sealed_into);
+
+            let mut plain = vec![0u8; data.len()];
+            cipher.open_into(&sealed_into, &mut plain).unwrap();
+            assert_eq!(plain, data);
+            assert_eq!(cipher.open(&sealed).unwrap(), plain);
+        }
+    }
+
+    #[test]
+    fn open_into_leaves_buffer_untouched_on_error() {
+        let c = BlockCipher::new(7);
+        let mut sealed = c.seal(1, &[4u8; 32]);
+        sealed[10] ^= 1;
+        let mut out = vec![0xEEu8; 32];
+        assert_eq!(c.open_into(&sealed, &mut out), Err(OpenError::TagMismatch));
+        assert!(out.iter().all(|&b| b == 0xEE));
+        assert_eq!(c.open_into(&[1, 2, 3], &mut []), Err(OpenError::Truncated));
+    }
+
+    #[test]
+    fn seal_batch_matches_sequential_seals() {
+        // Batched sealing is a pure restructuring: consecutive nonces, same
+        // blobs as one seal call per slot, and it reports the follow-on
+        // nonce so the caller's counter stays in sync.
+        for cipher in [BlockCipher::new(11), BlockCipher::aes([8u8; 16])] {
+            let slots: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 48]).collect();
+            let expected: Vec<Vec<u8>> = slots
+                .iter()
+                .enumerate()
+                .map(|(i, s)| cipher.seal(100 + i as u64, s))
+                .collect();
+
+            let mut outs = vec![vec![0u8; BlockCipher::sealed_len(48)]; slots.len()];
+            let next = cipher.seal_batch(
+                100,
+                slots
+                    .iter()
+                    .map(Vec::as_slice)
+                    .zip(outs.iter_mut().map(Vec::as_mut_slice)),
+            );
+            assert_eq!(next, 100 + slots.len() as u64);
+            assert_eq!(outs, expected);
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@
 
 use oram_rng::{Rng, StdRng};
 
-use crate::bucket::{BlockData, Bucket};
+use crate::bucket::{BlockData, BlockEntry, Bucket};
 use crate::config::RingConfig;
 use crate::crypto::BlockCipher;
 use crate::fasthash::DetHashMap;
@@ -224,6 +224,72 @@ struct ResilienceState {
     events: Vec<FaultEvent>,
 }
 
+/// Reusable buffers for the steady-state access path.
+///
+/// Ownership rule: every vector here belongs to exactly one helper
+/// (`read_path`, `reshuffle_bucket`, `evict`, or the seal/unseal pair),
+/// which takes it empty at entry and returns it empty at exit, so helpers
+/// never alias a buffer across their (strictly sequential) call graph. The
+/// pooled lists (`plan_lists`, `touch_lists`, payload boxes) flow out
+/// through [`AccessOutcome`]s and come back via
+/// [`RingOram::recycle_outcome`]; callers that drop outcomes instead just
+/// let the pools refill lazily. Net effect: a warm controller performs no
+/// heap allocation per access — the allocation-regression test in the
+/// `string-oram` crate pins this.
+#[derive(Default)]
+struct Scratch {
+    /// Pool of `plans` vectors backing [`AccessOutcome`]s.
+    plan_lists: Vec<Vec<AccessPlan>>,
+    /// Pool of per-plan touch vectors (read paths, reshuffles, retries).
+    touch_lists: Vec<Vec<SlotTouch>>,
+    /// `read_path`: forced reshuffles emitted ahead of the path.
+    reshuffles: Vec<AccessPlan>,
+    /// `read_path`: buckets whose dummy budget this path exhausted.
+    exhausted: Vec<BucketId>,
+    /// `reshuffle_bucket` / `evict`: real-slot indices for read touches.
+    real_slots: Vec<u32>,
+    /// `reshuffle_bucket` / `evict`: blocks pulled out of a bucket.
+    entries: Vec<BlockEntry>,
+    /// `reshuffle_bucket` / `evict`: entries staged for a bucket reload.
+    resealed: Vec<BlockEntry>,
+    /// `evict`: eviction candidates grouped by deepest eligible level.
+    by_depth: Vec<Vec<BlockId>>,
+    /// `evict`: backing storage for the eligible-block min-heap.
+    eligible: Vec<std::cmp::Reverse<BlockId>>,
+    /// Pool of plaintext payload boxes (`block_bytes` each).
+    plain_boxes: Vec<BlockData>,
+    /// Pool of sealed payload boxes (`block_bytes` + nonce + tag each).
+    sealed_boxes: Vec<BlockData>,
+    /// `seal_entries_batch`: sealed buffers staged for one batch sweep.
+    batch_sealed: Vec<BlockData>,
+}
+
+impl Scratch {
+    fn plans(&mut self) -> Vec<AccessPlan> {
+        self.plan_lists.pop().unwrap_or_default()
+    }
+
+    fn touches(&mut self, capacity: usize) -> Vec<SlotTouch> {
+        self.touch_lists
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(capacity))
+    }
+
+    fn recycle_plan(&mut self, plan: AccessPlan) {
+        let AccessPlan { mut touches, .. } = plan;
+        touches.clear();
+        self.touch_lists.push(touches);
+    }
+
+    /// Pops a pooled payload box of exactly `len` bytes, or allocates one.
+    fn payload_box(pool: &mut Vec<BlockData>, len: usize) -> BlockData {
+        match pool.pop() {
+            Some(b) if b.len() == len => b,
+            _ => vec![0u8; len].into_boxed_slice(),
+        }
+    }
+}
+
 /// How one real-block fetch resolved under the fault layer.
 enum FetchResolution {
     /// No corruption (or faults disabled): the transfer arrived intact.
@@ -257,6 +323,8 @@ pub struct RingOram {
     nonce_counter: u64,
     /// Fault injection and graceful degradation, when enabled.
     resilience: Option<ResilienceState>,
+    /// Reusable buffers for the steady-state access path (see [`Scratch`]).
+    scratch: Scratch,
 }
 
 impl std::fmt::Debug for RingOram {
@@ -368,6 +436,7 @@ impl RingOram {
             cipher: None,
             nonce_counter: 0,
             resilience: None,
+            scratch: Scratch::default(),
         }
     }
 
@@ -454,29 +523,64 @@ impl RingOram {
         }
     }
 
-    /// Seals a payload for storage in the (untrusted) tree.
-    fn seal(&mut self, data: Option<BlockData>) -> Option<BlockData> {
-        match (&self.cipher, data) {
-            (Some(c), Some(d)) => {
-                self.nonce_counter += 1;
-                self.stats.encryptions += 1;
-                Some(c.seal(self.nonce_counter, &d).into_boxed_slice())
-            }
-            (_, d) => d,
+    /// Re-seals every payload-bearing entry in place, as one contiguous
+    /// batch under consecutive nonces. Byte-identical to sealing each
+    /// entry individually (same nonce sequence, same wire format), but the
+    /// cipher sweeps the whole transaction's slots in one
+    /// [`BlockCipher::seal_batch`] pass — round keys and the shared S-box
+    /// are set up once, not per slot — with buffers drawn from the pools.
+    fn seal_entries_batch(&mut self, entries: &mut [BlockEntry]) {
+        if self.cipher.is_none() {
+            return;
         }
+        let mut outs = std::mem::take(&mut self.scratch.batch_sealed);
+        for (_, d) in entries.iter() {
+            if let Some(plain) = d.as_deref() {
+                outs.push(Scratch::payload_box(
+                    &mut self.scratch.sealed_boxes,
+                    BlockCipher::sealed_len(plain.len()),
+                ));
+            }
+        }
+        if let Some(c) = &self.cipher {
+            c.seal_batch(
+                self.nonce_counter + 1,
+                entries
+                    .iter()
+                    .filter_map(|(_, d)| d.as_deref())
+                    .zip(outs.iter_mut().map(|o| &mut **o)),
+            );
+        }
+        self.nonce_counter += outs.len() as u64;
+        self.stats.encryptions += outs.len() as u64;
+        // Stitch the sealed blobs back into slot order; recycle the plains.
+        let mut sealed = outs.drain(..);
+        for (_, d) in entries.iter_mut() {
+            if let Some(plain) = d.take() {
+                *d = sealed.next();
+                self.scratch.plain_boxes.push(plain);
+            }
+        }
+        drop(sealed);
+        self.scratch.batch_sealed = outs;
     }
 
     /// Unseals a payload fetched from the tree into the trusted boundary.
+    /// The plaintext buffer comes from the pool and the consumed sealed box
+    /// is recycled — the mirror of [`Self::seal_entries_batch`].
     #[allow(clippy::expect_used)] // invariant, stated in the expect message
     fn unseal(&mut self, data: Option<BlockData>) -> Option<BlockData> {
         match (&self.cipher, data) {
             (Some(c), Some(d)) => {
                 self.stats.decryptions += 1;
-                Some(
-                    c.open(&d)
-                        .expect("tree payloads are always sealed")
-                        .into_boxed_slice(),
-                )
+                let plain_len = d
+                    .len()
+                    .saturating_sub(BlockCipher::NONCE_BYTES + BlockCipher::TAG_BYTES);
+                let mut out = Scratch::payload_box(&mut self.scratch.plain_boxes, plain_len);
+                c.open_into(&d, &mut out)
+                    .expect("tree payloads are always sealed");
+                self.scratch.sealed_boxes.push(d);
+                Some(out)
             }
             (_, d) => d,
         }
@@ -581,7 +685,27 @@ impl RingOram {
     /// Panics if `block` collides with the cold-block id space
     /// (`>= COLD_BASE`) — a caller bug, not a runtime condition.
     pub fn try_access(&mut self, block: BlockId) -> Result<AccessOutcome, OramError> {
-        Ok(self.access_inner(block, None)?.0)
+        Ok(self.access_inner(block, None, false)?.0)
+    }
+
+    /// Returns an [`AccessOutcome`]'s buffers to the controller's internal
+    /// pools. Purely an optimization: callers that drop outcomes instead
+    /// just let the pools refill lazily. The pipeline planner recycles
+    /// every outcome it lowers, which is what keeps the steady-state access
+    /// path allocation-free.
+    pub fn recycle_outcome(&mut self, outcome: AccessOutcome) {
+        let AccessOutcome { mut plans, .. } = outcome;
+        for plan in plans.drain(..) {
+            self.scratch.recycle_plan(plan);
+        }
+        self.scratch.plan_lists.push(plans);
+    }
+
+    /// Pre-sizes per-access bookkeeping (the stash-occupancy sample log)
+    /// for `n` further accesses, so steady-state sampling never regrows
+    /// its storage mid-run.
+    pub fn reserve_accesses(&mut self, n: usize) {
+        self.stats.stash_samples.reserve(n);
     }
 
     /// Reads a block's payload through the oblivious protocol: performs a
@@ -592,7 +716,7 @@ impl RingOram {
     ///
     /// Panics under the same conditions as [`Self::access`].
     pub fn read_block(&mut self, block: BlockId) -> (AccessOutcome, Option<Vec<u8>>) {
-        match self.access_inner(block, None) {
+        match self.access_inner(block, None, true) {
             Ok(out) => out,
             Err(e) => panic!("{e}"),
         }
@@ -613,7 +737,7 @@ impl RingOram {
             self.cfg.block_bytes as usize,
             "payload must be exactly block_bytes long"
         );
-        match self.access_inner(block, Some(data)) {
+        match self.access_inner(block, Some(data), false) {
             Ok(out) => out.0,
             Err(e) => panic!("{e}"),
         }
@@ -628,12 +752,13 @@ impl RingOram {
         &mut self,
         block: BlockId,
         new_data: Option<&[u8]>,
+        capture_data: bool,
     ) -> Result<(AccessOutcome, Option<Vec<u8>>), OramError> {
         assert!(
             block.0 < Self::COLD_BASE,
             "program block ids must be below COLD_BASE"
         );
-        let mut plans = Vec::new();
+        let mut plans = self.scratch.plans();
 
         let known = self.position_map.lookup(block).is_some();
         let path = self.position_map.lookup_or_assign(block, &mut self.rng);
@@ -650,7 +775,13 @@ impl RingOram {
         if let Some(d) = new_data {
             self.stash.set_data(block, d.to_vec().into_boxed_slice());
         }
-        let data = self.stash.data_of(block).map(<[u8]>::to_vec);
+        // Copying the payload out is only needed by `read_block`; plain
+        // accesses skip it so the hot path stays allocation-free.
+        let data = if capture_data {
+            self.stash.data_of(block).map(<[u8]>::to_vec)
+        } else {
+            None
+        };
 
         self.after_read_path(&mut plans)?;
         self.stats.stash_samples.push(self.stash.len());
@@ -764,16 +895,16 @@ impl RingOram {
             None => (TargetSource::Stash, false),   // dummy read path
         };
 
-        let mut touches = Vec::with_capacity(self.cfg.levels as usize);
+        let mut touches = self.scratch.touches(self.cfg.levels as usize);
         let mut target_index = None;
-        let mut reshuffles: Vec<AccessPlan> = Vec::new();
+        let mut reshuffles = std::mem::take(&mut self.scratch.reshuffles);
         // Off-chip buckets whose dummy budget `S` this path exhausted,
         // in level order; early-reshuffled after the path is emitted.
-        let mut exhausted: Vec<BucketId> = Vec::new();
+        let mut exhausted = std::mem::take(&mut self.scratch.exhausted);
         // Retry traffic accumulated by the fault layer: extra reads of
         // already-public slots, emitted as one RetryRead plan after the
         // read path itself.
-        let mut retry_touches: Vec<SlotTouch> = Vec::new();
+        let mut retry_touches = self.scratch.touches(0);
         let mut retry_target_index = None;
         // Degraded mode gates CB green substitution for the whole path;
         // the flag only changes in `after_read_path`, never mid-path.
@@ -868,14 +999,17 @@ impl RingOram {
         // Emit forced reshuffles before the read path itself (they must
         // complete before the path can be read), then the read path, then
         // the post-access early reshuffles for buckets that hit budget S.
-        plans.extend(reshuffles);
+        plans.append(&mut reshuffles);
+        self.scratch.reshuffles = reshuffles;
         let kind = if target.is_some() {
             OpKind::ReadPath
         } else {
             OpKind::DummyReadPath
         };
         plans.push(AccessPlan::new(kind, touches, target_index));
-        if !retry_touches.is_empty() {
+        if retry_touches.is_empty() {
+            self.scratch.touch_lists.push(retry_touches);
+        } else {
             plans.push(AccessPlan::new(
                 OpKind::RetryRead,
                 retry_touches,
@@ -883,11 +1017,13 @@ impl RingOram {
             ));
         }
 
-        for id in exhausted {
+        for &id in &exhausted {
             let plan = self.reshuffle_bucket(id);
             plans.push(plan);
             self.stats.early_reshuffles += 1;
         }
+        exhausted.clear();
+        self.scratch.exhausted = exhausted;
         source
     }
 
@@ -1000,30 +1136,29 @@ impl RingOram {
         let cfg = self.cfg.clone();
         self.materialize(id);
         let bucket = self.buckets.get_mut(&id).expect("materialized");
-        let real_slots: Vec<u32> = (0..slots)
-            .filter(|&s| {
-                // Capture current real-slot indices for the read touches.
-                bucket.slot_holds_real(s as usize)
-            })
-            .collect();
-        let entries = bucket.take_real_blocks();
+        // Capture current real-slot indices for the read touches.
+        let mut read_slots = std::mem::take(&mut self.scratch.real_slots);
+        read_slots.extend((0..slots).filter(|&s| bucket.slot_holds_real(s as usize)));
+        let mut entries = std::mem::take(&mut self.scratch.entries);
+        bucket.take_real_blocks_into(&mut entries);
         // Re-encrypt every surviving payload under a fresh nonce (the
-        // reshuffle's defining obligation besides the permutation).
-        let resealed: Vec<_> = entries
-            .into_iter()
-            .map(|(b, d)| {
-                let plain = self.unseal(d);
-                (b, self.seal(plain))
-            })
-            .collect();
+        // reshuffle's defining obligation besides the permutation): unseal
+        // each entry, then re-seal the whole bucket as one contiguous batch.
+        let mut resealed = std::mem::take(&mut self.scratch.resealed);
+        for (b, d) in entries.drain(..) {
+            let plain = self.unseal(d);
+            resealed.push((b, plain));
+        }
+        self.seal_entries_batch(&mut resealed);
         self.buckets
             .get_mut(&id)
             .expect("materialized")
-            .reload(&cfg, resealed, &mut self.rng);
+            .reload(&cfg, &mut resealed, &mut self.rng);
+        self.scratch.entries = entries;
+        self.scratch.resealed = resealed;
 
-        let mut touches = Vec::with_capacity((z + slots) as usize);
+        let mut touches = self.scratch.touches((z + slots) as usize);
         // Read phase: Z slot reads (the real slots, padded to Z).
-        let mut read_slots = real_slots;
         let mut filler = 0u32;
         while (read_slots.len() as u32) < z {
             if !read_slots.contains(&filler) {
@@ -1032,9 +1167,11 @@ impl RingOram {
             filler += 1;
         }
         read_slots.truncate(z as usize);
-        for s in read_slots {
+        for &s in &read_slots {
             touches.push(SlotTouch::read(id, s));
         }
+        read_slots.clear();
+        self.scratch.real_slots = read_slots;
         // Write phase: full bucket rewrite.
         for s in 0..slots {
             touches.push(SlotTouch::write(id, s));
@@ -1056,7 +1193,9 @@ impl RingOram {
 
         let z = self.cfg.z;
         let slots = self.cfg.bucket_slots();
-        let mut touches = Vec::new();
+        let mut touches = self.scratch.touches(0);
+        let mut read_slots = std::mem::take(&mut self.scratch.real_slots);
+        let mut entries = std::mem::take(&mut self.scratch.entries);
 
         // Read phase (root to leaf): pull every real block into the stash.
         for lvl in 0..self.cfg.levels {
@@ -1065,12 +1204,10 @@ impl RingOram {
             let off_chip = !self.is_cached_level(level);
             self.materialize(id);
             let bucket = self.buckets.get_mut(&id).expect("materialized");
-            let real_slots: Vec<u32> = (0..slots)
-                .filter(|&s| bucket.slot_holds_real(s as usize))
-                .collect();
-            let entries = bucket.take_real_blocks();
+            read_slots.clear();
+            read_slots.extend((0..slots).filter(|&s| bucket.slot_holds_real(s as usize)));
+            bucket.take_real_blocks_into(&mut entries);
             if off_chip {
-                let mut read_slots = real_slots;
                 let mut filler = 0u32;
                 while (read_slots.len() as u32) < z {
                     if !read_slots.contains(&filler) {
@@ -1079,11 +1216,11 @@ impl RingOram {
                     filler += 1;
                 }
                 read_slots.truncate(z as usize);
-                for s in read_slots {
+                for &s in &read_slots {
                     touches.push(SlotTouch::read(id, s));
                 }
             }
-            for (b, d) in entries {
+            for (b, d) in entries.drain(..) {
                 let p = self
                     .position_map
                     .lookup(b)
@@ -1092,6 +1229,9 @@ impl RingOram {
                 self.stash.insert_with_data(b, p, d);
             }
         }
+        read_slots.clear();
+        self.scratch.real_slots = read_slots;
+        self.scratch.entries = entries;
 
         // Write phase (leaf to root): greedy deepest-first placement. The
         // candidate set is snapshotted once — the phase only removes stash
@@ -1101,12 +1241,15 @@ impl RingOram {
         // joins a min-heap, so popping yields the eligible blocks in
         // ascending block id — the same deterministic order a sorted
         // per-level scan would select, without sorting or rescanning.
-        let mut by_depth: Vec<Vec<BlockId>> = vec![Vec::new(); self.cfg.levels as usize];
-        for (b, depth) in self.stash.candidate_depths(&self.geometry, path) {
-            by_depth[depth.0 as usize].push(b);
-        }
-        let mut eligible: std::collections::BinaryHeap<std::cmp::Reverse<BlockId>> =
-            std::collections::BinaryHeap::new();
+        let mut by_depth = std::mem::take(&mut self.scratch.by_depth);
+        by_depth.resize_with(self.cfg.levels as usize, Vec::new);
+        self.stash
+            .for_each_candidate(&self.geometry, path, |b, depth| {
+                by_depth[depth.0 as usize].push(b);
+            });
+        let mut eligible =
+            std::collections::BinaryHeap::from(std::mem::take(&mut self.scratch.eligible));
+        let mut sealed = std::mem::take(&mut self.scratch.resealed);
         for lvl in (0..self.cfg.levels).rev() {
             let level = Level(lvl);
             let id = self.geometry.bucket_at(path, level);
@@ -1114,25 +1257,35 @@ impl RingOram {
             for &b in &by_depth[lvl as usize] {
                 eligible.push(std::cmp::Reverse(b));
             }
-            let mut sealed: Vec<(BlockId, Option<BlockData>)> = Vec::with_capacity(z as usize);
             while sealed.len() < z as usize {
                 let Some(std::cmp::Reverse(b)) = eligible.pop() else {
                     break;
                 };
                 let d = self.stash.take(b).expect("candidate still stashed");
-                sealed.push((b, self.seal(d)));
+                sealed.push((b, d));
             }
+            // One contiguous crypto sweep per bucket instead of a cipher
+            // setup per slot; nonce order matches the per-slot code.
+            self.seal_entries_batch(&mut sealed);
             let cfg = self.cfg.clone();
             self.buckets
                 .get_mut(&id)
                 .expect("materialized in read phase")
-                .reload(&cfg, sealed, &mut self.rng);
+                .reload(&cfg, &mut sealed, &mut self.rng);
             if off_chip {
                 for s in 0..slots {
                     touches.push(SlotTouch::write(id, s));
                 }
             }
         }
+        for group in &mut by_depth {
+            group.clear();
+        }
+        self.scratch.by_depth = by_depth;
+        let mut eligible = eligible.into_vec();
+        eligible.clear();
+        self.scratch.eligible = eligible;
+        self.scratch.resealed = sealed;
         AccessPlan::new(OpKind::Eviction, touches, None)
     }
 
@@ -1640,7 +1793,7 @@ mod tests {
         let mut cfg = RingConfig::test_small_cb();
         cfg.y = 3;
         cfg.stash_capacity = 40;
-        let mut o = RingOram::with_load_factor(cfg.clone(), 1, 0.5);
+        let mut o = RingOram::with_load_factor(cfg, 1, 0.5);
         o.enable_encryption(7);
         let r = ResilienceConfig {
             fault_seed: 1,

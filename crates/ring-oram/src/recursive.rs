@@ -273,7 +273,7 @@ mod tests {
     fn recursion_multiplies_bandwidth() {
         let cfg = RecursiveConfig::test_small();
         let mut rec = RecursiveOram::new(cfg.clone(), 5);
-        let mut flat = RingOram::new(cfg.data.clone(), 5);
+        let mut flat = RingOram::new(cfg.data, 5);
         let mut rec_touches = 0usize;
         let mut flat_touches = 0usize;
         for i in 0..50 {

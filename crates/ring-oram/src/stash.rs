@@ -160,10 +160,25 @@ impl Stash {
         geometry: &TreeGeometry,
         evict_path: PathId,
     ) -> Vec<(BlockId, Level)> {
-        self.entries
-            .iter()
-            .map(|(&b, e)| (b, geometry.shared_depth(e.path, evict_path)))
-            .collect()
+        let mut out = Vec::with_capacity(self.entries.len());
+        self.for_each_candidate(geometry, evict_path, |b, depth| out.push((b, depth)));
+        out
+    }
+
+    /// Allocation-free form of [`Self::candidate_depths`]: calls `f` with
+    /// every stashed block and its deepest eligible level along
+    /// `evict_path`, in the same unspecified order. The eviction write
+    /// phase feeds these straight into its reusable per-depth groups
+    /// instead of materializing a snapshot vector per eviction.
+    pub fn for_each_candidate(
+        &self,
+        geometry: &TreeGeometry,
+        evict_path: PathId,
+        mut f: impl FnMut(BlockId, Level),
+    ) {
+        for (&b, e) in &self.entries {
+            f(b, geometry.shared_depth(e.path, evict_path));
+        }
     }
 
     /// Removes `block` and returns its payload (`None` if the block is not

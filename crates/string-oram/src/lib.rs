@@ -34,6 +34,8 @@
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+#![warn(clippy::redundant_clone)]
+#![warn(clippy::large_enum_variant)]
 // Library code must surface failures as values or documented panics, never
 // as ad-hoc unwraps; tests are free to unwrap (a panic IS the failure).
 #![warn(clippy::unwrap_used)]
@@ -52,7 +54,7 @@ pub use config::{
     SystemConfig, VerifyConfig,
 };
 pub use cpu::{Core, CoreRequest, CoreState};
-pub use pipeline::ShardedSimulation;
+pub use pipeline::{CacheAligned, ShardedSimulation};
 pub use report::{KindCycles, ResilienceSummary, RowClassCounts, SimReport};
 pub use space::{fig4_rows, table5_rows, SpaceRow};
 pub use system::{CycleLimitExceeded, Simulation};

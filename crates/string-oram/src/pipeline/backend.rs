@@ -57,7 +57,7 @@ mod tests {
     fn backend_kind_selects_implementation() {
         let cfg = SystemConfig::test_small(Scheme::Baseline);
         assert!(build_backend(&cfg).dram_module().is_some());
-        let mut fast = cfg.clone();
+        let mut fast = cfg;
         fast.backend = BackendKind::FastFunctional;
         assert!(build_backend(&fast).dram_module().is_none());
     }

@@ -39,5 +39,5 @@ pub use backend::build_backend;
 pub use conformance::Conformance;
 pub use metrics::{build_report, CounterSnapshot, Metrics};
 pub use planner::{PlannedTxn, Planner};
-pub use shard::ShardedSimulation;
+pub use shard::{CacheAligned, ShardedSimulation};
 pub use txns::{Retired, TxnTracker, Wake};

@@ -65,6 +65,11 @@ pub struct Planner {
     engine: Engine,
     accesses: u64,
     digest: u64,
+    /// Pool of request buffers for [`PlannedTxn`]s. Buffers flow out with
+    /// the planned transactions and return via [`Self::recycle_requests`]
+    /// once the tracker has admitted them, so steady-state planning
+    /// allocates nothing.
+    req_pool: Vec<Vec<(PhysAddr, bool)>>,
 }
 
 impl Planner {
@@ -140,6 +145,7 @@ impl Planner {
             engine,
             accesses: 0,
             digest: FNV_OFFSET,
+            req_pool: Vec::new(),
         })
     }
 
@@ -169,6 +175,23 @@ impl Planner {
     /// the position-map ORAM accesses precede the data access; only the
     /// data ORAM's read path carries the core's wakeup.
     pub fn plan(&mut self, req: &CoreRequest, conformance: &mut Conformance) -> Vec<PlannedTxn> {
+        let mut out = Vec::new();
+        self.plan_into(req, conformance, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Self::plan`]: appends the lowered
+    /// transactions to a caller-provided (reusable) buffer. The protocol
+    /// outcome's buffers are recycled back into the engine's pools and the
+    /// request buffers come from [`Self::recycle_requests`]'s pool, so a
+    /// warm planner performs no heap allocation per access on the flat
+    /// (non-recursive) engine.
+    pub fn plan_into(
+        &mut self,
+        req: &CoreRequest,
+        conformance: &mut Conformance,
+        out: &mut Vec<PlannedTxn>,
+    ) {
         self.accesses += 1;
         self.mix(req.block);
         match &mut self.engine {
@@ -187,23 +210,18 @@ impl Planner {
                 // target fetch is only whole after its retry plan.
                 let wake_idx = outcome.wake_plan_index();
                 let mut digest = self.digest;
-                let out = outcome
-                    .plans
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, plan)| {
-                        let waiting = (Some(i) == wake_idx).then_some((req.core, served_from_tree));
-                        lower(&mut digest, plan, layout.as_ref(), 0, waiting)
-                    })
-                    .collect();
+                for (i, plan) in outcome.plans.iter().enumerate() {
+                    let waiting = (Some(i) == wake_idx).then_some((req.core, served_from_tree));
+                    let buf = self.req_pool.pop().unwrap_or_default();
+                    out.push(lower(&mut digest, plan, layout.as_ref(), 0, waiting, buf));
+                }
                 self.digest = digest;
-                out
+                oram.recycle_outcome(outcome);
             }
             Engine::Recursive { stack, regions } => {
                 let steps = stack.access(BlockId(req.block));
                 let stash_len = stack.oram(0).stash_len();
-                let mut out = Vec::new();
-                for step in steps {
+                for step in &steps {
                     let waiting =
                         (step.oram_index == 0).then(|| (req.core, step.outcome.served_from_tree()));
                     // Only the data ORAM (index 0) is audited; the map
@@ -212,19 +230,38 @@ impl Planner {
                         conformance.observe_access(&step.outcome.plans);
                     }
                     let (layout, base) = &regions[step.oram_index];
-                    for plan in step.outcome.plans {
+                    for plan in &step.outcome.plans {
+                        let buf = self.req_pool.pop().unwrap_or_default();
                         out.push(lower(
                             &mut self.digest,
                             plan,
                             layout.as_ref(),
                             *base,
                             waiting,
+                            buf,
                         ));
                     }
                 }
                 conformance.observe_stash(stash_len);
-                out
             }
+        }
+    }
+
+    /// Returns a lowered transaction's request buffer to the planner's
+    /// pool. The tracker hands buffers back right after admission (it
+    /// copies the requests into its own fixed queues), closing the
+    /// allocation loop on the hot path.
+    pub fn recycle_requests(&mut self, mut buf: Vec<(PhysAddr, bool)>) {
+        buf.clear();
+        self.req_pool.push(buf);
+    }
+
+    /// Pre-sizes protocol bookkeeping for `n` further program accesses
+    /// (flat engine only; the recursive stack is not on the
+    /// allocation-free path).
+    pub fn reserve_accesses(&mut self, n: usize) {
+        if let Engine::Flat { oram, .. } = &mut self.engine {
+            oram.reserve_accesses(n);
         }
     }
 
@@ -239,10 +276,11 @@ impl Planner {
 /// program's data.
 fn lower(
     digest: &mut u64,
-    plan: AccessPlan,
+    plan: &AccessPlan,
     layout: &dyn TreeLayout,
     base: u64,
     waiting: Option<(usize, bool)>,
+    mut requests: Vec<(PhysAddr, bool)>,
 ) -> PlannedTxn {
     let (waiting_core, release_on_completion) = match waiting {
         Some((core, served_from_tree))
@@ -255,11 +293,12 @@ fn lower(
         }
         _ => (None, false),
     };
-    let requests: Vec<(PhysAddr, bool)> = plan
-        .touches
-        .iter()
-        .map(|t| (PhysAddr(base + layout.addr_of(t.bucket, t.slot)), t.write))
-        .collect();
+    requests.clear();
+    requests.extend(
+        plan.touches
+            .iter()
+            .map(|t| (PhysAddr(base + layout.addr_of(t.bucket, t.slot)), t.write)),
+    );
     let target_index = if waiting_core.is_some() {
         plan.target_index
     } else {

@@ -37,6 +37,34 @@ use crate::pipeline::{build_report, CounterSnapshot};
 use crate::report::SimReport;
 use crate::system::{CycleLimitExceeded, Simulation};
 
+/// Pads its contents to a 128-byte alignment boundary — two cache lines,
+/// covering the adjacent-line prefetcher on common x86 parts — so values
+/// stored side by side in a `Vec` never share a cache line.
+///
+/// The sharded engine stores each shard pipeline in one of these slots:
+/// shard worker threads hammer their own pipeline's hot counters every
+/// simulated cycle, and false sharing across slot boundaries would charge
+/// every shard's writes to its neighbours' cache lines. The wrapper is
+/// transparent via `Deref`/`DerefMut`, so shard accessors still read as
+/// `Simulation` method calls.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CacheAligned<T>(pub T);
+
+impl<T> std::ops::Deref for CacheAligned<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CacheAligned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
 /// `N` independent shard pipelines plus the deterministic merge stage.
 ///
 /// # Examples
@@ -60,8 +88,9 @@ pub struct ShardedSimulation {
     /// The master configuration (`cfg.shards = N`).
     cfg: SystemConfig,
     map: ShardMap,
-    /// One single-instance pipeline per shard, in shard-id order.
-    shards: Vec<Simulation>,
+    /// One single-instance pipeline per shard, in shard-id order, each in
+    /// its own cache-line-aligned slot (see [`CacheAligned`]).
+    shards: Vec<CacheAligned<Simulation>>,
     label: String,
 }
 
@@ -103,10 +132,24 @@ impl ShardedSimulation {
     /// `s` (missing entries fall back to `cfg.faults`). This is how a test
     /// seeds faults into exactly one shard while the others run clean.
     ///
+    /// Shard pipelines are constructed on worker threads, one per shard:
+    /// construction initializes position maps and backend state, which at
+    /// tens of thousands of blocks per shard is real setup work that scales
+    /// with `N` if done serially. Results are joined in shard-id order and
+    /// each shard's configuration (seed derivation, trace partition, fault
+    /// override) is fixed before any thread starts, so parallel
+    /// construction is deterministic: it builds bit-identical shards to the
+    /// old serial loop, and on failure reports the lowest-id shard's error.
+    /// `N = 1` constructs inline (nothing to overlap).
+    ///
     /// # Errors
     ///
     /// As [`Self::try_new`]; an override that fails the per-shard fault
     /// validation is also [`ConfigError::Invalid`].
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic from a shard construction thread.
     pub fn try_new_with_shard_faults(
         cfg: SystemConfig,
         traces: Vec<Vec<TraceRecord>>,
@@ -124,20 +167,50 @@ impl ShardedSimulation {
             .shard_ring_config(&cfg.ring)
             .map_err(ConfigError::Invalid)?;
         let shard_traces = partition_traces(&map, &traces);
-        let mut shards = Vec::with_capacity(map.shards());
-        for (s, shard_trace) in shard_traces.into_iter().enumerate() {
-            let mut shard_cfg = cfg.clone();
-            shard_cfg.shards = 1;
-            shard_cfg.ring = shard_ring.clone();
-            // N = 1 keeps the master seed (bit-identity with the unsharded
-            // pipeline); N > 1 derives a decorrelated stream per shard.
-            if map.shards() > 1 {
-                shard_cfg.seed = derive_stream_seed(cfg.seed, s as u64);
-            }
-            if let Some(over) = fault_overrides.get(s).copied().flatten() {
-                shard_cfg.faults = Some(over);
-            }
-            shards.push(Simulation::try_new(shard_cfg, shard_trace)?);
+        // Fix every shard's full configuration up front so the parallel
+        // build below has no ordering freedom left to exploit.
+        let jobs: Vec<(SystemConfig, Vec<Vec<TraceRecord>>)> = shard_traces
+            .into_iter()
+            .enumerate()
+            .map(|(s, shard_trace)| {
+                let mut shard_cfg = cfg.clone();
+                shard_cfg.shards = 1;
+                shard_cfg.ring = shard_ring.clone();
+                // N = 1 keeps the master seed (bit-identity with the
+                // unsharded pipeline); N > 1 derives a decorrelated stream
+                // per shard.
+                if map.shards() > 1 {
+                    shard_cfg.seed = derive_stream_seed(cfg.seed, s as u64);
+                }
+                if let Some(over) = fault_overrides.get(s).copied().flatten() {
+                    shard_cfg.faults = Some(over);
+                }
+                (shard_cfg, shard_trace)
+            })
+            .collect();
+        let built: Vec<Result<Simulation, ConfigError>> = if jobs.len() == 1 {
+            jobs.into_iter()
+                .map(|(shard_cfg, shard_trace)| Simulation::try_new(shard_cfg, shard_trace))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .into_iter()
+                    .map(|(shard_cfg, shard_trace)| {
+                        scope.spawn(move || Simulation::try_new(shard_cfg, shard_trace))
+                    })
+                    .collect();
+                // Join in shard-id order, never completion order.
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect()
+            })
+        };
+        let mut shards = Vec::with_capacity(built.len());
+        for r in built {
+            // `?` on the id-ordered results reports the lowest-id failure.
+            shards.push(CacheAligned(r?));
         }
         Ok(Self {
             cfg,
@@ -165,8 +238,9 @@ impl ShardedSimulation {
     }
 
     /// The shard pipelines, in shard-id order (for inspection in tests).
+    /// Slots deref transparently to [`Simulation`].
     #[must_use]
-    pub fn shards(&self) -> &[Simulation] {
+    pub fn shards(&self) -> &[CacheAligned<Simulation>] {
         &self.shards
     }
 
@@ -176,26 +250,26 @@ impl ShardedSimulation {
     /// fully independent, so driving them in any order (or serially)
     /// produces the same merged report as [`Self::run`].
     #[must_use]
-    pub fn shards_mut(&mut self) -> &mut [Simulation] {
+    pub fn shards_mut(&mut self) -> &mut [CacheAligned<Simulation>] {
         &mut self.shards
     }
 
     /// Program accesses planned so far, summed over shards.
     #[must_use]
     pub fn oram_accesses(&self) -> u64 {
-        self.shards.iter().map(Simulation::oram_accesses).sum()
+        self.shards.iter().map(|s| s.oram_accesses()).sum()
     }
 
     /// Whether every shard finished its traces and drained its memory work.
     #[must_use]
     pub fn is_finished(&self) -> bool {
-        self.shards.iter().all(Simulation::is_finished)
+        self.shards.iter().all(|s| s.is_finished())
     }
 
     /// Per-shard access digests, in shard-id order.
     #[must_use]
     pub fn shard_digests(&self) -> Vec<u64> {
-        self.shards.iter().map(Simulation::access_digest).collect()
+        self.shards.iter().map(|s| s.access_digest()).collect()
     }
 
     /// The combined access digest: an order-independent fold of the
@@ -281,7 +355,7 @@ impl ShardedSimulation {
             }
             return r;
         }
-        let snapshots: Vec<CounterSnapshot> = self.shards.iter().map(Simulation::capture).collect();
+        let snapshots: Vec<CounterSnapshot> = self.shards.iter().map(|s| s.capture()).collect();
         let merged = merge_snapshots(&snapshots);
         let pooled: Vec<u64> = self
             .shards

@@ -8,6 +8,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use dram_sim::PhysAddr;
 use mem_sched::{Completed, MemoryBackend, RequestSpec, TxnId};
 use ring_oram::OpKind;
 
@@ -96,7 +97,16 @@ impl TxnTracker {
     /// Admits one lowered transaction: assigns an id and queues its
     /// requests for ordered enqueue. A degenerate (fully on-chip)
     /// transaction completes immediately and returns its core release.
-    pub fn admit(&mut self, planned: PlannedTxn, cycle: u64) -> Option<Wake> {
+    ///
+    /// The tracker copies the requests into its own queues, so the
+    /// transaction's request buffer is handed back for the caller to
+    /// recycle into the planner's pool (the allocation loop on the hot
+    /// path closes here).
+    pub fn admit(
+        &mut self,
+        planned: PlannedTxn,
+        cycle: u64,
+    ) -> (Vec<(PhysAddr, bool)>, Option<Wake>) {
         let txn = TxnId(self.next_txn);
         self.next_txn += 1;
         *self
@@ -123,7 +133,7 @@ impl TxnTracker {
                 is_target: planned.target_index == Some(i),
             });
         }
-        if state.outstanding == 0 {
+        let wake = if state.outstanding == 0 {
             // Degenerate (fully on-chip) transaction: complete at once.
             state.waiting_core.map(|core| Wake {
                 core,
@@ -133,7 +143,8 @@ impl TxnTracker {
         } else {
             self.insert(txn.0, state);
             None
-        }
+        };
+        (planned.requests, wake)
     }
 
     /// Inserts `state` at its id slot, padding skipped (degenerate) ids
@@ -273,7 +284,7 @@ mod tests {
     #[test]
     fn degenerate_transaction_wakes_immediately() {
         let mut tr = TxnTracker::new();
-        let w = tr.admit(planned(OpKind::ReadPath, 0, None, Some(3)), 10);
+        let (_, w) = tr.admit(planned(OpKind::ReadPath, 0, None, Some(3)), 10);
         assert_eq!(
             w,
             Some(Wake {
@@ -292,9 +303,11 @@ mod tests {
         let mut tr = TxnTracker::new();
         assert!(tr
             .admit(planned(OpKind::ReadPath, 2, None, None), 0)
+            .1
             .is_none());
         assert!(tr
             .admit(planned(OpKind::Eviction, 1, None, None), 0)
+            .1
             .is_none());
         assert_eq!(tr.inflight(), 2);
         assert_eq!(tr.oldest_kind(), Some(OpKind::ReadPath));

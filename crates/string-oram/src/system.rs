@@ -85,6 +85,8 @@ pub struct Simulation {
     core_unblock_at: Vec<Vec<u64>>,
     /// Reusable buffer for draining backend completions each cycle.
     retired_scratch: Vec<mem_sched::Completed>,
+    /// Reusable buffer for the planner's lowered transactions each cycle.
+    planned_scratch: Vec<crate::pipeline::PlannedTxn>,
     cycle: u64,
     /// Snapshot delimiting the measurement window, if one was begun.
     measurement_start: Option<CounterSnapshot>,
@@ -132,12 +134,18 @@ impl Simulation {
                 got: traces.len(),
             });
         }
+        let total_records: usize = traces.iter().map(Vec::len).sum();
         let cores: Vec<Core> = traces
             .into_iter()
             .enumerate()
             .map(|(i, t)| Core::with_mlp(i, t, cfg.core_mlp))
             .collect();
-        let planner = Planner::build(&cfg)?;
+        let mut planner = Planner::build(&cfg)?;
+        // Pre-size the per-access growth vectors so the steady state never
+        // reallocates them mid-run.
+        planner.reserve_accesses(total_records);
+        let mut metrics = Metrics::new();
+        metrics.read_latencies.reserve(total_records);
         let mut backend = build_backend(&cfg);
         let conformance = Conformance::new(
             &cfg.verify,
@@ -156,11 +164,12 @@ impl Simulation {
             planner,
             tracker: TxnTracker::new(),
             backend,
-            metrics: Metrics::new(),
+            metrics,
             conformance,
             core_requests: VecDeque::new(),
             core_unblock_at: vec![Vec::new(); n],
             retired_scratch: Vec::new(),
+            planned_scratch: Vec::new(),
             cycle: 0,
             measurement_start: None,
             label: String::new(),
@@ -257,18 +266,26 @@ impl Simulation {
         }
 
         // 1. Plan: expand accesses while the transaction window has room
-        //    (keeps transaction i+1 visible for PB).
+        //    (keeps transaction i+1 visible for PB). The lowered-transaction
+        //    buffer and each transaction's request buffer are recycled, so
+        //    planning in the steady state allocates nothing.
+        let mut planned_buf = std::mem::take(&mut self.planned_scratch);
         while self.tracker.inflight() < self.cfg.max_inflight_txns {
             let Some(req) = self.core_requests.pop_front() else {
                 break;
             };
-            for planned in self.planner.plan(&req, &mut self.conformance) {
-                if let Some(wake) = self.tracker.admit(planned, cycle) {
+            self.planner
+                .plan_into(&req, &mut self.conformance, &mut planned_buf);
+            for planned in planned_buf.drain(..) {
+                let (spent, wake) = self.tracker.admit(planned, cycle);
+                self.planner.recycle_requests(spent);
+                if let Some(wake) = wake {
                     self.apply_wake(wake);
                 }
             }
             self.conformance.collect();
         }
+        self.planned_scratch = planned_buf;
 
         // 2. Enqueue: feed the backend in strict transaction order.
         self.tracker.enqueue_ready(self.backend.as_mut(), cycle);

@@ -22,6 +22,31 @@
 use string_oram::{BackendKind, Scheme, Simulation, SystemConfig};
 use trace_synth::{by_name, TraceGenerator};
 
+/// Golden access digest of the canonical multi-core unsharded run
+/// (`test_small`, ALL scheme, two cores, workload `black`, trace seed 11,
+/// 200 records per core, cycle-accurate backend). Together with the
+/// sharded golden in `shard_differential`, this pins the unsharded
+/// pipeline's bus-visible sequence across refactors: hot-path
+/// optimizations (scratch-buffer pooling, batched crypto, parallel
+/// construction) must be bit-invisible here.
+const UNSHARDED_GOLDEN_DIGEST: u64 = 0x6632_9065_CDEB_1FBB;
+
+#[test]
+fn unsharded_golden_digest_is_pinned() {
+    let cfg = SystemConfig::test_small(Scheme::All);
+    let traces = (0..cfg.cores)
+        .map(|c| TraceGenerator::new(by_name("black").unwrap(), 11, c as u32).take_records(200))
+        .collect();
+    let mut sim = Simulation::new(cfg, traces);
+    sim.run(50_000_000).expect("canonical run completes");
+    assert_eq!(
+        sim.access_digest(),
+        UNSHARDED_GOLDEN_DIGEST,
+        "unsharded access digest moved off the golden value: 0x{:016X}",
+        sim.access_digest()
+    );
+}
+
 fn single_core_cfg(scheme: Scheme, backend: BackendKind) -> SystemConfig {
     let mut cfg = SystemConfig::test_small(scheme);
     cfg.cores = 1;
