@@ -14,8 +14,13 @@ fn main() {
     let mut path = PathOram::new(PathConfig::hpca_default(), 3);
     let mut path_total = 0u64;
     for i in 0..accesses {
-        let plan = path.access(BlockId(i % working_set));
-        path_total += (plan.reads() + plan.writes()) as u64;
+        let out = path.access(BlockId(i % working_set));
+        path_total += out
+            .plans
+            .iter()
+            .map(|p| (p.reads() + p.writes()) as u64)
+            .sum::<u64>();
+        path.recycle_outcome(out);
     }
     let path_online: u64 = 4 * (24 - 6); // Z blocks per off-chip level
 

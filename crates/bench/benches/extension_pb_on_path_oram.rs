@@ -102,13 +102,16 @@ fn main() {
     let mut path = PathOram::new(path_cfg, 3);
     let mut path_txns = Vec::new();
     for i in 0..accesses as u64 {
-        let plan = path.access(BlockId(i % 4096));
-        path_txns.push(
-            plan.touches
-                .iter()
-                .map(|t| (path_layout.addr_of(t.bucket, t.slot), t.write))
-                .collect::<Vec<_>>(),
-        );
+        let out = path.access(BlockId(i % 4096));
+        for plan in &out.plans {
+            path_txns.push(
+                plan.touches
+                    .iter()
+                    .map(|t| (path_layout.addr_of(t.bucket, t.slot), t.write))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        path.recycle_outcome(out);
     }
 
     // Ring ORAM transactions at the same tree height.

@@ -297,6 +297,103 @@ pub fn validate_shard_scaling(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a parsed `BENCH_protocol_matrix.json` document against the
+/// schema documented in `EXPERIMENTS.md`: every protocol × backend pair
+/// present exactly once (4 protocols × 2 backends = 8 points), positive
+/// finite rates and latencies (the hand-rolled JSON layer cannot even
+/// represent NaN/inf, and the positivity checks reject any sentinel that
+/// would stand in for one), well-formed 16-hex-digit access digests, and —
+/// the protocol-layer security property — the same protocol's digest equal
+/// across both backends, because memory timing may change *when* things
+/// happen but never *what* the bus observes.
+///
+/// # Errors
+///
+/// A message naming the first offending key or element.
+pub fn validate_protocol_matrix(doc: &Value) -> Result<(), String> {
+    const PROTOCOLS: [&str; 4] = ["ring-cb", "ring", "path", "circuit"];
+    const BACKENDS: [&str; 2] = ["cycle-accurate", "fast-functional"];
+    let ctx = "protocol_matrix";
+    match require(doc, "bench", ctx)?.as_str() {
+        Some("protocol_matrix") => {}
+        _ => return Err(format!("{ctx}: \"bench\" must be \"protocol_matrix\"")),
+    }
+    require_u64(doc, "schema_version", ctx)?;
+    require(doc, "workload", ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: \"workload\" is not a string"))?;
+    require(doc, "scheme", ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: \"scheme\" is not a string"))?;
+    require_u64(doc, "records_per_core", ctx)?;
+    require_u64(doc, "cores", ctx)?;
+    require_u64(doc, "master_seed", ctx)?;
+
+    let points = require(doc, "points", ctx)?
+        .as_array()
+        .ok_or_else(|| format!("{ctx}: \"points\" is not an array"))?;
+    let mut seen: Vec<(String, String)> = Vec::new();
+    let mut digests: Vec<(String, String)> = Vec::new();
+    for point in points {
+        let protocol = require(point, "protocol", ctx)?
+            .as_str()
+            .ok_or_else(|| format!("{ctx}: \"protocol\" is not a string"))?
+            .to_string();
+        if !PROTOCOLS.contains(&protocol.as_str()) {
+            return Err(format!("{ctx}: unknown protocol \"{protocol}\""));
+        }
+        let backend = require(point, "backend", ctx)?
+            .as_str()
+            .ok_or_else(|| format!("{ctx}: \"backend\" is not a string"))?
+            .to_string();
+        if !BACKENDS.contains(&backend.as_str()) {
+            return Err(format!("{ctx}: unknown backend \"{backend}\""));
+        }
+        let pctx = format!("{protocol}/{backend}");
+        if seen.contains(&(protocol.clone(), backend.clone())) {
+            return Err(format!("{pctx}: duplicate point"));
+        }
+        if require_u64(point, "oram_accesses", &pctx)? == 0 {
+            return Err(format!("{pctx}: \"oram_accesses\" must be >= 1"));
+        }
+        require_positive(point, "run_wall_ms", &pctx)?;
+        require_positive(point, "accesses_per_sec", &pctx)?;
+        require_positive(point, "mean_latency_cycles", &pctx)?;
+        let p99 = require_u64(point, "p99_latency_cycles", &pctx)?;
+        if p99 == 0 {
+            return Err(format!("{pctx}: \"p99_latency_cycles\" must be >= 1"));
+        }
+        let digest = require(point, "digest", &pctx)?
+            .as_str()
+            .ok_or_else(|| format!("{pctx}: \"digest\" is not a string"))?;
+        let hex = digest
+            .strip_prefix("0x")
+            .ok_or_else(|| format!("{pctx}: digest lacks 0x prefix"))?;
+        if hex.len() != 16 || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+            return Err(format!("{pctx}: digest is not 16 hex digits"));
+        }
+        if let Some((_, other)) = digests.iter().find(|(p, _)| *p == protocol) {
+            if other != digest {
+                return Err(format!(
+                    "{pctx}: digest {digest} disagrees with the other backend's {other} — \
+                     the bus-visible sequence must be timing-independent"
+                ));
+            }
+        } else {
+            digests.push((protocol.clone(), digest.to_string()));
+        }
+        seen.push((protocol, backend));
+    }
+    if seen.len() != PROTOCOLS.len() * BACKENDS.len() {
+        return Err(format!(
+            "{ctx}: {} points, expected exactly {} (every protocol x backend pair once)",
+            seen.len(),
+            PROTOCOLS.len() * BACKENDS.len()
+        ));
+    }
+    Ok(())
+}
+
 /// Geometric mean of strictly positive values (the paper reports GEOMEAN
 /// bars); returns 0.0 for an empty slice.
 #[must_use]
@@ -412,6 +509,121 @@ mod tests {
         // Dropping any required point key is rejected too.
         let doc = json::parse(&good.replacen("\"total_cycles\": 10,", "", 1)).unwrap();
         assert!(validate_shard_scaling(&doc).is_err());
+    }
+
+    fn minimal_matrix() -> String {
+        let point = |protocol: &str, backend: &str, digest: &str| {
+            format!(
+                r#"{{"protocol": "{protocol}", "backend": "{backend}",
+                    "oram_accesses": 4000, "run_wall_ms": 12.5,
+                    "accesses_per_sec": 320000.0, "mean_latency_cycles": 410.2,
+                    "p99_latency_cycles": 1290, "digest": "{digest}"}}"#
+            )
+        };
+        let mut points = Vec::new();
+        for (protocol, digest) in [
+            ("ring-cb", "0x8FEFA68912F2C2F5"),
+            ("ring", "0x0235AE479E4FDF7D"),
+            ("path", "0x2716F910C160FDEB"),
+            ("circuit", "0x24AA6473F951AB26"),
+        ] {
+            for backend in ["cycle-accurate", "fast-functional"] {
+                points.push(point(protocol, backend, digest));
+            }
+        }
+        format!(
+            r#"{{"bench": "protocol_matrix", "schema_version": 1,
+                "workload": "black", "scheme": "All", "records_per_core": 2000,
+                "cores": 1, "master_seed": 219966046,
+                "points": [{}]}}"#,
+            points.join(", ")
+        )
+    }
+
+    #[test]
+    fn protocol_matrix_schema_accepts_the_documented_shape() {
+        let doc = json::parse(&minimal_matrix()).unwrap();
+        validate_protocol_matrix(&doc).unwrap();
+    }
+
+    #[test]
+    fn protocol_matrix_schema_rejects_structural_damage() {
+        let good = minimal_matrix();
+        for (needle, replacement, why) in [
+            ("protocol_matrix\"", "other_bench\"", "wrong bench name"),
+            ("\"ring-cb\"", "\"gpu-oram\"", "unknown protocol"),
+            ("\"cycle-accurate\"", "\"gpu\"", "unknown backend"),
+            (
+                "\"backend\": \"fast-functional\"",
+                "\"backend\": \"cycle-accurate\"",
+                "duplicate protocol x backend pair",
+            ),
+            ("0x8FEFA68912F2C2F5", "8FEFA68912F2C2F5", "digest prefix"),
+            ("0x0235AE479E4FDF7D", "0x0235", "digest length"),
+            (
+                "\"p99_latency_cycles\": 1290, \"digest\": \"0x2716F910C160FDEB\"",
+                "\"p99_latency_cycles\": 1290, \"digest\": \"0x2716F910C160FDEC\"",
+                "same-protocol digests diverging across backends",
+            ),
+            (
+                "\"run_wall_ms\": 12.5",
+                "\"run_wall_ms\": 0",
+                "zero wall time",
+            ),
+            (
+                "\"accesses_per_sec\": 320000.0",
+                "\"accesses_per_sec\": -3.0",
+                "negative rate",
+            ),
+            (
+                "\"mean_latency_cycles\": 410.2",
+                "\"mean_latency_cycles\": 0",
+                "zero mean latency",
+            ),
+            (
+                "\"p99_latency_cycles\": 1290",
+                "\"p99_latency_cycles\": 0",
+                "zero p99 latency",
+            ),
+            (
+                "\"oram_accesses\": 4000",
+                "\"oram_accesses\": 0",
+                "zero accesses",
+            ),
+        ] {
+            let damaged = good.replacen(needle, replacement, 1);
+            assert_ne!(damaged, good, "{why}: replacement did not apply");
+            let doc = json::parse(&damaged).unwrap();
+            assert!(
+                validate_protocol_matrix(&doc).is_err(),
+                "{why} must be rejected"
+            );
+        }
+        // A missing pair (7 points) and a missing required key are both
+        // rejected.
+        let last_point_start = good.rfind("{\"protocol\"").unwrap();
+        let truncated = format!(
+            "{}]}}",
+            good[..last_point_start].trim_end().trim_end_matches(','),
+        );
+        let doc = json::parse(&truncated).unwrap();
+        assert!(validate_protocol_matrix(&doc).is_err());
+        let doc = json::parse(&good.replacen("\"oram_accesses\": 4000,", "", 1)).unwrap();
+        assert!(validate_protocol_matrix(&doc).is_err());
+    }
+
+    /// The committed matrix at the repo root must always parse and satisfy
+    /// the schema (regenerate with `cargo bench --bench protocol_matrix`
+    /// after intentional changes).
+    #[test]
+    fn committed_protocol_matrix_is_valid() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_protocol_matrix.json"
+        );
+        let text = std::fs::read_to_string(path).expect("BENCH_protocol_matrix.json is committed");
+        let doc = json::parse(&text).expect("matrix parses");
+        validate_protocol_matrix(&doc).expect("matrix matches schema");
     }
 
     /// The committed bench trajectory at the repo root must always parse

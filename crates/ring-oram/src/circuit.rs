@@ -1,0 +1,538 @@
+//! Circuit ORAM (Wang et al., CCS'15 lineage): the low-client-bandwidth
+//! point of the protocol design space.
+//!
+//! Where Path ORAM rewrites the whole read path on every access and Ring
+//! ORAM amortizes evictions over `A` selective reads, Circuit ORAM keeps
+//! the read path *read-only* — the target block alone is removed into the
+//! stash — and pays for placement with a fixed number of deterministic
+//! eviction passes per access along reverse-lexicographic paths
+//! ([`EVICTIONS_PER_ACCESS`]; the canonical choice of two keeps the stash
+//! bounded by a constant w.h.p. for `Z >= 2`).
+//!
+//! This implementation models the *bandwidth-observable* behaviour at
+//! bucket-slot granularity, the same contract the other engines follow:
+//! a read path touches all `Z` slots of every off-chip bucket on the
+//! target's path (selective *removal* is a content decision, not a traffic
+//! one — on the bus every slot is transferred), and each eviction reads
+//! and rewrites all `Z` slots of every off-chip bucket on its path. The
+//! single-block "move along the path" of the literature's circuit
+//! formulation is subsumed here by a greedy leaf-first write-back, which
+//! places at least as well and keeps the plan shape identical.
+//!
+//! Buckets are exactly `Z` slots — no dummy budget, no metadata counters.
+//! The configuration is expressed as a [`RingConfig`] with `S = Y = 1`
+//! (`bucket_slots = Z + S - Y = Z`), the same encoding the layout code
+//! uses for Path ORAM.
+
+use oram_rng::StdRng;
+
+use crate::config::RingConfig;
+use crate::fasthash::DetHashMap;
+use crate::faults::OramError;
+use crate::oblivious::{ObliviousProtocol, ProtocolKind};
+use crate::plan::{AccessPlan, OpKind, SlotTouch};
+use crate::position_map::PositionMap;
+use crate::protocol::{AccessOutcome, ProtocolStats, TargetSource};
+use crate::stash::Stash;
+use crate::tree::TreeGeometry;
+use crate::types::{BlockId, BucketId, Level, PathId};
+
+/// Deterministic evictions per access: the canonical Circuit ORAM rate
+/// (two reverse-lexicographic paths per access bound the stash w.h.p.).
+pub const EVICTIONS_PER_ACCESS: usize = 2;
+
+/// Reusable buffers for the steady-state access path (same ownership rule
+/// as `protocol::Scratch`: plan/touch lists flow out through
+/// [`AccessOutcome`]s and return via [`CircuitOram::recycle_outcome`]; the
+/// candidate buffer never leaves the engine).
+#[derive(Default)]
+struct Scratch {
+    /// Pool of `plans` vectors backing [`AccessOutcome`]s.
+    plan_lists: Vec<Vec<AccessPlan>>,
+    /// Pool of per-plan touch vectors.
+    touch_lists: Vec<Vec<SlotTouch>>,
+    /// Eviction write phase: `(block, deepest eligible level, taken)`
+    /// snapshot of the stash, sorted ascending by block id.
+    candidates: Vec<(BlockId, u32, bool)>,
+}
+
+impl Scratch {
+    fn plans(&mut self) -> Vec<AccessPlan> {
+        self.plan_lists.pop().unwrap_or_default()
+    }
+
+    fn touches(&mut self) -> Vec<SlotTouch> {
+        self.touch_lists.pop().unwrap_or_default()
+    }
+}
+
+/// The Circuit ORAM controller over a lazily materialized `Z`-slot tree.
+pub struct CircuitOram {
+    cfg: RingConfig,
+    geometry: TreeGeometry,
+    /// Bucket contents (block ids only; payloads are out of scope for the
+    /// bandwidth/timing studies this engine serves). Content vectors
+    /// materialize with capacity `Z` and are cleared and refilled in
+    /// place, never dropped, so a materialized tree stops allocating.
+    buckets: DetHashMap<BucketId, Vec<BlockId>>,
+    position_map: PositionMap,
+    stash: Stash,
+    /// Eviction counter `G` driving the reverse lexicographic order.
+    eviction_count: u64,
+    rng: StdRng,
+    stats: ProtocolStats,
+    scratch: Scratch,
+}
+
+impl std::fmt::Debug for CircuitOram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CircuitOram")
+            .field("cfg", &self.cfg)
+            .field("buckets_materialized", &self.buckets.len())
+            .field("stash_len", &self.stash.len())
+            .field("eviction_count", &self.eviction_count)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CircuitOram {
+    /// Creates a controller with an initially empty tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`RingConfig::validate`] or if
+    /// `cfg.bucket_slots() != cfg.z` — Circuit ORAM buckets are exactly
+    /// `Z` slots; encode that as `S = Y` (canonically `S = Y = 1`).
+    #[must_use]
+    pub fn new(cfg: RingConfig, seed: u64) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid RingConfig: {e}");
+        }
+        assert!(
+            cfg.bucket_slots() == cfg.z,
+            "Circuit ORAM buckets are exactly Z slots; pass S = Y (e.g. S = Y = 1), got \
+             Z = {}, S = {}, Y = {}",
+            cfg.z,
+            cfg.s,
+            cfg.y
+        );
+        let geometry = TreeGeometry::new(cfg.levels);
+        let position_map = PositionMap::new(geometry.leaf_count());
+        Self {
+            cfg,
+            geometry,
+            buckets: DetHashMap::default(),
+            position_map,
+            stash: Stash::new(),
+            eviction_count: 0,
+            rng: StdRng::seed_from_u64(seed),
+            stats: ProtocolStats::default(),
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &RingConfig {
+        &self.cfg
+    }
+
+    /// The tree geometry in force.
+    #[must_use]
+    pub fn geometry(&self) -> &TreeGeometry {
+        &self.geometry
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &ProtocolStats {
+        &self.stats
+    }
+
+    /// Current stash occupancy.
+    #[must_use]
+    pub fn stash_len(&self) -> usize {
+        self.stash.len()
+    }
+
+    /// Peak stash occupancy.
+    #[must_use]
+    pub fn stash_peak(&self) -> usize {
+        self.stash.peak()
+    }
+
+    /// Tree buckets materialized (touched at least once) so far.
+    #[must_use]
+    pub fn materialized_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Performs one access: a read-only path fetch removing the target
+    /// into the stash, then [`EVICTIONS_PER_ACCESS`] deterministic
+    /// evictions along reverse-lexicographic paths.
+    pub fn access(&mut self, block: BlockId) -> AccessOutcome {
+        let path = self.position_map.lookup_or_assign(block, &mut self.rng);
+        let cached = self.cfg.tree_top_cached_levels;
+        let z = self.cfg.z;
+        let in_stash = self.stash.contains(block);
+        let mut plans = self.scratch.plans();
+        let mut touches = self.scratch.touches();
+        let mut target_index = None;
+        let mut source = TargetSource::New;
+
+        // Read phase: transfer every off-chip bucket on the path (all Z
+        // slots — traffic is content-independent), but remove *only* the
+        // target block into the stash.
+        for lvl in 0..self.cfg.levels {
+            let id = self.geometry.bucket_at(path, Level(lvl));
+            let content = self
+                .buckets
+                .entry(id)
+                .or_insert_with(|| Vec::with_capacity(z as usize));
+            let off_chip = lvl >= cached;
+            if let Some(pos) = content.iter().position(|b| *b == block) {
+                if off_chip {
+                    target_index = Some(touches.len() + pos);
+                    source = TargetSource::Tree(Level(lvl));
+                } else {
+                    source = TargetSource::TreeTop(Level(lvl));
+                }
+                content.swap_remove(pos);
+            }
+            if off_chip {
+                for slot in 0..z {
+                    touches.push(SlotTouch::read(id, slot));
+                }
+            }
+        }
+        if matches!(source, TargetSource::New) && in_stash {
+            source = TargetSource::Stash;
+        }
+
+        // Remap the target; it (re-)enters the stash under its new path.
+        let new_path = self.position_map.remap(block, &mut self.rng);
+        self.stash.insert(block, new_path);
+        plans.push(AccessPlan::new(OpKind::ReadPath, touches, target_index));
+
+        for _ in 0..EVICTIONS_PER_ACCESS {
+            let plan = self.evict();
+            plans.push(plan);
+        }
+
+        self.stats.read_paths += 1;
+        match source {
+            TargetSource::Tree(_) => self.stats.targets_from_tree += 1,
+            TargetSource::TreeTop(_) => self.stats.targets_from_treetop += 1,
+            TargetSource::Stash => self.stats.targets_from_stash += 1,
+            TargetSource::New => self.stats.new_blocks += 1,
+        }
+        self.stats.stash_samples.push(self.stash.len());
+        AccessOutcome { plans, source }
+    }
+
+    /// Infallible-protocol counterpart of [`RingOram::try_access`]
+    /// (Circuit ORAM has no fault layer, so access cannot fail).
+    ///
+    /// [`RingOram::try_access`]: crate::protocol::RingOram::try_access
+    ///
+    /// # Errors
+    ///
+    /// Never returns an error; the signature mirrors the Ring engine's.
+    pub fn try_access(&mut self, block: BlockId) -> Result<AccessOutcome, OramError> {
+        Ok(self.access(block))
+    }
+
+    /// One eviction pass: drain every bucket on the reverse-lexicographic
+    /// path `G` into the stash, then refill leaf-first greedily.
+    #[allow(clippy::expect_used)] // invariant, stated in the expect message
+    fn evict(&mut self) -> AccessPlan {
+        let g = self.eviction_count;
+        self.eviction_count += 1;
+        let epath = self.geometry.reverse_lexicographic_path(g);
+        let cached = self.cfg.tree_top_cached_levels;
+        let z = self.cfg.z;
+        let mut touches = self.scratch.touches();
+
+        // Read phase: every block on the path moves to the stash.
+        for lvl in 0..self.cfg.levels {
+            let id = self.geometry.bucket_at(epath, Level(lvl));
+            let content = self
+                .buckets
+                .entry(id)
+                .or_insert_with(|| Vec::with_capacity(z as usize));
+            for &b in content.iter() {
+                let p = self.position_map.lookup(b).expect("tree blocks are mapped");
+                self.stash.insert(b, p);
+            }
+            content.clear();
+            if lvl >= cached {
+                for slot in 0..z {
+                    touches.push(SlotTouch::read(id, slot));
+                }
+            }
+        }
+
+        // One snapshot of eviction candidates, selected ascending by block
+        // id (the same deterministic order drain_for_bucket would impose),
+        // instead of re-walking the stash per level.
+        let cand = &mut self.scratch.candidates;
+        cand.clear();
+        self.stash
+            .for_each_candidate(&self.geometry, epath, |b, depth| {
+                cand.push((b, depth.0, false));
+            });
+        cand.sort_unstable_by_key(|&(b, _, _)| b);
+
+        // Write phase: greedy leaf-first placement; every off-chip bucket
+        // is rewritten in full (Z slots) regardless of how many real
+        // blocks it received.
+        for lvl in (0..self.cfg.levels).rev() {
+            let id = self.geometry.bucket_at(epath, Level(lvl));
+            let content = self
+                .buckets
+                .entry(id)
+                .or_insert_with(|| Vec::with_capacity(z as usize));
+            let mut placed = 0;
+            for c in self.scratch.candidates.iter_mut() {
+                if placed == z {
+                    break;
+                }
+                if !c.2 && c.1 >= lvl {
+                    c.2 = true;
+                    placed += 1;
+                    self.stash.remove(c.0);
+                    content.push(c.0);
+                }
+            }
+            if lvl >= cached {
+                for slot in 0..z {
+                    touches.push(SlotTouch::write(id, slot));
+                }
+            }
+        }
+
+        self.stats.evictions += 1;
+        AccessPlan::new(OpKind::Eviction, touches, None)
+    }
+
+    /// Returns an outcome's buffers to the engine's pools.
+    pub fn recycle_outcome(&mut self, outcome: AccessOutcome) {
+        let AccessOutcome { mut plans, .. } = outcome;
+        for plan in plans.drain(..) {
+            let AccessPlan { mut touches, .. } = plan;
+            touches.clear();
+            self.scratch.touch_lists.push(touches);
+        }
+        self.scratch.plan_lists.push(plans);
+    }
+
+    /// Pre-sizes per-access bookkeeping for `n` further accesses.
+    pub fn reserve_accesses(&mut self, n: usize) {
+        self.stats.stash_samples.reserve(n);
+    }
+
+    /// Snapshot of `(block, path)` position-map entries.
+    #[must_use]
+    pub fn position_entries(&self) -> Vec<(BlockId, PathId)> {
+        self.position_map.entries()
+    }
+
+    /// Verifies the block-location invariant and bucket capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a mapped block is neither in the stash nor on its path,
+    /// or if a bucket holds more than `Z` blocks.
+    pub fn check_invariants(&self) {
+        for (block, path) in self.position_map.entries() {
+            if self.stash.contains(block) {
+                continue;
+            }
+            let found = (0..self.cfg.levels).any(|lvl| {
+                let id = self.geometry.bucket_at(path, Level(lvl));
+                self.buckets.get(&id).is_some_and(|v| v.contains(&block))
+            });
+            assert!(found, "{block} lost: not in stash, not on {path}");
+        }
+        for (id, v) in &self.buckets {
+            assert!(
+                v.len() <= self.cfg.z as usize,
+                "bucket {id} over capacity: {} > {}",
+                v.len(),
+                self.cfg.z
+            );
+        }
+    }
+}
+
+impl ObliviousProtocol for CircuitOram {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Circuit
+    }
+
+    fn access(&mut self, block: BlockId) -> AccessOutcome {
+        CircuitOram::access(self, block)
+    }
+
+    fn recycle_outcome(&mut self, outcome: AccessOutcome) {
+        CircuitOram::recycle_outcome(self, outcome);
+    }
+
+    fn reserve_accesses(&mut self, n: usize) {
+        CircuitOram::reserve_accesses(self, n);
+    }
+
+    fn stats(&self) -> &ProtocolStats {
+        CircuitOram::stats(self)
+    }
+
+    fn stash_len(&self) -> usize {
+        CircuitOram::stash_len(self)
+    }
+
+    fn stash_peak(&self) -> usize {
+        CircuitOram::stash_peak(self)
+    }
+
+    fn materialized_buckets(&self) -> usize {
+        CircuitOram::materialized_buckets(self)
+    }
+
+    fn check_invariants(&self) {
+        CircuitOram::check_invariants(self);
+    }
+
+    fn position_entries(&self) -> Vec<(BlockId, PathId)> {
+        CircuitOram::position_entries(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cfg() -> RingConfig {
+        RingConfig {
+            levels: 8,
+            z: 4,
+            s: 1,
+            a: 1,
+            y: 1,
+            block_bytes: 64,
+            stash_capacity: 200,
+            tree_top_cached_levels: 0,
+        }
+    }
+
+    #[test]
+    fn access_shape_is_one_read_path_plus_two_evictions() {
+        let cfg = test_cfg();
+        let mut o = CircuitOram::new(cfg.clone(), 1);
+        let out = o.access(BlockId(3));
+        assert_eq!(out.plans.len(), 1 + EVICTIONS_PER_ACCESS);
+        let off = (cfg.levels - cfg.tree_top_cached_levels) as usize;
+        let read = &out.plans[0];
+        assert_eq!(read.kind, OpKind::ReadPath);
+        assert_eq!(read.reads(), cfg.z as usize * off);
+        assert_eq!(read.writes(), 0);
+        for ev in &out.plans[1..] {
+            assert_eq!(ev.kind, OpKind::Eviction);
+            assert_eq!(ev.reads(), cfg.z as usize * off);
+            assert_eq!(ev.writes(), cfg.z as usize * off);
+        }
+    }
+
+    #[test]
+    fn tree_top_cache_reduces_traffic() {
+        let mut cfg = test_cfg();
+        cfg.tree_top_cached_levels = 3;
+        let mut o = CircuitOram::new(cfg.clone(), 2);
+        let out = o.access(BlockId(1));
+        let off = (cfg.levels - 3) as usize;
+        assert_eq!(out.plans[0].reads(), cfg.z as usize * off);
+    }
+
+    #[test]
+    fn blocks_survive_many_accesses() {
+        let mut o = CircuitOram::new(test_cfg(), 3);
+        for i in 0..500 {
+            let out = o.access(BlockId(i % 23));
+            o.recycle_outcome(out);
+        }
+        o.check_invariants();
+        for i in 0..23 {
+            let out = o.access(BlockId(i));
+            // Every block is locatable: in stash, or found on its path.
+            assert!(!matches!(out.source, TargetSource::New), "block {i} lost");
+            o.recycle_outcome(out);
+        }
+        o.check_invariants();
+    }
+
+    #[test]
+    fn stash_stays_bounded_under_uniform_load() {
+        let mut o = CircuitOram::new(test_cfg(), 4);
+        for i in 0..2000 {
+            let out = o.access(BlockId(i % 100));
+            o.recycle_outcome(out);
+        }
+        // Circuit ORAM's claim: two deterministic evictions per access
+        // keep the stash constant-bounded w.h.p.
+        assert!(
+            o.stash_peak() < 50,
+            "stash peak {} unexpectedly large",
+            o.stash_peak()
+        );
+    }
+
+    #[test]
+    fn evictions_follow_reverse_lexicographic_order() {
+        let cfg = test_cfg();
+        let mut o = CircuitOram::new(cfg.clone(), 5);
+        let out = o.access(BlockId(1));
+        // First eviction pass uses G = 0, second G = 1: their leaf buckets
+        // are the reverse-lexicographic paths 0 and 1. Reads run root→leaf,
+        // so the last read touch is the leaf bucket.
+        let g = TreeGeometry::new(cfg.levels);
+        let leaf_of = |plan: &AccessPlan| plan.touches[plan.reads() - 1].bucket;
+        assert_eq!(
+            leaf_of(&out.plans[1]),
+            g.bucket_at(g.reverse_lexicographic_path(0), Level(cfg.levels - 1))
+        );
+        assert_eq!(
+            leaf_of(&out.plans[2]),
+            g.bucket_at(g.reverse_lexicographic_path(1), Level(cfg.levels - 1))
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut o = CircuitOram::new(test_cfg(), 6);
+        let a = o.access(BlockId(1));
+        assert_eq!(a.source, TargetSource::New);
+        o.recycle_outcome(a);
+        let b = o.access(BlockId(1));
+        assert!(!matches!(b.source, TargetSource::New));
+        o.recycle_outcome(b);
+        assert_eq!(o.stats().read_paths, 2);
+        assert_eq!(o.stats().evictions, 2 * EVICTIONS_PER_ACCESS as u64);
+        assert_eq!(o.stats().new_blocks, 1);
+        assert_eq!(o.stats().stash_samples.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly Z slots")]
+    fn rejects_dummy_budget_configs() {
+        // A Ring-shaped config (S > Y) has bucket_slots > Z.
+        let _ = CircuitOram::new(RingConfig::test_small(), 1);
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused() {
+        let mut o = CircuitOram::new(test_cfg(), 7);
+        let out = o.access(BlockId(1));
+        o.recycle_outcome(out);
+        assert_eq!(o.scratch.plan_lists.len(), 1);
+        assert_eq!(o.scratch.touch_lists.len(), 1 + EVICTIONS_PER_ACCESS);
+    }
+}

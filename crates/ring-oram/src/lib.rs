@@ -13,8 +13,11 @@
 //!   by `Y` slots ([`config::RingConfig::y`]) and shortening evictions;
 //! * leakage-free **background eviction** via dummy read paths;
 //! * the **subtree layout** address mapping ([`layout::SubtreeLayout`]);
-//! * a **Path ORAM** baseline ([`path_oram::PathOram`]) for the bandwidth
-//!   ablation.
+//! * the [`ObliviousProtocol`] trait — the pipeline contract shared by all
+//!   protocol engines — with a **Path ORAM** baseline ([`PathOram`]) and a
+//!   **Circuit ORAM** implementation ([`CircuitOram`]) alongside the Ring
+//!   engine, so the paper's wins are measurable against the design space
+//!   they improve on.
 //!
 //! The protocol layer is *untimed*: every logical access expands into
 //! [`plan::AccessPlan`]s — ordered lists of physical slot touches — which
@@ -46,11 +49,13 @@
 
 pub mod aes;
 pub mod bucket;
+pub mod circuit;
 pub mod config;
 pub mod crypto;
 pub mod fasthash;
 pub mod faults;
 pub mod layout;
+pub mod oblivious;
 pub mod path_oram;
 pub mod plan;
 pub mod position_map;
@@ -61,10 +66,14 @@ pub mod stash;
 pub mod tree;
 pub mod types;
 
+pub use circuit::CircuitOram;
 pub use config::RingConfig;
 pub use faults::{FaultEvent, FaultEventKind, OramError, ResilienceConfig};
+pub use oblivious::{ObliviousProtocol, ProtocolKind};
+pub use path_oram::{PathConfig, PathOram};
 pub use plan::{AccessPlan, OpKind, SlotTouch};
 pub use protocol::{AccessOutcome, ProtocolStats, RingOram, TargetSource};
+pub use recursive::{RecursiveConfig, RecursiveOram};
 pub use sharding::ShardMap;
 pub use tree::TreeGeometry;
 pub use types::{BlockId, BucketId, FetchKind, Level, PathId};

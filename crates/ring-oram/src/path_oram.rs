@@ -3,23 +3,39 @@
 //! Ring ORAM's headline claim — 2.3–4x lower overall bandwidth and far
 //! lower online bandwidth than Path ORAM — is the motivation the paper
 //! builds on, so the reproduction carries a compact Path ORAM
-//! implementation for the ablation benchmark.
+//! implementation, both for the ablation benchmark and as a first-class
+//! [`ObliviousProtocol`] engine the full pipeline can drive.
 //!
 //! Path ORAM is much simpler than Ring ORAM: every access reads *all*
 //! `Z` slots of every bucket on the target's path into the stash, remaps
 //! the target, and writes the full path back with greedy leaf-first
 //! placement. There are no dummy budgets, no metadata counters, no separate
-//! eviction phase.
-
-use std::collections::HashMap;
+//! eviction phase — one access is exactly one [`OpKind::ReadPath`] plan
+//! whose touch list carries the reads followed by the write-back.
+//!
+//! Configuration comes in two equivalent shapes: the protocol-native
+//! [`PathConfig`] (levels/Z/block size/cache) used by the standalone
+//! benchmarks, and a [`RingConfig`] with `S = Y = 1` (`bucket_slots =
+//! Z + S - Y = Z`) used by the pipeline so layout sizing, sharding and
+//! auditing share one configuration type across protocols
+//! ([`PathConfig::to_ring`] / [`PathOram::from_ring`] convert).
+//!
+//! Like the Ring engine, the steady state is allocation-free: plan and
+//! touch buffers pool through [`AccessOutcome`]/[`PathOram::recycle_outcome`],
+//! bucket content vectors are cleared and refilled in place, and the
+//! eviction write phase selects from one candidate snapshot.
 
 use oram_rng::StdRng;
 
+use crate::config::RingConfig;
+use crate::fasthash::DetHashMap;
+use crate::oblivious::{ObliviousProtocol, ProtocolKind};
 use crate::plan::{AccessPlan, OpKind, SlotTouch};
 use crate::position_map::PositionMap;
+use crate::protocol::{AccessOutcome, ProtocolStats, TargetSource};
 use crate::stash::Stash;
 use crate::tree::TreeGeometry;
-use crate::types::{BlockId, BucketId, Level};
+use crate::types::{BlockId, BucketId, Level, PathId};
 
 /// Path ORAM parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +101,25 @@ impl PathConfig {
     pub fn blocks_per_access(&self) -> u64 {
         u64::from(2 * self.z * (self.levels - self.tree_top_cached_levels))
     }
+
+    /// The equivalent [`RingConfig`] encoding: Path ORAM buckets are
+    /// exactly `Z` slots, expressed as `S = Y = 1` (`bucket_slots =
+    /// Z + 1 - 1 = Z`). `A = 1` is nominal (Path ORAM has no separate
+    /// eviction schedule). This is the shape the pipeline's layout,
+    /// sharding and audit layers consume.
+    #[must_use]
+    pub fn to_ring(&self) -> RingConfig {
+        RingConfig {
+            levels: self.levels,
+            z: self.z,
+            s: 1,
+            a: 1,
+            y: 1,
+            block_bytes: self.block_bytes,
+            stash_capacity: 500,
+            tree_top_cached_levels: self.tree_top_cached_levels,
+        }
+    }
 }
 
 impl Default for PathConfig {
@@ -93,32 +128,40 @@ impl Default for PathConfig {
     }
 }
 
-/// Path ORAM statistics.
-#[derive(Debug, Clone, Default)]
-pub struct PathOramStats {
-    /// Accesses served.
-    pub accesses: u64,
-    /// Blocks read from memory.
-    pub blocks_read: u64,
-    /// Blocks written to memory.
-    pub blocks_written: u64,
+/// Reusable buffers for the steady-state access path (the pooling scheme
+/// of `protocol::Scratch`: plan/touch lists leave via [`AccessOutcome`]s
+/// and return via [`PathOram::recycle_outcome`]).
+#[derive(Default)]
+struct Scratch {
+    /// Pool of `plans` vectors backing [`AccessOutcome`]s.
+    plan_lists: Vec<Vec<AccessPlan>>,
+    /// Pool of per-plan touch vectors.
+    touch_lists: Vec<Vec<SlotTouch>>,
+    /// Write phase: `(block, deepest eligible level, taken)` snapshot of
+    /// the stash, sorted ascending by block id.
+    candidates: Vec<(BlockId, u32, bool)>,
 }
 
 /// A Path ORAM controller over a lazily materialized tree.
 pub struct PathOram {
-    cfg: PathConfig,
+    cfg: RingConfig,
     geometry: TreeGeometry,
-    buckets: HashMap<BucketId, Vec<BlockId>>,
+    /// Bucket contents (block ids only). Content vectors materialize with
+    /// capacity `Z` and are cleared and refilled in place, never dropped,
+    /// so a materialized tree stops allocating.
+    buckets: DetHashMap<BucketId, Vec<BlockId>>,
     position_map: PositionMap,
     stash: Stash,
     rng: StdRng,
-    stats: PathOramStats,
+    stats: ProtocolStats,
+    scratch: Scratch,
 }
 
 impl std::fmt::Debug for PathOram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PathOram")
             .field("cfg", &self.cfg)
+            .field("buckets_materialized", &self.buckets.len())
             .field("stash_len", &self.stash.len())
             .finish_non_exhaustive()
     }
@@ -135,28 +178,59 @@ impl PathOram {
         if let Err(e) = cfg.validate() {
             panic!("invalid PathConfig: {e}");
         }
-        let geometry = TreeGeometry::new(cfg.levels);
+        Self::from_ring(cfg.to_ring(), seed)
+    }
+
+    /// Creates a Path ORAM from the pipeline's [`RingConfig`] encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring` fails [`RingConfig::validate`] or if
+    /// `ring.bucket_slots() != ring.z` — Path ORAM buckets are exactly
+    /// `Z` slots; encode that as `S = Y` (canonically `S = Y = 1`).
+    #[must_use]
+    pub fn from_ring(ring: RingConfig, seed: u64) -> Self {
+        if let Err(e) = ring.validate() {
+            panic!("invalid RingConfig: {e}");
+        }
+        assert!(
+            ring.bucket_slots() == ring.z,
+            "Path ORAM buckets are exactly Z slots; pass S = Y (e.g. S = Y = 1), got \
+             Z = {}, S = {}, Y = {}",
+            ring.z,
+            ring.s,
+            ring.y
+        );
+        let geometry = TreeGeometry::new(ring.levels);
         let position_map = PositionMap::new(geometry.leaf_count());
         Self {
-            cfg,
+            cfg: ring,
             geometry,
-            buckets: HashMap::new(),
+            buckets: DetHashMap::default(),
             position_map,
             stash: Stash::new(),
             rng: StdRng::seed_from_u64(seed),
-            stats: PathOramStats::default(),
+            stats: ProtocolStats::default(),
+            scratch: Scratch::default(),
         }
     }
 
-    /// The configuration in force.
+    /// The configuration in force ([`RingConfig`] encoding; `bucket_slots
+    /// == z`).
     #[must_use]
-    pub fn config(&self) -> &PathConfig {
+    pub fn config(&self) -> &RingConfig {
         &self.cfg
+    }
+
+    /// The tree geometry in force.
+    #[must_use]
+    pub fn geometry(&self) -> &TreeGeometry {
+        &self.geometry
     }
 
     /// Accumulated statistics.
     #[must_use]
-    pub fn stats(&self) -> &PathOramStats {
+    pub fn stats(&self) -> &ProtocolStats {
         &self.stats
     }
 
@@ -172,68 +246,139 @@ impl PathOram {
         self.stash.peak()
     }
 
+    /// Tree buckets materialized (touched at least once) so far.
+    #[must_use]
+    pub fn materialized_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
     /// Performs one access: full path read, remap, full path write-back.
-    /// Returns the single transaction the access generates.
+    /// The outcome carries a single [`OpKind::ReadPath`] plan (reads
+    /// followed by write-back touches).
     #[allow(clippy::expect_used)] // invariant, stated in the expect message
-    pub fn access(&mut self, block: BlockId) -> AccessPlan {
+    pub fn access(&mut self, block: BlockId) -> AccessOutcome {
         let path = self.position_map.lookup_or_assign(block, &mut self.rng);
         let cached = self.cfg.tree_top_cached_levels;
-        let mut touches = Vec::new();
+        let z = self.cfg.z;
+        let in_stash = self.stash.contains(block);
+        let mut plans = self.scratch.plan_lists.pop().unwrap_or_default();
+        let mut touches = self.scratch.touch_lists.pop().unwrap_or_default();
         let mut target_index = None;
+        let mut source = TargetSource::New;
 
         // Read phase: move every block on the path into the stash.
         for lvl in 0..self.cfg.levels {
             let id = self.geometry.bucket_at(path, Level(lvl));
-            let content = self.buckets.remove(&id).unwrap_or_default();
+            let content = self
+                .buckets
+                .entry(id)
+                .or_insert_with(|| Vec::with_capacity(z as usize));
             let off_chip = lvl >= cached;
-            for (slot, b) in content.iter().enumerate() {
-                if off_chip && *b == block {
-                    target_index = Some(touches.len() + slot);
+            if let Some(pos) = content.iter().position(|b| *b == block) {
+                if off_chip {
+                    target_index = Some(touches.len() + pos);
+                    source = TargetSource::Tree(Level(lvl));
+                } else {
+                    source = TargetSource::TreeTop(Level(lvl));
                 }
             }
-            if off_chip {
-                for slot in 0..self.cfg.z {
-                    touches.push(SlotTouch::read(id, slot));
-                }
-                self.stats.blocks_read += u64::from(self.cfg.z);
-            }
-            for b in content {
+            for &b in content.iter() {
                 let p = self.position_map.lookup(b).expect("tree blocks are mapped");
                 self.stash.insert(b, p);
             }
+            content.clear();
+            if off_chip {
+                for slot in 0..z {
+                    touches.push(SlotTouch::read(id, slot));
+                }
+            }
+        }
+        if matches!(source, TargetSource::New) && in_stash {
+            source = TargetSource::Stash;
         }
 
         // Remap the target; it re-enters the stash under its new path.
         let new_path = self.position_map.remap(block, &mut self.rng);
         self.stash.insert(block, new_path);
 
+        // One snapshot of write-back candidates, selected ascending by
+        // block id per level — the same selection `drain_for_bucket` makes
+        // when re-walking the remaining stash for each level, without the
+        // per-level rescan or its allocation.
+        let cand = &mut self.scratch.candidates;
+        cand.clear();
+        self.stash
+            .for_each_candidate(&self.geometry, path, |b, depth| {
+                cand.push((b, depth.0, false));
+            });
+        cand.sort_unstable_by_key(|&(b, _, _)| b);
+
         // Write phase: greedy leaf-first placement back onto the path.
         for lvl in (0..self.cfg.levels).rev() {
             let id = self.geometry.bucket_at(path, Level(lvl));
-            let chosen: Vec<BlockId> = self
-                .stash
-                .drain_for_bucket(&self.geometry, path, Level(lvl), self.cfg.z as usize)
-                .into_iter()
-                .map(|(b, _)| b)
-                .collect();
+            let content = self
+                .buckets
+                .entry(id)
+                .or_insert_with(|| Vec::with_capacity(z as usize));
+            let mut placed = 0;
+            for c in self.scratch.candidates.iter_mut() {
+                if placed == z {
+                    break;
+                }
+                if !c.2 && c.1 >= lvl {
+                    c.2 = true;
+                    placed += 1;
+                    self.stash.remove(c.0);
+                    content.push(c.0);
+                }
+            }
             if lvl >= cached {
-                for slot in 0..self.cfg.z {
+                for slot in 0..z {
                     touches.push(SlotTouch::write(id, slot));
                 }
-                self.stats.blocks_written += u64::from(self.cfg.z);
             }
-            self.buckets.insert(id, chosen);
         }
 
-        self.stats.accesses += 1;
-        AccessPlan::new(OpKind::ReadPath, touches, target_index)
+        self.stats.read_paths += 1;
+        match source {
+            TargetSource::Tree(_) => self.stats.targets_from_tree += 1,
+            TargetSource::TreeTop(_) => self.stats.targets_from_treetop += 1,
+            TargetSource::Stash => self.stats.targets_from_stash += 1,
+            TargetSource::New => self.stats.new_blocks += 1,
+        }
+        self.stats.stash_samples.push(self.stash.len());
+        plans.push(AccessPlan::new(OpKind::ReadPath, touches, target_index));
+        AccessOutcome { plans, source }
+    }
+
+    /// Returns an outcome's buffers to the engine's pools.
+    pub fn recycle_outcome(&mut self, outcome: AccessOutcome) {
+        let AccessOutcome { mut plans, .. } = outcome;
+        for plan in plans.drain(..) {
+            let AccessPlan { mut touches, .. } = plan;
+            touches.clear();
+            self.scratch.touch_lists.push(touches);
+        }
+        self.scratch.plan_lists.push(plans);
+    }
+
+    /// Pre-sizes per-access bookkeeping for `n` further accesses.
+    pub fn reserve_accesses(&mut self, n: usize) {
+        self.stats.stash_samples.reserve(n);
+    }
+
+    /// Snapshot of `(block, path)` position-map entries.
+    #[must_use]
+    pub fn position_entries(&self) -> Vec<(BlockId, PathId)> {
+        self.position_map.entries()
     }
 
     /// Verifies the block-location invariant (tests/debugging).
     ///
     /// # Panics
     ///
-    /// Panics if a mapped block is neither in the stash nor on its path.
+    /// Panics if a mapped block is neither in the stash nor on its path,
+    /// or if a bucket holds more than `Z` blocks.
     pub fn check_invariants(&self) {
         for (block, path) in self.position_map.entries() {
             if self.stash.contains(block) {
@@ -246,8 +391,55 @@ impl PathOram {
             assert!(found, "{block} lost: not in stash, not on {path}");
         }
         for (id, v) in &self.buckets {
-            assert!(v.len() <= self.cfg.z as usize, "bucket {id} over capacity");
+            assert!(
+                v.len() <= self.cfg.z as usize,
+                "bucket {id} over capacity: {} > {}",
+                v.len(),
+                self.cfg.z
+            );
         }
+    }
+}
+
+impl ObliviousProtocol for PathOram {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Path
+    }
+
+    fn access(&mut self, block: BlockId) -> AccessOutcome {
+        PathOram::access(self, block)
+    }
+
+    fn recycle_outcome(&mut self, outcome: AccessOutcome) {
+        PathOram::recycle_outcome(self, outcome);
+    }
+
+    fn reserve_accesses(&mut self, n: usize) {
+        PathOram::reserve_accesses(self, n);
+    }
+
+    fn stats(&self) -> &ProtocolStats {
+        PathOram::stats(self)
+    }
+
+    fn stash_len(&self) -> usize {
+        PathOram::stash_len(self)
+    }
+
+    fn stash_peak(&self) -> usize {
+        PathOram::stash_peak(self)
+    }
+
+    fn materialized_buckets(&self) -> usize {
+        PathOram::materialized_buckets(self)
+    }
+
+    fn check_invariants(&self) {
+        PathOram::check_invariants(self);
+    }
+
+    fn position_entries(&self) -> Vec<(BlockId, PathId)> {
+        PathOram::position_entries(self)
     }
 }
 
@@ -259,7 +451,10 @@ mod tests {
     fn access_moves_full_path() {
         let cfg = PathConfig::test_small();
         let mut o = PathOram::new(cfg.clone(), 1);
-        let plan = o.access(BlockId(3));
+        let out = o.access(BlockId(3));
+        assert_eq!(out.plans.len(), 1);
+        let plan = &out.plans[0];
+        assert_eq!(plan.kind, OpKind::ReadPath);
         assert_eq!(plan.reads(), (cfg.z * cfg.levels) as usize);
         assert_eq!(plan.writes(), (cfg.z * cfg.levels) as usize);
     }
@@ -268,12 +463,15 @@ mod tests {
     fn blocks_survive_many_accesses() {
         let mut o = PathOram::new(PathConfig::test_small(), 2);
         for i in 0..300 {
-            let _ = o.access(BlockId(i % 23));
+            let out = o.access(BlockId(i % 23));
+            o.recycle_outcome(out);
         }
         o.check_invariants();
         // Every one of the 23 blocks must still be reachable.
         for i in 0..23 {
-            let _ = o.access(BlockId(i));
+            let out = o.access(BlockId(i));
+            assert!(!matches!(out.source, TargetSource::New), "block {i} lost");
+            o.recycle_outcome(out);
         }
         o.check_invariants();
     }
@@ -282,7 +480,8 @@ mod tests {
     fn stash_stays_bounded_under_uniform_load() {
         let mut o = PathOram::new(PathConfig::test_small(), 3);
         for i in 0..2000 {
-            let _ = o.access(BlockId(i % 100));
+            let out = o.access(BlockId(i % 100));
+            o.recycle_outcome(out);
         }
         // Classic Path ORAM result: stash stays tiny w.h.p. for Z = 4.
         assert!(
@@ -297,8 +496,8 @@ mod tests {
         let mut cfg = PathConfig::test_small();
         cfg.tree_top_cached_levels = 3;
         let mut o = PathOram::new(cfg.clone(), 4);
-        let plan = o.access(BlockId(1));
-        assert_eq!(plan.reads(), (cfg.z * (cfg.levels - 3)) as usize);
+        let out = o.access(BlockId(1));
+        assert_eq!(out.plans[0].reads(), (cfg.z * (cfg.levels - 3)) as usize);
     }
 
     #[test]
@@ -308,13 +507,36 @@ mod tests {
     }
 
     #[test]
+    fn ring_encoding_round_trips() {
+        let cfg = PathConfig::hpca_default();
+        let ring = cfg.to_ring();
+        assert_eq!(ring.bucket_slots(), ring.z);
+        assert!(ring.validate().is_ok());
+        let o = PathOram::from_ring(ring, 1);
+        assert_eq!(ObliviousProtocol::kind(&o), ProtocolKind::Path);
+    }
+
+    #[test]
     fn stats_accumulate() {
         let mut o = PathOram::new(PathConfig::test_small(), 5);
-        let _ = o.access(BlockId(1));
-        let _ = o.access(BlockId(2));
-        assert_eq!(o.stats().accesses, 2);
-        assert_eq!(o.stats().blocks_read, 2 * 4 * 8);
-        assert_eq!(o.stats().blocks_written, 2 * 4 * 8);
+        let a = o.access(BlockId(1));
+        assert_eq!(a.source, TargetSource::New);
+        o.recycle_outcome(a);
+        let b = o.access(BlockId(1));
+        assert!(!matches!(b.source, TargetSource::New));
+        o.recycle_outcome(b);
+        assert_eq!(o.stats().read_paths, 2);
+        assert_eq!(o.stats().new_blocks, 1);
+        assert_eq!(o.stats().stash_samples.len(), 2);
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused() {
+        let mut o = PathOram::new(PathConfig::test_small(), 6);
+        let out = o.access(BlockId(1));
+        o.recycle_outcome(out);
+        assert_eq!(o.scratch.plan_lists.len(), 1);
+        assert_eq!(o.scratch.touch_lists.len(), 1);
     }
 
     #[test]

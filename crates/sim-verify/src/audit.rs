@@ -1,4 +1,12 @@
-//! The Ring ORAM invariant auditor.
+//! Protocol invariant auditors.
+//!
+//! One auditor per protocol family, unified behind [`ProtocolAuditor`]
+//! (selected by [`ProtocolKind`]): [`OramAuditor`] for the Ring engines
+//! (Ring+CB and plain Ring share every Ring invariant — plain Ring is the
+//! `Y = 0` configuration), [`PathAuditor`] for Path ORAM and
+//! [`CircuitAuditor`] for Circuit ORAM. Each replays the plan stream the
+//! memory hierarchy consumes against its protocol's structural invariants,
+//! independently of the engine's internal bookkeeping.
 //!
 //! [`OramAuditor`] replays the protocol's [`AccessPlan`] stream — the same
 //! artifact the memory hierarchy consumes — against the paper's structural
@@ -27,8 +35,9 @@
 
 use std::collections::{HashMap, HashSet};
 
+use ring_oram::circuit::EVICTIONS_PER_ACCESS;
 use ring_oram::types::BucketId;
-use ring_oram::{AccessPlan, FaultEvent, FaultEventKind, OpKind, RingConfig};
+use ring_oram::{AccessPlan, FaultEvent, FaultEventKind, OpKind, ProtocolKind, RingConfig};
 
 use crate::violation::{Rule, Violation};
 
@@ -380,6 +389,371 @@ impl OramAuditor {
     }
 }
 
+/// Shape-checks one plan whose touch list must be `expect_reads` reads
+/// followed by `expect_writes` writes, every slot inside `slots`. Shared by
+/// the Path and Circuit auditors (their buckets have no dummy budget, so
+/// epoch/reuse tracking does not apply — every access rewrites the full
+/// path it read).
+fn check_exact_shape(
+    plan: &AccessPlan,
+    slots: u32,
+    expect_reads: u64,
+    expect_writes: u64,
+    access: u64,
+    violations: &mut Vec<Violation>,
+) {
+    for touch in &plan.touches {
+        if touch.slot >= slots {
+            violations.push(Violation::new(
+                access,
+                Rule::SlotRange,
+                format!(
+                    "{} touch of bucket {} addressed slot {} (bucket has {slots})",
+                    plan.kind.label(),
+                    touch.bucket.0,
+                    touch.slot
+                ),
+            ));
+        }
+    }
+    let reads = plan.reads() as u64;
+    let writes = plan.writes() as u64;
+    if reads != expect_reads || writes != expect_writes {
+        violations.push(Violation::new(
+            access,
+            Rule::PlanShape,
+            format!(
+                "{} with {reads} reads / {writes} writes (expected {expect_reads} / \
+                 {expect_writes})",
+                plan.kind.label()
+            ),
+        ));
+    }
+    // Reads must precede writes: the memory hierarchy fetches the path
+    // before the engine can rewrite it.
+    if let Some(first_write) = plan.touches.iter().position(|t| t.write) {
+        if plan.touches[first_write..].iter().any(|t| !t.write) {
+            violations.push(Violation::new(
+                access,
+                Rule::PlanShape,
+                format!("{} interleaves reads after writes", plan.kind.label()),
+            ));
+        }
+    }
+}
+
+/// Replays a Path ORAM plan stream against the protocol's invariants.
+///
+/// Path ORAM's bus-observable contract is far simpler than Ring's — there
+/// are no dummy budgets or reshuffle epochs to track. Every access is
+/// exactly one [`OpKind::ReadPath`] plan that reads all `Z` slots of every
+/// off-chip bucket on the path and writes all of them back
+/// ([`Rule::PlanShape`] otherwise), with every slot in range
+/// ([`Rule::SlotRange`]) and the stash within its configured bound
+/// ([`Rule::StashBound`]).
+#[derive(Debug, Clone)]
+pub struct PathAuditor {
+    config: RingConfig,
+    accesses: u64,
+    violations: Vec<Violation>,
+}
+
+impl PathAuditor {
+    /// Creates an auditor for a Path ORAM instance with this configuration
+    /// (the `bucket_slots == z` [`RingConfig`] encoding).
+    #[must_use]
+    pub fn new(config: RingConfig) -> Self {
+        Self {
+            config,
+            accesses: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Violations found so far.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Takes the accumulated violations.
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Whether no violation has been found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Protocol accesses audited so far.
+    #[must_use]
+    pub fn accesses_checked(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Audits the plan batch of one access: exactly one `ReadPath` plan
+    /// reading and rewriting the full off-chip path.
+    pub fn observe_access(&mut self, plans: &[AccessPlan]) {
+        self.accesses += 1;
+        if plans.len() != 1 || plans[0].kind != OpKind::ReadPath {
+            self.violations.push(Violation::new(
+                self.accesses,
+                Rule::PlanShape,
+                format!(
+                    "Path ORAM access emitted {} plan(s) [{}] (expected 1 read-path)",
+                    plans.len(),
+                    plans
+                        .iter()
+                        .map(|p| p.kind.label())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            ));
+            return;
+        }
+        let off = u64::from(
+            self.config
+                .levels
+                .saturating_sub(self.config.tree_top_cached_levels),
+        );
+        let per_level = u64::from(self.config.z);
+        check_exact_shape(
+            &plans[0],
+            self.config.bucket_slots(),
+            off * per_level,
+            off * per_level,
+            self.accesses,
+            &mut self.violations,
+        );
+    }
+
+    /// Records the stash occupancy sampled after an access completed.
+    pub fn observe_stash(&mut self, stash_len: usize) {
+        if stash_len > self.config.stash_capacity {
+            self.violations.push(Violation::new(
+                self.accesses,
+                Rule::StashBound,
+                format!(
+                    "stash held {stash_len} blocks, bound {}",
+                    self.config.stash_capacity
+                ),
+            ));
+        }
+    }
+}
+
+/// Replays a Circuit ORAM plan stream against the protocol's invariants.
+///
+/// Each access must be exactly one read-only [`OpKind::ReadPath`] plan
+/// (all `Z` slots of every off-chip bucket on the path, zero writes)
+/// followed by [`EVICTIONS_PER_ACCESS`] [`OpKind::Eviction`] plans that
+/// each read and fully rewrite their reverse-lexicographic path
+/// ([`Rule::PlanShape`] otherwise); slots stay in range
+/// ([`Rule::SlotRange`]) and the stash within bound ([`Rule::StashBound`]).
+#[derive(Debug, Clone)]
+pub struct CircuitAuditor {
+    config: RingConfig,
+    accesses: u64,
+    violations: Vec<Violation>,
+}
+
+impl CircuitAuditor {
+    /// Creates an auditor for a Circuit ORAM instance with this
+    /// configuration (the `bucket_slots == z` [`RingConfig`] encoding).
+    #[must_use]
+    pub fn new(config: RingConfig) -> Self {
+        Self {
+            config,
+            accesses: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Violations found so far.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Takes the accumulated violations.
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Whether no violation has been found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Protocol accesses audited so far.
+    #[must_use]
+    pub fn accesses_checked(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Audits the plan batch of one access: one read-only `ReadPath` plus
+    /// exactly [`EVICTIONS_PER_ACCESS`] full-path `Eviction` plans.
+    pub fn observe_access(&mut self, plans: &[AccessPlan]) {
+        self.accesses += 1;
+        let well_formed = plans.len() == 1 + EVICTIONS_PER_ACCESS
+            && plans[0].kind == OpKind::ReadPath
+            && plans[1..].iter().all(|p| p.kind == OpKind::Eviction);
+        if !well_formed {
+            self.violations.push(Violation::new(
+                self.accesses,
+                Rule::PlanShape,
+                format!(
+                    "Circuit ORAM access emitted {} plan(s) [{}] (expected 1 read-path + \
+                     {EVICTIONS_PER_ACCESS} evictions)",
+                    plans.len(),
+                    plans
+                        .iter()
+                        .map(|p| p.kind.label())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            ));
+            return;
+        }
+        let off = u64::from(
+            self.config
+                .levels
+                .saturating_sub(self.config.tree_top_cached_levels),
+        );
+        let per_level = u64::from(self.config.z);
+        let slots = self.config.bucket_slots();
+        // The read path transfers the whole path but writes nothing back —
+        // Circuit ORAM's low-online-bandwidth half.
+        check_exact_shape(
+            &plans[0],
+            slots,
+            off * per_level,
+            0,
+            self.accesses,
+            &mut self.violations,
+        );
+        for ev in &plans[1..] {
+            check_exact_shape(
+                ev,
+                slots,
+                off * per_level,
+                off * per_level,
+                self.accesses,
+                &mut self.violations,
+            );
+        }
+    }
+
+    /// Records the stash occupancy sampled after an access completed.
+    pub fn observe_stash(&mut self, stash_len: usize) {
+        if stash_len > self.config.stash_capacity {
+            self.violations.push(Violation::new(
+                self.accesses,
+                Rule::StashBound,
+                format!(
+                    "stash held {stash_len} blocks, bound {}",
+                    self.config.stash_capacity
+                ),
+            ));
+        }
+    }
+}
+
+/// The protocol-aware auditor the pipeline attaches: one of the concrete
+/// auditors, selected by [`ProtocolKind`].
+///
+/// Ring+CB and plain Ring share the [`OramAuditor`] — plain Ring is the
+/// `Y = 0` configuration and obeys every Ring invariant (the config passed
+/// in must be the *effective* one, with `y` already forced to 0, so the
+/// `Z + S - Y` slot range is right).
+#[derive(Debug, Clone)]
+pub enum ProtocolAuditor {
+    /// Ring invariants (Ring+CB and plain Ring).
+    Ring(OramAuditor),
+    /// Path ORAM invariants.
+    Path(PathAuditor),
+    /// Circuit ORAM invariants.
+    Circuit(CircuitAuditor),
+}
+
+impl ProtocolAuditor {
+    /// Creates the auditor for `kind` over the protocol's effective
+    /// configuration.
+    #[must_use]
+    pub fn new(kind: ProtocolKind, config: RingConfig) -> Self {
+        match kind {
+            ProtocolKind::RingCb | ProtocolKind::Ring => Self::Ring(OramAuditor::new(config)),
+            ProtocolKind::Path => Self::Path(PathAuditor::new(config)),
+            ProtocolKind::Circuit => Self::Circuit(CircuitAuditor::new(config)),
+        }
+    }
+
+    /// Audits one access's fault-event log. Only the Ring engines have a
+    /// fault layer; for Path/Circuit the log is always empty and this is a
+    /// no-op (config validation rejects fault injection for them).
+    pub fn observe_faults(&mut self, events: &[FaultEvent]) {
+        if let Self::Ring(a) = self {
+            a.observe_faults(events);
+        }
+    }
+
+    /// Audits the full plan batch of one protocol access, in plan order.
+    pub fn observe_access(&mut self, plans: &[AccessPlan]) {
+        match self {
+            Self::Ring(a) => a.observe_access(plans),
+            Self::Path(a) => a.observe_access(plans),
+            Self::Circuit(a) => a.observe_access(plans),
+        }
+    }
+
+    /// Records the stash occupancy sampled after an access completed.
+    pub fn observe_stash(&mut self, stash_len: usize) {
+        match self {
+            Self::Ring(a) => a.observe_stash(stash_len),
+            Self::Path(a) => a.observe_stash(stash_len),
+            Self::Circuit(a) => a.observe_stash(stash_len),
+        }
+    }
+
+    /// Violations found so far.
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        match self {
+            Self::Ring(a) => a.violations(),
+            Self::Path(a) => a.violations(),
+            Self::Circuit(a) => a.violations(),
+        }
+    }
+
+    /// Takes the accumulated violations.
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        match self {
+            Self::Ring(a) => a.take_violations(),
+            Self::Path(a) => a.take_violations(),
+            Self::Circuit(a) => a.take_violations(),
+        }
+    }
+
+    /// Whether no violation has been found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations().is_empty()
+    }
+
+    /// Protocol accesses audited so far.
+    #[must_use]
+    pub fn accesses_checked(&self) -> u64 {
+        match self {
+            Self::Ring(a) => a.accesses_checked(),
+            Self::Path(a) => a.accesses_checked(),
+            Self::Circuit(a) => a.accesses_checked(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -640,5 +1014,160 @@ mod tests {
             .violations()
             .iter()
             .any(|v| v.rule == Rule::PlanShape));
+    }
+
+    fn z_slot_config() -> RingConfig {
+        ring_oram::PathConfig::test_small().to_ring()
+    }
+
+    /// The Path auditor must accept everything the real engine emits.
+    #[test]
+    fn real_path_stream_is_clean() {
+        use ring_oram::PathOram;
+        let config = z_slot_config();
+        let mut oram = PathOram::from_ring(config.clone(), 7);
+        let mut auditor = PathAuditor::new(config);
+        for i in 0..600u64 {
+            let outcome = oram.access(ring_oram::BlockId(i % 40));
+            auditor.observe_access(&outcome.plans);
+            auditor.observe_stash(oram.stash_len());
+            oram.recycle_outcome(outcome);
+        }
+        assert!(auditor.is_clean(), "{:?}", auditor.violations().first());
+        assert_eq!(auditor.accesses_checked(), 600);
+    }
+
+    /// The Circuit auditor must accept everything the real engine emits.
+    #[test]
+    fn real_circuit_stream_is_clean() {
+        use ring_oram::CircuitOram;
+        let config = z_slot_config();
+        let mut oram = CircuitOram::new(config.clone(), 7);
+        let mut auditor = CircuitAuditor::new(config);
+        for i in 0..600u64 {
+            let outcome = oram.access(ring_oram::BlockId(i % 40));
+            auditor.observe_access(&outcome.plans);
+            auditor.observe_stash(oram.stash_len());
+            oram.recycle_outcome(outcome);
+        }
+        assert!(auditor.is_clean(), "{:?}", auditor.violations().first());
+        assert_eq!(auditor.accesses_checked(), 600);
+    }
+
+    #[test]
+    fn path_auditor_rejects_wrong_plan_count_and_shape() {
+        let config = z_slot_config();
+        let mut auditor = PathAuditor::new(config.clone());
+        // Two plans where one is expected.
+        let mk = || {
+            AccessPlan::new(
+                OpKind::ReadPath,
+                vec![SlotTouch::read(BucketId(0), 0)],
+                None,
+            )
+        };
+        auditor.observe_access(&[mk(), mk()]);
+        assert!(auditor
+            .take_violations()
+            .iter()
+            .any(|v| v.rule == Rule::PlanShape));
+        // One plan, but a Ring-shaped one-read-per-level path (no writes).
+        let touches = (0..config.levels)
+            .map(|l| SlotTouch::read(BucketId(u64::from(l)), 0))
+            .collect();
+        auditor.observe_access(&[AccessPlan::new(OpKind::ReadPath, touches, None)]);
+        assert!(auditor
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::PlanShape));
+    }
+
+    #[test]
+    fn path_auditor_rejects_out_of_range_slot_and_stash_overflow() {
+        let config = z_slot_config();
+        let mut auditor = PathAuditor::new(config.clone());
+        let mut oram = ring_oram::PathOram::from_ring(config.clone(), 3);
+        let mut outcome = oram.access(ring_oram::BlockId(1));
+        outcome.plans[0].touches[0].slot = config.bucket_slots(); // one past the end
+        auditor.observe_access(&outcome.plans);
+        assert!(auditor
+            .take_violations()
+            .iter()
+            .any(|v| v.rule == Rule::SlotRange));
+        auditor.observe_stash(config.stash_capacity + 1);
+        assert!(auditor
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::StashBound));
+    }
+
+    #[test]
+    fn circuit_auditor_rejects_missing_eviction_and_writing_read_path() {
+        let config = z_slot_config();
+        let mut auditor = CircuitAuditor::new(config.clone());
+        let mut oram = ring_oram::CircuitOram::new(config.clone(), 3);
+        // Dropping an eviction plan breaks the deterministic cadence.
+        let outcome = oram.access(ring_oram::BlockId(1));
+        auditor.observe_access(&outcome.plans[..2]);
+        assert!(auditor
+            .take_violations()
+            .iter()
+            .any(|v| v.rule == Rule::PlanShape));
+        // A read path that writes back is Path ORAM, not Circuit.
+        let mut outcome2 = oram.access(ring_oram::BlockId(2));
+        let touch = outcome2.plans[0].touches[0];
+        outcome2.plans[0]
+            .touches
+            .push(SlotTouch::write(touch.bucket, touch.slot));
+        auditor.observe_access(&outcome2.plans);
+        assert!(auditor
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::PlanShape));
+    }
+
+    #[test]
+    fn reads_after_writes_are_rejected() {
+        let config = z_slot_config();
+        let mut auditor = PathAuditor::new(config.clone());
+        let off = config.levels - config.tree_top_cached_levels;
+        // Right counts, wrong order: interleave write-then-read per level.
+        let mut touches = Vec::new();
+        for l in 0..off {
+            for s in 0..config.z {
+                touches.push(SlotTouch::write(BucketId(u64::from(l)), s));
+                touches.push(SlotTouch::read(BucketId(u64::from(l)), s));
+            }
+        }
+        auditor.observe_access(&[AccessPlan::new(OpKind::ReadPath, touches, None)]);
+        assert!(auditor
+            .violations()
+            .iter()
+            .any(|v| v.rule == Rule::PlanShape));
+    }
+
+    #[test]
+    fn protocol_auditor_dispatches_by_kind() {
+        let ring = ProtocolAuditor::new(ProtocolKind::RingCb, small_cb());
+        assert!(matches!(ring, ProtocolAuditor::Ring(_)));
+        let plain = ProtocolAuditor::new(ProtocolKind::Ring, RingConfig::test_small());
+        assert!(matches!(plain, ProtocolAuditor::Ring(_)));
+        let mut path = ProtocolAuditor::new(ProtocolKind::Path, z_slot_config());
+        assert!(matches!(path, ProtocolAuditor::Path(_)));
+        let circuit = ProtocolAuditor::new(ProtocolKind::Circuit, z_slot_config());
+        assert!(matches!(circuit, ProtocolAuditor::Circuit(_)));
+
+        // The dispatching surface behaves like the inner auditor.
+        let mut oram = ring_oram::PathOram::from_ring(z_slot_config(), 9);
+        for i in 0..50u64 {
+            let outcome = oram.access(ring_oram::BlockId(i % 10));
+            path.observe_faults(&[]);
+            path.observe_access(&outcome.plans);
+            path.observe_stash(oram.stash_len());
+            oram.recycle_outcome(outcome);
+        }
+        assert!(path.is_clean(), "{:?}", path.violations().first());
+        assert_eq!(path.accesses_checked(), 50);
+        assert!(path.take_violations().is_empty());
     }
 }

@@ -10,12 +10,15 @@
 //!   tRFC/tREFI, command/data bus arbitration) applied to the controller's
 //!   command trace after the fact. It shares no state with `dram-sim`'s
 //!   bank/rank/channel machines; agreement between the two is the evidence.
-//! * [`OramAuditor`] — replays the protocol's [`ring_oram::AccessPlan`]
-//!   stream against the Ring ORAM invariants: stash occupancy stays below
-//!   its bound, slot indices stay inside the Compact Bucket's `Z + S - Y`
-//!   physical slots, no bucket slot is read twice between reshuffles, no
-//!   bucket is touched more than `S` times per epoch, and evictions fire at
-//!   exactly one per `A` read paths.
+//! * [`ProtocolAuditor`] — the protocol-aware invariant auditor, one
+//!   concrete auditor per protocol family: [`OramAuditor`] replays the
+//!   [`ring_oram::AccessPlan`] stream against the Ring ORAM invariants
+//!   (stash occupancy stays below its bound, slot indices stay inside the
+//!   Compact Bucket's `Z + S - Y` physical slots, no bucket slot is read
+//!   twice between reshuffles, no bucket is touched more than `S` times
+//!   per epoch, evictions fire at exactly one per `A` read paths);
+//!   [`PathAuditor`] and [`CircuitAuditor`] pin their protocols'
+//!   full-path plan shapes and stash bounds.
 //! * [`oracle`] — differential-run primitives: extracting the data-command
 //!   (RD/WR) sequence from a trace, checking the transaction-order security
 //!   contract, and locating the first divergence between two runs.
@@ -47,7 +50,7 @@ pub mod shard;
 pub mod stream;
 pub mod violation;
 
-pub use audit::OramAuditor;
+pub use audit::{CircuitAuditor, OramAuditor, PathAuditor, ProtocolAuditor};
 pub use oracle::{
     check_txn_order, data_commands, first_divergence, grouped_by_txn, DataCmd, TxnOrderChecker,
 };

@@ -4,13 +4,22 @@ use dram_sim::geometry::DramGeometry;
 use dram_sim::timing::TimingParams;
 use dram_sim::DramFaultConfig;
 use mem_sched::{PagePolicy, ResponseFaultConfig, SchedulerPolicy};
-use ring_oram::{ResilienceConfig, RingConfig};
+use ring_oram::{ProtocolKind, ResilienceConfig, RingConfig};
 
 /// Why a [`SystemConfig`] was rejected (see `Simulation::try_new`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
     /// A configuration constraint was violated.
     Invalid(String),
+    /// The configuration requests a feature the selected protocol cannot
+    /// provide (e.g. fault injection on an engine without an
+    /// integrity-checked retry layer).
+    Unsupported {
+        /// Label of the selected protocol ([`ProtocolKind::label`]).
+        protocol: &'static str,
+        /// The unsupported feature, human-readable.
+        feature: String,
+    },
     /// The number of traces handed to the simulation does not match
     /// `cfg.cores`.
     TraceCount {
@@ -25,6 +34,9 @@ impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Invalid(msg) => write!(f, "invalid SystemConfig: {msg}"),
+            Self::Unsupported { protocol, feature } => {
+                write!(f, "the {protocol} protocol does not support {feature}")
+            }
             Self::TraceCount { expected, got } => {
                 write!(f, "need exactly one trace per core ({expected}), got {got}")
             }
@@ -33,6 +45,18 @@ impl std::fmt::Display for ConfigError {
 }
 
 impl std::error::Error for ConfigError {}
+
+impl From<String> for ConfigError {
+    fn from(msg: String) -> Self {
+        Self::Invalid(msg)
+    }
+}
+
+impl From<&str> for ConfigError {
+    fn from(msg: &str) -> Self {
+        Self::Invalid(msg.to_string())
+    }
+}
 
 /// The four design points the paper's evaluation compares (Fig. 10-12).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -127,6 +151,13 @@ pub enum BackendKind {
 /// and ORAM (Table III).
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
+    /// Which ORAM protocol the pipeline drives (the cross-protocol arena
+    /// selector). [`ProtocolKind::RingCb`] — the paper's design point — is
+    /// the default in every preset; the other kinds reinterpret
+    /// [`Self::ring`] through [`Self::effective_ring`]: plain `Ring`
+    /// forces `y = 0` (no CB substitution), `Path`/`Circuit` force
+    /// `S = Y = 1` (buckets of exactly `Z` slots, no dummy budget).
+    pub protocol: ProtocolKind,
     /// Ring ORAM parameters. `ring.y` is forced to 0 by [`Self::for_scheme`]
     /// when the scheme disables CB.
     pub ring: RingConfig,
@@ -292,6 +323,7 @@ impl SystemConfig {
     pub fn hpca_default(scheme: Scheme) -> Self {
         Self::for_scheme(
             Self {
+                protocol: ProtocolKind::RingCb,
                 ring: RingConfig::hpca_default(),
                 geometry: DramGeometry::hpca_default(),
                 timing: TimingParams::ddr3_1600(),
@@ -330,6 +362,7 @@ impl SystemConfig {
         };
         Self::for_scheme(
             Self {
+                protocol: ProtocolKind::RingCb,
                 ring,
                 geometry: DramGeometry::test_medium(),
                 timing: TimingParams::test_fast(),
@@ -384,14 +417,41 @@ impl SystemConfig {
         self.geometry.row_bytes() * u64::from(self.geometry.channels)
     }
 
+    /// The [`RingConfig`] the selected protocol actually runs with.
+    ///
+    /// [`ProtocolKind::RingCb`] uses [`Self::ring`] verbatim; plain `Ring`
+    /// is the same geometry with CB substitution disabled (`y = 0`);
+    /// `Path`/`Circuit` buckets are exactly `Z` slots, encoded as
+    /// `S = Y = 1` (`bucket_slots = Z + S - Y = Z`) so the layout,
+    /// sharding and audit layers size correctly. Every consumer of the
+    /// ring parameters downstream of the protocol selector (planner,
+    /// layout, conformance, sharded engine) must use this, not
+    /// [`Self::ring`].
+    #[must_use]
+    pub fn effective_ring(&self) -> RingConfig {
+        let mut ring = self.ring.clone();
+        match self.protocol {
+            ProtocolKind::RingCb => {}
+            ProtocolKind::Ring => ring.y = 0,
+            ProtocolKind::Path | ProtocolKind::Circuit => {
+                ring.s = 1;
+                ring.y = 1;
+            }
+        }
+        ring
+    }
+
     /// Validates the composite configuration.
     ///
     /// # Errors
     ///
     /// Returns the first violated constraint across all components, plus
-    /// cross-component checks (the ORAM tree must fit the DRAM module).
-    pub fn validate(&self) -> Result<(), String> {
-        self.ring.validate()?;
+    /// cross-component checks (the ORAM tree must fit the DRAM module) and
+    /// protocol-capability checks ([`ConfigError::Unsupported`] names the
+    /// protocol that cannot provide a requested feature).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let ring = self.effective_ring();
+        ring.validate()?;
         self.geometry.validate()?;
         self.timing.validate()?;
         if self.cores == 0 {
@@ -415,38 +475,55 @@ impl SystemConfig {
         // Sharding: the map constructor enforces the power-of-two count and
         // the per-shard tree derivation enforces the depth floor.
         let map = ring_oram::ShardMap::new(self.shards)?;
-        map.shard_ring_config(&self.ring)?;
+        map.shard_ring_config(&ring)?;
+        // Protocol-capability seams, checked before the per-layer fault
+        // validators so the error names the responsible protocol.
+        let non_ring = matches!(self.protocol, ProtocolKind::Path | ProtocolKind::Circuit);
+        if non_ring && self.recursion.is_some() {
+            return Err(ConfigError::Unsupported {
+                protocol: self.protocol.label(),
+                feature: "a recursive position map (the recursion stack is built from Ring \
+                          engines)"
+                    .into(),
+            });
+        }
         if let Some(f) = &self.faults {
+            if non_ring {
+                return Err(ConfigError::Unsupported {
+                    protocol: self.protocol.label(),
+                    feature: "fault injection (no integrity-checked retry layer)".into(),
+                });
+            }
             if self.backend == BackendKind::FastFunctional {
-                return Err(
+                return Err(ConfigError::Invalid(
                     "fault injection requires the cycle-accurate backend (the functional \
                      backend has no DRAM or controller timing state to perturb)"
                         .into(),
-                );
+                ));
             }
             if self.recursion.is_some() {
-                return Err(
-                    "fault injection is not supported with a recursive position map".into(),
-                );
+                return Err(ConfigError::Unsupported {
+                    protocol: self.protocol.label(),
+                    feature: "fault injection with a recursive position map".into(),
+                });
             }
-            f.resilience.validate(self.ring.stash_capacity)?;
+            f.resilience.validate(ring.stash_capacity)?;
             f.dram.validate()?;
             f.memctrl.validate()?;
         }
         use ring_oram::layout::TreeLayout;
         let total = match self.layout {
             LayoutKind::Subtree => {
-                ring_oram::layout::SubtreeLayout::new(&self.ring, self.row_set_bytes())
-                    .total_bytes()
+                ring_oram::layout::SubtreeLayout::new(&ring, self.row_set_bytes()).total_bytes()
             }
-            LayoutKind::Naive => ring_oram::layout::NaiveLayout::new(&self.ring).total_bytes(),
+            LayoutKind::Naive => ring_oram::layout::NaiveLayout::new(&ring).total_bytes(),
         };
         if total > self.geometry.capacity_bytes() {
-            return Err(format!(
+            return Err(ConfigError::Invalid(format!(
                 "ORAM tree ({} B laid out) exceeds DRAM capacity ({} B)",
                 total,
                 self.geometry.capacity_bytes()
-            ));
+            )));
         }
         Ok(())
     }
@@ -542,5 +619,105 @@ mod tests {
         let mut cfg = SystemConfig::test_small(Scheme::Pb);
         cfg.max_inflight_txns = 1;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn effective_ring_per_protocol() {
+        let cfg = SystemConfig::test_small(Scheme::All);
+        assert_eq!(cfg.protocol, ProtocolKind::RingCb);
+        // RingCb: verbatim — the bit-invisibility anchor.
+        assert_eq!(cfg.effective_ring(), cfg.ring);
+
+        let mut plain = cfg.clone();
+        plain.protocol = ProtocolKind::Ring;
+        let r = plain.effective_ring();
+        assert_eq!(r.y, 0);
+        assert_eq!(
+            (r.levels, r.z, r.s),
+            (cfg.ring.levels, cfg.ring.z, cfg.ring.s)
+        );
+
+        for kind in [ProtocolKind::Path, ProtocolKind::Circuit] {
+            let mut c = cfg.clone();
+            c.protocol = kind;
+            let r = c.effective_ring();
+            assert_eq!((r.s, r.y), (1, 1));
+            assert_eq!(r.bucket_slots(), r.z);
+            c.validate().unwrap();
+        }
+    }
+
+    fn recursion_settings() -> RecursionSettings {
+        RecursionSettings {
+            tracked_blocks: 1 << 10,
+            positions_per_block: 16,
+            max_onchip_entries: 256,
+        }
+    }
+
+    /// Satellite seam: every protocol × {faults, recursion, both}
+    /// combination either validates or returns a structured
+    /// [`ConfigError::Unsupported`] naming the protocol.
+    #[test]
+    fn fault_and_recursion_combinations_per_protocol() {
+        for kind in ProtocolKind::ALL {
+            let base = {
+                let mut c = SystemConfig::test_small(Scheme::All);
+                c.protocol = kind;
+                c
+            };
+            let ring_based = matches!(kind, ProtocolKind::RingCb | ProtocolKind::Ring);
+
+            // Faults alone (cycle-accurate backend).
+            let mut faulty = base.clone();
+            faulty.faults = Some(FaultConfig::smoke(1, 0.01, base.ring.stash_capacity));
+            if ring_based {
+                faulty.validate().unwrap();
+            } else {
+                match faulty.validate() {
+                    Err(ConfigError::Unsupported { protocol, feature }) => {
+                        assert_eq!(protocol, kind.label());
+                        assert!(feature.contains("fault injection"), "{feature}");
+                    }
+                    other => panic!("expected Unsupported, got {other:?}"),
+                }
+            }
+
+            // Recursion alone: supported by the Ring engines only (the
+            // recursion stack is built from Ring instances).
+            let mut recursive = base.clone();
+            recursive.recursion = Some(recursion_settings());
+            if ring_based {
+                recursive.validate().unwrap();
+            } else {
+                match recursive.validate() {
+                    Err(ConfigError::Unsupported { protocol, feature }) => {
+                        assert_eq!(protocol, kind.label());
+                        assert!(feature.contains("recursive"), "{feature}");
+                    }
+                    other => panic!("expected Unsupported, got {other:?}"),
+                }
+            }
+
+            // Both: structured rejection for every protocol — the Ring
+            // engines support each feature separately but not combined.
+            let mut both = base.clone();
+            both.faults = Some(FaultConfig::smoke(1, 0.01, base.ring.stash_capacity));
+            both.recursion = Some(recursion_settings());
+            match both.validate() {
+                Err(ConfigError::Unsupported { protocol, feature }) => {
+                    assert_eq!(protocol, kind.label());
+                    assert!(
+                        both.validate()
+                            .unwrap_err()
+                            .to_string()
+                            .contains("recursive")
+                            || !ring_based,
+                        "{feature}"
+                    );
+                }
+                other => panic!("expected Unsupported, got {other:?}"),
+            }
+        }
     }
 }

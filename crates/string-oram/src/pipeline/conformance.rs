@@ -6,8 +6,10 @@
 //!   [`sim_verify::StreamConformance`] (transaction-order contract on every
 //!   backend, JEDEC shadow timing only when a cycle-accurate DRAM model is
 //!   behind the trace);
-//! * the **plan stream** from the planner, replayed against the Ring ORAM
-//!   structural invariants by [`sim_verify::OramAuditor`].
+//! * the **plan stream** from the planner, replayed against the selected
+//!   protocol's structural invariants by [`sim_verify::ProtocolAuditor`]
+//!   (Ring invariants for Ring+CB / plain Ring, full-path plan shapes and
+//!   stash bounds for Path / Circuit).
 //!
 //! Findings accumulate into one violation log; with
 //! [`crate::config::VerifyConfig::fail_fast`] the first finding panics
@@ -16,8 +18,8 @@
 use dram_sim::geometry::DramGeometry;
 use dram_sim::timing::TimingParams;
 use mem_sched::CommandEvent;
-use ring_oram::{AccessPlan, FaultEvent, RingConfig};
-use sim_verify::{OramAuditor, StreamConformance, Violation};
+use ring_oram::{AccessPlan, FaultEvent, ProtocolKind, RingConfig};
+use sim_verify::{ProtocolAuditor, StreamConformance, Violation};
 
 use crate::config::VerifyConfig;
 
@@ -26,18 +28,22 @@ use crate::config::VerifyConfig;
 #[derive(Debug)]
 pub struct Conformance {
     stream: StreamConformance,
-    auditor: Option<OramAuditor>,
+    auditor: Option<ProtocolAuditor>,
     fail_fast: bool,
     violations: Vec<Violation>,
 }
 
 impl Conformance {
-    /// Builds the layer for `verify`. `backend_has_dram` selects which
+    /// Builds the layer for `verify`. `kind` selects the protocol's
+    /// invariant auditor and `ring` must be the protocol's *effective*
+    /// configuration (see `SystemConfig::effective_ring`) so slot ranges
+    /// and plan shapes are sized right. `backend_has_dram` selects which
     /// stream checkers apply: the JEDEC shadow layer needs a cycle-accurate
     /// DRAM model behind the trace, the transaction-order oracle does not.
     #[must_use]
     pub fn new(
         verify: &VerifyConfig,
+        kind: ProtocolKind,
         ring: &RingConfig,
         geometry: &DramGeometry,
         timing: &TimingParams,
@@ -52,7 +58,9 @@ impl Conformance {
         };
         Self {
             stream,
-            auditor: verify.oram_audit.then(|| OramAuditor::new(ring.clone())),
+            auditor: verify
+                .oram_audit
+                .then(|| ProtocolAuditor::new(kind, ring.clone())),
             fail_fast: verify.fail_fast,
             violations: Vec::new(),
         }
@@ -78,7 +86,7 @@ impl Conformance {
         }
     }
 
-    /// Replays one access's plans against the Ring ORAM invariants.
+    /// Replays one access's plans against the protocol's invariants.
     pub fn observe_access(&mut self, plans: &[AccessPlan]) {
         if let Some(auditor) = &mut self.auditor {
             auditor.observe_access(plans);

@@ -16,7 +16,9 @@
 use dram_sim::PhysAddr;
 use ring_oram::layout::{NaiveLayout, SubtreeLayout, TreeLayout};
 use ring_oram::recursive::{RecursiveConfig, RecursiveOram};
-use ring_oram::{AccessPlan, BlockId, OpKind, RingOram};
+use ring_oram::{
+    AccessPlan, BlockId, CircuitOram, ObliviousProtocol, OpKind, PathOram, ProtocolKind, RingOram,
+};
 
 use crate::config::{ConfigError, LayoutKind, SystemConfig};
 use crate::cpu::CoreRequest;
@@ -44,12 +46,13 @@ pub struct PlannedTxn {
     pub release_on_completion: bool,
 }
 
-/// The protocol engine driving the simulation: a single data ORAM (the
-/// paper's setup) or a recursive stack with per-ORAM memory regions.
+/// The protocol engine driving the simulation: a single data ORAM behind
+/// the [`ObliviousProtocol`] trait (any of the four protocol design
+/// points) or a recursive Ring stack with per-ORAM memory regions.
 #[derive(Debug)]
 enum Engine {
     Flat {
-        oram: Box<RingOram>,
+        oram: Box<dyn ObliviousProtocol>,
         layout: Box<dyn TreeLayout>,
     },
     Recursive {
@@ -89,27 +92,38 @@ impl Planner {
                 LayoutKind::Naive => Box::new(NaiveLayout::new(ring)),
             }
         };
+        // Every engine runs on the protocol's *effective* ring parameters
+        // (`ring == cfg.ring` for the paper's Ring+CB design point, so the
+        // existing pipeline is bit-identical).
+        let ring = cfg.effective_ring();
         let engine = match cfg.recursion {
             None => {
-                let mut oram = Box::new(RingOram::with_load_factor(
-                    cfg.ring.clone(),
-                    cfg.seed,
-                    cfg.load_factor,
-                ));
-                if let Some(f) = &cfg.faults {
-                    // Integrity-fault detection needs the authenticated
-                    // cipher in the loop.
-                    oram.enable_encryption(cfg.seed ^ 0xC1F3);
-                    oram.enable_resilience(f.resilience);
-                }
+                let oram: Box<dyn ObliviousProtocol> = match cfg.protocol {
+                    ProtocolKind::RingCb | ProtocolKind::Ring => {
+                        let mut oram = Box::new(RingOram::with_load_factor(
+                            ring.clone(),
+                            cfg.seed,
+                            cfg.load_factor,
+                        ));
+                        if let Some(f) = &cfg.faults {
+                            // Integrity-fault detection needs the
+                            // authenticated cipher in the loop.
+                            oram.enable_encryption(cfg.seed ^ 0xC1F3);
+                            oram.enable_resilience(f.resilience);
+                        }
+                        oram
+                    }
+                    ProtocolKind::Path => Box::new(PathOram::from_ring(ring.clone(), cfg.seed)),
+                    ProtocolKind::Circuit => Box::new(CircuitOram::new(ring.clone(), cfg.seed)),
+                };
                 Engine::Flat {
                     oram,
-                    layout: mk_layout(&cfg.ring),
+                    layout: mk_layout(&ring),
                 }
             }
             Some(r) => {
                 let rec_cfg = RecursiveConfig {
-                    data: cfg.ring.clone(),
+                    data: ring.clone(),
                     tracked_blocks: r.tracked_blocks,
                     positions_per_block: r.positions_per_block,
                     max_onchip_entries: r.max_onchip_entries,
@@ -129,7 +143,7 @@ impl Planner {
                         regions.push((l, *base));
                         *base += total;
                     };
-                push(&cfg.ring, &mut base, &mut regions);
+                push(&ring, &mut base, &mut regions);
                 for i in 0..rec_cfg.map_levels() {
                     push(&rec_cfg.map_config(i), &mut base, &mut regions);
                 }
@@ -151,11 +165,27 @@ impl Planner {
 
     /// The (data) protocol engine, for inspection in tests and harnesses.
     #[must_use]
-    pub fn data_oram(&self) -> &RingOram {
+    pub fn protocol(&self) -> &dyn ObliviousProtocol {
         match &self.engine {
-            Engine::Flat { oram, .. } => oram,
+            Engine::Flat { oram, .. } => oram.as_ref(),
             Engine::Recursive { stack, .. } => stack.oram(0),
         }
+    }
+
+    /// The data engine as a [`RingOram`], for Ring-specific inspection
+    /// (CB counters, fault layer). Prefer [`Self::protocol`] in
+    /// protocol-agnostic code.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configured protocol is not Ring-based — use
+    /// [`Self::protocol`] there.
+    #[must_use]
+    #[allow(clippy::expect_used)] // invariant, stated in the expect message
+    pub fn data_oram(&self) -> &RingOram {
+        self.protocol()
+            .as_ring()
+            .expect("data_oram: the configured protocol is not Ring-based; use protocol()")
     }
 
     /// Program accesses planned so far.
@@ -343,7 +373,8 @@ mod tests {
         let cfg = SystemConfig::test_small(Scheme::All);
         let conf = Conformance::new(
             &VerifyConfig::off(),
-            &cfg.ring,
+            cfg.protocol,
+            &cfg.effective_ring(),
             &cfg.geometry,
             &cfg.timing,
             true,

@@ -155,7 +155,7 @@ impl ShardedSimulation {
         traces: Vec<Vec<TraceRecord>>,
         fault_overrides: &[Option<FaultConfig>],
     ) -> Result<Self, ConfigError> {
-        cfg.validate().map_err(ConfigError::Invalid)?;
+        cfg.validate()?;
         if traces.len() != cfg.cores {
             return Err(ConfigError::TraceCount {
                 expected: cfg.cores,
@@ -326,7 +326,7 @@ impl ShardedSimulation {
         for (s, sim) in self.shards.iter().enumerate() {
             auditor.record_shard(
                 s,
-                sim.oram()
+                sim.protocol()
                     .position_entries()
                     .into_iter()
                     .map(|(block, _)| self.map.global_block(s, block).0),

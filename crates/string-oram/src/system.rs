@@ -10,7 +10,7 @@
 use std::collections::VecDeque;
 
 use mem_sched::MemoryBackend;
-use ring_oram::RingOram;
+use ring_oram::{ObliviousProtocol, RingOram};
 use trace_synth::TraceRecord;
 
 use crate::config::{ConfigError, SystemConfig};
@@ -120,7 +120,7 @@ impl Simulation {
     /// fault-injection cross-checks) and [`ConfigError::TraceCount`] if
     /// the number of traces does not match `cfg.cores`.
     pub fn try_new(cfg: SystemConfig, traces: Vec<Vec<TraceRecord>>) -> Result<Self, ConfigError> {
-        cfg.validate().map_err(ConfigError::Invalid)?;
+        cfg.validate()?;
         if cfg.shards != 1 {
             return Err(ConfigError::Invalid(format!(
                 "Simulation is the single-instance pipeline; use ShardedSimulation for \
@@ -149,7 +149,8 @@ impl Simulation {
         let mut backend = build_backend(&cfg);
         let conformance = Conformance::new(
             &cfg.verify,
-            &cfg.ring,
+            cfg.protocol,
+            &cfg.effective_ring(),
             &cfg.geometry,
             &cfg.timing,
             backend.dram_module().is_some(),
@@ -187,7 +188,21 @@ impl Simulation {
         &self.cfg
     }
 
-    /// The (data) protocol engine, for inspection in tests and harnesses.
+    /// The (data) protocol engine, for protocol-agnostic inspection in
+    /// tests and harnesses (any of the four protocol design points).
+    #[must_use]
+    pub fn protocol(&self) -> &dyn ObliviousProtocol {
+        self.planner.protocol()
+    }
+
+    /// The data engine as a [`RingOram`], for Ring-specific inspection (CB
+    /// counters, fault layer). Prefer [`Self::protocol`] in
+    /// protocol-agnostic code.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configured protocol is not Ring-based — use
+    /// [`Self::protocol`] there.
     #[must_use]
     pub fn oram(&self) -> &RingOram {
         self.planner.data_oram()
@@ -358,7 +373,7 @@ impl Simulation {
             retry_cycles: self.metrics.retry_cycles,
             read_latency_idx: self.metrics.read_latencies.len(),
             backend: self.backend.snapshot(),
-            protocol: self.planner.data_oram().stats().clone(),
+            protocol: self.planner.protocol().stats().clone(),
         }
     }
 

@@ -1,16 +1,17 @@
 //! Allocation-regression test: a steady-state ORAM access performs **zero
-//! heap allocations**.
+//! heap allocations** — for every protocol engine the pipeline can host.
 //!
-//! The five-stage pipeline and the Ring ORAM protocol engine pool every
-//! per-access buffer (plan vectors, slot-touch lists, request buffers,
-//! eviction scratch, sealed-payload boxes) and pre-reserve the vectors
-//! that grow with the trace. This test pins that property with a counting
-//! global allocator: after a warm-up prefix that materializes the tree,
-//! grows the stash to its working set and fills every pool, a window of
-//! further accesses must not allocate at all.
+//! The five-stage pipeline and the protocol engines (Ring+CB, Path,
+//! Circuit) pool every per-access buffer (plan vectors, slot-touch lists,
+//! request buffers, eviction scratch, sealed-payload boxes) and
+//! pre-reserve the vectors that grow with the trace. This test pins that
+//! property with a counting global allocator: after a warm-up prefix that
+//! materializes the tree, grows the stash to its working set and fills
+//! every pool, a window of further accesses must not allocate at all.
 //!
 //! This file contains exactly one test and is its own test binary, so no
-//! concurrently running test can attribute its allocations to the window.
+//! concurrently running test can attribute its allocations to the window;
+//! the protocols are measured sequentially inside that one test.
 //!
 //! The functional backend is used because the measurement targets the
 //! protocol/pipeline hot path; the cycle-accurate DRAM model's per-cycle
@@ -21,7 +22,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use string_oram::{BackendKind, Scheme, Simulation, SystemConfig, VerifyConfig};
+use string_oram::{BackendKind, ProtocolKind, Scheme, Simulation, SystemConfig, VerifyConfig};
 use trace_synth::{by_name, TraceGenerator};
 
 /// Heap allocations observed since process start (allocs + reallocs;
@@ -57,22 +58,27 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-#[test]
-fn steady_state_access_performs_no_heap_allocation() {
+/// Warm one protocol's pipeline until its tree is fully materialized, then
+/// assert a window of further accesses allocates nothing.
+///
+/// `levels` is chosen per protocol so the trace can complete
+/// materialization during warm-up: buckets materialize lazily on first
+/// touch (an inherently allocating event that preserves the pinned RNG
+/// stream), so the tree must be *complete* before a window of accesses can
+/// be allocation-free. Ring's background evictions sweep leaves in
+/// reverse-lexicographic order and finish a 10-level tree easily; Path
+/// ORAM only ever touches the accessed path, so materializing is a
+/// coupon-collector pass over the leaves and gets one level less.
+fn assert_steady_state_window(protocol: ProtocolKind, levels: u32) {
     const RECORDS_PER_CORE: usize = 4000;
     const MEASURED_ACCESSES: u64 = 100;
 
-    // A 10-level tree (1023 buckets) is small enough that the trace fully
-    // materializes it during warm-up — buckets materialize lazily on first
-    // touch (an inherently allocating event that preserves the pinned RNG
-    // stream), so the tree must be *complete* before a window of accesses
-    // can be allocation-free. `test_small`'s 14-level tree would need a
-    // coupon-collector pass over 8192 leaves to get there.
     let mut cfg = SystemConfig::test_small(Scheme::All);
-    cfg.ring.levels = 10;
+    cfg.protocol = protocol;
+    cfg.ring.levels = levels;
     cfg.backend = BackendKind::FastFunctional;
     cfg.verify = VerifyConfig::off();
-    let total_buckets = (1usize << cfg.ring.levels) - 1;
+    let total_buckets = (1usize << levels) - 1;
     let traces: Vec<_> = (0..cfg.cores)
         .map(|c| {
             TraceGenerator::new(by_name("black").unwrap(), 11, c as u32)
@@ -84,17 +90,17 @@ fn steady_state_access_performs_no_heap_allocation() {
 
     // Warm up until every bucket is materialized: stash high-water growth,
     // pool filling and hash-map resizing also all happen here.
-    while sim.oram().materialized_buckets() < total_buckets && !sim.is_finished() {
+    while sim.protocol().materialized_buckets() < total_buckets && !sim.is_finished() {
         sim.step();
     }
     assert_eq!(
-        sim.oram().materialized_buckets(),
+        sim.protocol().materialized_buckets(),
         total_buckets,
-        "trace too short to materialize the tree"
+        "{protocol}: trace too short to materialize the tree"
     );
     assert!(
         sim.oram_accesses() + MEASURED_ACCESSES < total,
-        "trace too short: nothing left to measure"
+        "{protocol}: trace too short: nothing left to measure"
     );
     let warmed = sim.oram_accesses();
 
@@ -108,16 +114,28 @@ fn steady_state_access_performs_no_heap_allocation() {
     let measured = sim.oram_accesses() - warmed;
     assert!(
         measured >= MEASURED_ACCESSES.min(total - warmed),
-        "window too small: {measured} accesses"
+        "{protocol}: window too small: {measured} accesses"
     );
     assert_eq!(
         during, 0,
-        "steady state allocated {during} times across {measured} accesses"
+        "{protocol}: steady state allocated {during} times across {measured} accesses"
     );
 
-    // The test ends here rather than draining the trace: this workload's
+    // The run ends here rather than draining the trace: this workload's
     // working set keeps growing and would eventually exceed what the
     // deliberately small tree can hold. The steady-state window above is
     // the pinned property.
     assert_eq!(sim.oram_accesses(), warmed + measured);
+}
+
+#[test]
+fn steady_state_access_performs_no_heap_allocation() {
+    // A 10-level tree (1023 buckets) is small enough that the trace fully
+    // materializes it during warm-up; `test_small`'s 14-level tree would
+    // need a coupon-collector pass over 8192 leaves to get there. Path
+    // ORAM has no background sweep, so it gets a 9-level tree (255 leaves)
+    // to keep the coupon-collector phase inside the trace.
+    assert_steady_state_window(ProtocolKind::RingCb, 10);
+    assert_steady_state_window(ProtocolKind::Path, 9);
+    assert_steady_state_window(ProtocolKind::Circuit, 10);
 }

@@ -370,5 +370,5 @@ fn invalid_fault_configs_are_rejected() {
         max_onchip_entries: 8,
     });
     let err = recursive.validate().expect_err("faults + recursion");
-    assert!(err.contains("recursive"), "got: {err}");
+    assert!(err.to_string().contains("recursive"), "got: {err}");
 }

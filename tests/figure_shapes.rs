@@ -177,8 +177,13 @@ fn ring_vs_path_oram_bandwidth_ablation() {
     let mut path = PathOram::new(PathConfig::test_small(), 5);
     let mut path_blocks = 0u64;
     for i in 0..200 {
-        let plan = path.access(ring_oram::BlockId(i % 40));
-        path_blocks += (plan.reads() + plan.writes()) as u64;
+        let out = path.access(ring_oram::BlockId(i % 40));
+        path_blocks += out
+            .plans
+            .iter()
+            .map(|p| (p.reads() + p.writes()) as u64)
+            .sum::<u64>();
+        path.recycle_outcome(out);
     }
 
     let ring_cfg = ring_oram::RingConfig::test_small();
