@@ -1,0 +1,261 @@
+//! Service load matrix: the `oram-service` front-end under an overload
+//! storm, over every submission mode × memory backend pair, recorded to
+//! `BENCH_service_load.json` at the repo root (schema in `EXPERIMENTS.md`;
+//! the committed copy is re-validated by the bench lib's tests and the CI
+//! smoke step).
+//!
+//! The storm is the same ≥4× one the robustness suite uses: two heavy
+//! tenants plus a diurnal one, arrival rates far above the submission
+//! rate, deadlines short enough that deep queues expire. Each cell reports
+//! per-tenant outcomes (p50/p99/p999, shed and timeout rates), the
+//! governor's transition counts, and the padding cost of the fixed-rate
+//! cadence versus best-effort.
+//!
+//! Exit gates: every run must audit clean (zero violations) and resolve
+//! every arrival exactly once; the fixed-rate schedule digest must agree
+//! across backends (the envelope is a pure function of the clock — memory
+//! timing may change *what completes when*, never *when the service
+//! submits*). Both gates are also baked into `validate_service_load`, so
+//! the committed artifact re-proves them on every test run.
+//!
+//! `STRING_ORAM_SERVICE_HORIZON` scales the arrival window (default
+//! 12000 cycles); `STRING_ORAM_BENCH_JSON` overrides the output path (CI
+//! smoke writes to a scratch file instead of the committed artifact).
+
+use std::time::{Duration, Instant};
+
+use oram_service::{OramService, ServiceConfig, SubmissionPolicy, TenantSpec};
+use string_oram::{BackendKind, ServiceSummary};
+use string_oram_bench::json::Value;
+use string_oram_bench::validate_service_load;
+use trace_synth::ArrivalSpec;
+
+fn horizon() -> u64 {
+    std::env::var("STRING_ORAM_SERVICE_HORIZON")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12_000)
+}
+
+fn out_path() -> String {
+    std::env::var("STRING_ORAM_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service_load.json").to_string()
+    })
+}
+
+fn tenants() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new("alpha", ArrivalSpec::steady(24.0)),
+        TenantSpec::new("beta", ArrivalSpec::bursty(12.0, 4.0)),
+        TenantSpec::new("gamma", ArrivalSpec::diurnal(8.0, 4_000, 0.8)),
+    ]
+}
+
+fn cfg_for(policy: SubmissionPolicy, backend: BackendKind) -> ServiceConfig {
+    let mut cfg = ServiceConfig::test_small(tenants(), horizon());
+    cfg.system.backend = backend;
+    cfg.policy = policy;
+    cfg.deadline_cycles = 3_000;
+    cfg.retry_budget = 1;
+    // Watermarks under which the storm climbs the whole ladder (see
+    // tests/service_robustness.rs for why the defaults cap fill below
+    // shed_enter on slow ramps).
+    cfg.governor.degrade_enter = 0.5;
+    cfg.governor.degrade_exit = 0.25;
+    cfg.governor.shed_enter = 0.8;
+    cfg.governor.shed_exit = 0.4;
+    cfg.governor.degraded_quota = 0.9;
+    cfg
+}
+
+struct Cell {
+    mode: &'static str,
+    backend: &'static str,
+    summary: ServiceSummary,
+    wall: Duration,
+}
+
+fn measure(policy: SubmissionPolicy, backend: BackendKind, backend_name: &'static str) -> Cell {
+    let cfg = cfg_for(policy, backend);
+    let mode = cfg.policy.label();
+    let mut service = OramService::new(cfg).expect("valid config");
+    let start = Instant::now();
+    let report = service.run().expect("service terminates");
+    let wall = start.elapsed();
+    if !report.violations.is_empty() {
+        println!(
+            "FAIL: {mode}/{backend_name} violations: {:?}",
+            report.violations
+        );
+        std::process::exit(1);
+    }
+    let summary = report.service.expect("service summary attached");
+    for t in &summary.tenants {
+        if t.resolved() != t.arrivals {
+            println!(
+                "FAIL: {mode}/{backend_name} tenant {} resolved {} of {} arrivals",
+                t.tenant,
+                t.resolved(),
+                t.arrivals
+            );
+            std::process::exit(1);
+        }
+    }
+    Cell {
+        mode,
+        backend: backend_name,
+        summary,
+        wall,
+    }
+}
+
+/// Finite-checked number: a NaN/inf measurement is a harness bug, not a
+/// value to serialize ([`Value`]'s `TryFrom<f64>` refuses non-finite).
+fn num(n: f64) -> Value {
+    Value::try_from(n).expect("bench measurements are finite")
+}
+
+fn cell_json(cell: &Cell) -> Value {
+    let s = &cell.summary;
+    let arrivals: u64 = s.tenants.iter().map(|t| t.arrivals).sum();
+    let rejected: u64 = s
+        .tenants
+        .iter()
+        .map(string_oram::TenantSummary::rejected)
+        .sum();
+    let timed_out: u64 = s.tenants.iter().map(|t| t.timed_out).sum();
+    let rate = |n: u64| {
+        if arrivals == 0 {
+            0.0
+        } else {
+            n as f64 / arrivals as f64
+        }
+    };
+    Value::object(vec![
+        ("mode", cell.mode.into()),
+        ("backend", cell.backend.into()),
+        ("policy", s.policy.as_str().into()),
+        ("ticks", s.ticks.into()),
+        ("real_accesses", s.real_accesses.into()),
+        ("padding_accesses", s.padding_accesses.into()),
+        ("padding_overhead", num(s.padding_overhead())),
+        ("shed_rate", num(rate(rejected))),
+        ("timeout_rate", num(rate(timed_out))),
+        ("run_wall_ms", num(cell.wall.as_secs_f64() * 1e3)),
+        (
+            "governor_degraded_entries",
+            s.governor.degraded_entries.into(),
+        ),
+        ("governor_shed_entries", s.governor.shed_entries.into()),
+        ("governor_recoveries", s.governor.recoveries.into()),
+        (
+            "schedule_digest",
+            format!("{:#018X}", s.schedule_digest)
+                .replacen("0X", "0x", 1)
+                .into(),
+        ),
+        (
+            "tenants",
+            Value::Array(
+                s.tenants
+                    .iter()
+                    .map(|t| {
+                        Value::object(vec![
+                            ("tenant", t.tenant.as_str().into()),
+                            ("arrivals", t.arrivals.into()),
+                            ("completed", t.completed.into()),
+                            ("timed_out", t.timed_out.into()),
+                            ("rejected", t.rejected().into()),
+                            ("p50", t.latency.p50.into()),
+                            ("p99", t.latency.p99.into()),
+                            ("p999", t.latency.p999.into()),
+                            ("queue_high_water", t.queue_depth_high_water.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    let horizon = horizon();
+    println!("# service_load: 3-tenant overload storm, horizon {horizon} cycles");
+    println!(
+        "{:<12} {:<16} {:>8} {:>7} {:>7} {:>7} {:>8} {:>8} {:>10}",
+        "mode", "backend", "ticks", "real", "pad", "shed%", "t/o%", "wall ms", "digest"
+    );
+
+    let mut cells = Vec::new();
+    for (backend, backend_name) in [
+        (BackendKind::CycleAccurate, "cycle-accurate"),
+        (BackendKind::FastFunctional, "fast-functional"),
+    ] {
+        for policy in [
+            SubmissionPolicy::BestEffort { batch: 4 },
+            SubmissionPolicy::FixedRate {
+                interval: 256,
+                batch: 1,
+            },
+        ] {
+            let cell = measure(policy, backend, backend_name);
+            let s = &cell.summary;
+            let arrivals: u64 = s.tenants.iter().map(|t| t.arrivals).sum();
+            let rejected: u64 = s
+                .tenants
+                .iter()
+                .map(string_oram::TenantSummary::rejected)
+                .sum();
+            let timed_out: u64 = s.tenants.iter().map(|t| t.timed_out).sum();
+            println!(
+                "{:<12} {:<16} {:>8} {:>7} {:>7} {:>6.1}% {:>7.1}% {:>8.2} {:#018x}",
+                cell.mode,
+                cell.backend,
+                s.ticks,
+                s.real_accesses,
+                s.padding_accesses,
+                100.0 * rejected as f64 / arrivals as f64,
+                100.0 * timed_out as f64 / arrivals as f64,
+                cell.wall.as_secs_f64() * 1e3,
+                s.schedule_digest,
+            );
+            cells.push(cell);
+        }
+    }
+
+    // Cross-backend timing-channel gate: identical fixed-rate envelopes.
+    let fixed: Vec<&Cell> = cells.iter().filter(|c| c.mode == "fixed-rate").collect();
+    if fixed
+        .windows(2)
+        .any(|w| w[0].summary.schedule_digest != w[1].summary.schedule_digest)
+    {
+        println!("FAIL: fixed-rate schedule digests disagree across backends");
+        std::process::exit(1);
+    }
+    println!("PASS: fixed-rate envelope identical across backends, all runs audit clean");
+
+    let doc = Value::object(vec![
+        ("bench", "service_load".into()),
+        ("schema_version", 1usize.into()),
+        (
+            "master_seed",
+            cfg_for(
+                SubmissionPolicy::BestEffort { batch: 4 },
+                BackendKind::CycleAccurate,
+            )
+            .system
+            .seed
+            .into(),
+        ),
+        ("horizon", horizon.into()),
+        ("tenants", tenants().len().into()),
+        (
+            "points",
+            Value::Array(cells.iter().map(cell_json).collect()),
+        ),
+    ]);
+    validate_service_load(&doc).expect("emitted document matches the documented schema");
+    let path = out_path();
+    std::fs::write(&path, format!("{doc}\n")).expect("write service load");
+    println!("wrote {path}");
+}

@@ -394,6 +394,168 @@ pub fn validate_protocol_matrix(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
+fn require_fraction(obj: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+    let v = require(obj, key, ctx)?
+        .as_f64()
+        .ok_or_else(|| format!("{ctx}: \"{key}\" is not a number"))?;
+    if !(0.0..=1.0).contains(&v) {
+        return Err(format!("{ctx}: \"{key}\" must be in [0, 1], got {v}"));
+    }
+    Ok(v)
+}
+
+fn require_digest(obj: &Value, key: &str, ctx: &str) -> Result<String, String> {
+    let digest = require(obj, key, ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: \"{key}\" is not a string"))?;
+    let hex = digest
+        .strip_prefix("0x")
+        .ok_or_else(|| format!("{ctx}: \"{key}\" lacks 0x prefix"))?;
+    if hex.len() != 16 || !hex.chars().all(|c| c.is_ascii_hexdigit()) {
+        return Err(format!("{ctx}: \"{key}\" is not 16 hex digits"));
+    }
+    Ok(digest.to_string())
+}
+
+/// Validates a parsed `BENCH_service_load.json` document against the
+/// schema documented in `EXPERIMENTS.md`: every submission mode × backend
+/// pair present exactly once (2 × 2 = 4 points), per-tenant conservation
+/// (each arrival resolved exactly once as completed, timed out or
+/// rejected — the serving layer's exactly-once guarantee, checked in the
+/// committed artifact itself), ordered latency percentiles, no padding
+/// under best-effort, and — the timing-channel property — identical
+/// fixed-rate schedule digests across backends, because the fixed-rate
+/// submission envelope is a pure function of the clock and may not depend
+/// on memory timing any more than on tenant load.
+///
+/// # Errors
+///
+/// A message naming the first offending key or element.
+pub fn validate_service_load(doc: &Value) -> Result<(), String> {
+    const MODES: [&str; 2] = ["best-effort", "fixed-rate"];
+    const BACKENDS: [&str; 2] = ["cycle-accurate", "fast-functional"];
+    let ctx = "service_load";
+    match require(doc, "bench", ctx)?.as_str() {
+        Some("service_load") => {}
+        _ => return Err(format!("{ctx}: \"bench\" must be \"service_load\"")),
+    }
+    require_u64(doc, "schema_version", ctx)?;
+    require_u64(doc, "master_seed", ctx)?;
+    if require_u64(doc, "horizon", ctx)? == 0 {
+        return Err(format!("{ctx}: \"horizon\" must be >= 1"));
+    }
+    let tenant_count = require_u64(doc, "tenants", ctx)?;
+    if tenant_count == 0 {
+        return Err(format!("{ctx}: \"tenants\" must be >= 1"));
+    }
+
+    let points = require(doc, "points", ctx)?
+        .as_array()
+        .ok_or_else(|| format!("{ctx}: \"points\" is not an array"))?;
+    let mut seen: Vec<(String, String)> = Vec::new();
+    let mut fixed_rate_digest: Option<String> = None;
+    for point in points {
+        let mode = require(point, "mode", ctx)?
+            .as_str()
+            .ok_or_else(|| format!("{ctx}: \"mode\" is not a string"))?
+            .to_string();
+        if !MODES.contains(&mode.as_str()) {
+            return Err(format!("{ctx}: unknown mode \"{mode}\""));
+        }
+        let backend = require(point, "backend", ctx)?
+            .as_str()
+            .ok_or_else(|| format!("{ctx}: \"backend\" is not a string"))?
+            .to_string();
+        if !BACKENDS.contains(&backend.as_str()) {
+            return Err(format!("{ctx}: unknown backend \"{backend}\""));
+        }
+        let pctx = format!("{mode}/{backend}");
+        if seen.contains(&(mode.clone(), backend.clone())) {
+            return Err(format!("{pctx}: duplicate point"));
+        }
+        require(point, "policy", &pctx)?
+            .as_str()
+            .ok_or_else(|| format!("{pctx}: \"policy\" is not a string"))?;
+        if require_u64(point, "ticks", &pctx)? == 0 {
+            return Err(format!("{pctx}: \"ticks\" must be >= 1"));
+        }
+        let real = require_u64(point, "real_accesses", &pctx)?;
+        let padding = require_u64(point, "padding_accesses", &pctx)?;
+        if real + padding == 0 {
+            return Err(format!("{pctx}: no accesses were dispatched"));
+        }
+        if mode == "best-effort" && padding != 0 {
+            return Err(format!(
+                "{pctx}: best-effort submission never pads, got {padding} cover accesses"
+            ));
+        }
+        require_fraction(point, "padding_overhead", &pctx)?;
+        require_fraction(point, "shed_rate", &pctx)?;
+        require_fraction(point, "timeout_rate", &pctx)?;
+        require_positive(point, "run_wall_ms", &pctx)?;
+        require_u64(point, "governor_degraded_entries", &pctx)?;
+        require_u64(point, "governor_shed_entries", &pctx)?;
+        require_u64(point, "governor_recoveries", &pctx)?;
+        let digest = require_digest(point, "schedule_digest", &pctx)?;
+        if mode == "fixed-rate" {
+            match &fixed_rate_digest {
+                Some(other) if *other != digest => {
+                    return Err(format!(
+                        "{pctx}: schedule digest {digest} disagrees with the other backend's \
+                         {other} — the fixed-rate envelope must be a pure function of the clock"
+                    ));
+                }
+                Some(_) => {}
+                None => fixed_rate_digest = Some(digest),
+            }
+        }
+        let tenants = require(point, "tenants", &pctx)?
+            .as_array()
+            .ok_or_else(|| format!("{pctx}: \"tenants\" is not an array"))?;
+        if tenants.len() as u64 != tenant_count {
+            return Err(format!(
+                "{pctx}: {} tenant rows for {tenant_count} tenants",
+                tenants.len()
+            ));
+        }
+        for tenant in tenants {
+            let name = require(tenant, "tenant", &pctx)?
+                .as_str()
+                .ok_or_else(|| format!("{pctx}: tenant name is not a string"))?
+                .to_string();
+            let tctx = format!("{pctx}/{name}");
+            let arrivals = require_u64(tenant, "arrivals", &tctx)?;
+            let completed = require_u64(tenant, "completed", &tctx)?;
+            let timed_out = require_u64(tenant, "timed_out", &tctx)?;
+            let rejected = require_u64(tenant, "rejected", &tctx)?;
+            if completed + timed_out + rejected != arrivals {
+                return Err(format!(
+                    "{tctx}: {completed} completed + {timed_out} timed out + {rejected} \
+                     rejected != {arrivals} arrivals — every request must resolve exactly once"
+                ));
+            }
+            let p50 = require_u64(tenant, "p50", &tctx)?;
+            let p99 = require_u64(tenant, "p99", &tctx)?;
+            let p999 = require_u64(tenant, "p999", &tctx)?;
+            if p50 > p99 || p99 > p999 {
+                return Err(format!(
+                    "{tctx}: percentiles out of order (p50 {p50}, p99 {p99}, p999 {p999})"
+                ));
+            }
+            require_u64(tenant, "queue_high_water", &tctx)?;
+        }
+        seen.push((mode, backend));
+    }
+    if seen.len() != MODES.len() * BACKENDS.len() {
+        return Err(format!(
+            "{ctx}: {} points, expected exactly {} (every mode x backend pair once)",
+            seen.len(),
+            MODES.len() * BACKENDS.len()
+        ));
+    }
+    Ok(())
+}
+
 /// Geometric mean of strictly positive values (the paper reports GEOMEAN
 /// bars); returns 0.0 for an empty slice.
 #[must_use]
@@ -624,6 +786,103 @@ mod tests {
         let text = std::fs::read_to_string(path).expect("BENCH_protocol_matrix.json is committed");
         let doc = json::parse(&text).expect("matrix parses");
         validate_protocol_matrix(&doc).expect("matrix matches schema");
+    }
+
+    fn minimal_service_load() -> String {
+        let point = |mode: &str, backend: &str, padding: u64, digest: &str| {
+            format!(
+                r#"{{
+                    "mode": "{mode}", "backend": "{backend}",
+                    "policy": "{mode}/batch=4", "ticks": 20000,
+                    "real_accesses": 400, "padding_accesses": {padding},
+                    "padding_overhead": 0.1, "shed_rate": 0.2,
+                    "timeout_rate": 0.05, "run_wall_ms": 12.5,
+                    "governor_degraded_entries": 1, "governor_shed_entries": 1,
+                    "governor_recoveries": 1,
+                    "schedule_digest": "{digest}",
+                    "tenants": [{{
+                        "tenant": "alpha", "arrivals": 100, "completed": 70,
+                        "timed_out": 10, "rejected": 20,
+                        "p50": 500, "p99": 900, "p999": 950,
+                        "queue_high_water": 64
+                    }}]
+                }}"#
+            )
+        };
+        format!(
+            r#"{{
+                "bench": "service_load", "schema_version": 1,
+                "master_seed": 219966046, "horizon": 12000, "tenants": 1,
+                "points": [{}, {}, {}, {}]
+            }}"#,
+            point("best-effort", "cycle-accurate", 0, "0x1111111111111111"),
+            point("best-effort", "fast-functional", 0, "0x2222222222222222"),
+            point("fixed-rate", "cycle-accurate", 40, "0x3333333333333333"),
+            point("fixed-rate", "fast-functional", 40, "0x3333333333333333"),
+        )
+    }
+
+    #[test]
+    fn service_load_schema_accepts_the_documented_shape() {
+        let doc = json::parse(&minimal_service_load()).unwrap();
+        validate_service_load(&doc).unwrap();
+    }
+
+    #[test]
+    fn service_load_schema_rejects_structural_damage() {
+        let good = minimal_service_load();
+        for (needle, replacement, why) in [
+            (
+                "\"completed\": 70",
+                "\"completed\": 71",
+                "broken exactly-once conservation",
+            ),
+            ("\"p99\": 900", "\"p99\": 9000", "percentiles out of order"),
+            (
+                "\"padding_accesses\": 0",
+                "\"padding_accesses\": 7",
+                "padding under best-effort",
+            ),
+            (
+                "0x3333333333333333",
+                "0x4444444444444444",
+                "fixed-rate digest disagreement across backends",
+            ),
+            (
+                "\"shed_rate\": 0.2",
+                "\"shed_rate\": 1.5",
+                "rate outside [0, 1]",
+            ),
+            (
+                "\"tenants\": 1,",
+                "\"tenants\": 2,",
+                "tenant count mismatch",
+            ),
+            (
+                "\"mode\": \"fixed-rate\", \"backend\": \"fast-functional\"",
+                "\"mode\": \"best-effort\", \"backend\": \"cycle-accurate\"",
+                "duplicate mode x backend pair",
+            ),
+        ] {
+            let damaged = good.replacen(needle, replacement, 1);
+            assert_ne!(good, damaged, "damage \"{why}\" did not apply");
+            let doc = json::parse(&damaged).unwrap();
+            assert!(
+                validate_service_load(&doc).is_err(),
+                "validator accepted {why}"
+            );
+        }
+    }
+
+    /// The committed service-load artifact at the repo root must always
+    /// parse and satisfy the schema (regenerate with
+    /// `cargo bench --bench service_load` after intentional changes).
+    #[test]
+    fn committed_service_load_is_valid() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service_load.json");
+        let text = std::fs::read_to_string(path).expect("BENCH_service_load.json is committed");
+        let doc = json::parse(&text).expect("service load parses");
+        validate_service_load(&doc).expect("service load matches schema");
     }
 
     /// The committed bench trajectory at the repo root must always parse

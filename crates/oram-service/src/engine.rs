@@ -1,0 +1,306 @@
+//! The request-driven engine: one five-stage pipeline instance per shard,
+//! planned at dispatch time instead of from a trace.
+//!
+//! [`ShardPipeline`] composes the same public stage components as
+//! `string_oram::Simulation` — [`Planner`], [`TxnTracker`], the pluggable
+//! memory backend, [`Metrics`] and [`Conformance`] — but inverts the
+//! driver: instead of cores replaying a fixed trace, the service injects
+//! requests one at a time ([`ShardPipeline::dispatch_real`] /
+//! [`ShardPipeline::dispatch_cover`]) and steps the pipeline cycle by
+//! cycle. Requests are tagged through the planner's `CoreRequest::core`
+//! field (an opaque `usize` the pipeline threads through to [`Wake::core`]
+//! untouched), so each completion carries its service attempt id back out.
+//! The tag never enters the access digest — the digest mixes only block
+//! ids and lowered plans — so tagged and untagged runs are bus-identical.
+
+use mem_sched::MemoryBackend;
+use string_oram::pipeline::{
+    build_backend, Conformance, CounterSnapshot, Metrics, Planner, TxnTracker, Wake,
+};
+use string_oram::{ConfigError, CoreRequest, SystemConfig};
+
+/// One shard's request-driven pipeline: plan → enqueue → schedule →
+/// retire → attribute, advanced one memory-bus cycle per [`Self::step`].
+#[derive(Debug)]
+pub struct ShardPipeline {
+    planner: Planner,
+    tracker: TxnTracker,
+    backend: Box<dyn MemoryBackend>,
+    metrics: Metrics,
+    conformance: Conformance,
+    planned_scratch: Vec<string_oram::pipeline::PlannedTxn>,
+    retired_scratch: Vec<mem_sched::Completed>,
+    cycle: u64,
+}
+
+impl ShardPipeline {
+    /// Builds the pipeline for one shard's (validated, `shards = 1`)
+    /// configuration, mirroring `Simulation::try_new`'s stage wiring.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Invalid`] when the planner rejects the
+    /// configuration (e.g. a recursive stack that does not fit DRAM).
+    pub fn build(cfg: &SystemConfig) -> Result<Self, ConfigError> {
+        let planner = Planner::build(cfg)?;
+        let mut backend = build_backend(cfg);
+        let conformance = Conformance::new(
+            &cfg.verify,
+            cfg.protocol,
+            &cfg.effective_ring(),
+            &cfg.geometry,
+            &cfg.timing,
+            backend.dram_module().is_some(),
+        );
+        if conformance.stream_enabled() {
+            backend.enable_command_trace();
+        }
+        Ok(Self {
+            planner,
+            tracker: TxnTracker::new(),
+            backend,
+            metrics: Metrics::new(),
+            conformance,
+            planned_scratch: Vec::new(),
+            retired_scratch: Vec::new(),
+            cycle: 0,
+        })
+    }
+
+    /// Plans and admits one real access for `block` (shard-local id),
+    /// tagged with the caller's attempt id. Returns the immediate wake
+    /// when the access degenerates to a fully on-chip transaction (stash /
+    /// tree-top hit): the tag comes back in [`Wake::core`] with
+    /// `at = cycle + 1`.
+    pub fn dispatch_real(&mut self, tag: usize, block: u64, is_write: bool) -> Option<Wake> {
+        let req = CoreRequest {
+            core: tag,
+            block,
+            is_write,
+        };
+        let mut planned = std::mem::take(&mut self.planned_scratch);
+        self.planner
+            .plan_into(&req, &mut self.conformance, &mut planned);
+        let mut wake_out = None;
+        for txn in planned.drain(..) {
+            let (spent, wake) = self.tracker.admit(txn, self.cycle);
+            self.planner.recycle_requests(spent);
+            if wake.is_some() {
+                debug_assert!(wake_out.is_none(), "one wake per access");
+                wake_out = wake;
+            }
+        }
+        self.planned_scratch = planned;
+        self.conformance.collect();
+        wake_out
+    }
+
+    /// Plans and admits one cover (padding) access. Returns `false` when
+    /// the protocol has no native dummy-access mechanism — configuration
+    /// validation rejects padded policies for those up front, so a `false`
+    /// here is a caller bug.
+    pub fn dispatch_cover(&mut self) -> bool {
+        let mut planned = std::mem::take(&mut self.planned_scratch);
+        let ok = self
+            .planner
+            .plan_cover_into(&mut self.conformance, &mut planned);
+        for txn in planned.drain(..) {
+            let (spent, wake) = self.tracker.admit(txn, self.cycle);
+            self.planner.recycle_requests(spent);
+            debug_assert!(wake.is_none(), "cover accesses carry no wake");
+            let _ = wake;
+        }
+        self.planned_scratch = planned;
+        self.conformance.collect();
+        ok
+    }
+
+    /// Advances one memory-bus cycle through enqueue → schedule → retire →
+    /// attribute, appending every core release to `wakes` ([`Wake::core`]
+    /// carries the dispatch tag; [`Wake::at`] the cycle the data is
+    /// available, always `> cycle`).
+    pub fn step(&mut self, wakes: &mut Vec<Wake>) {
+        let cycle = self.cycle;
+        self.tracker.enqueue_ready(self.backend.as_mut(), cycle);
+        self.backend.tick(cycle);
+        if self.conformance.stream_enabled() {
+            for ev in self.backend.take_command_events() {
+                self.conformance.observe_command(&ev);
+            }
+            self.conformance.collect();
+        }
+        let mut done = std::mem::take(&mut self.retired_scratch);
+        done.clear();
+        self.backend.drain_completed_into(&mut done);
+        for d in &done {
+            if let Some(retired) = self.tracker.retire(d, cycle) {
+                self.metrics.record_class(retired.kind, d.class);
+                if let Some(wake) = retired.wake {
+                    if let Some(latency) = wake.latency {
+                        self.metrics.read_latencies.push(latency);
+                    }
+                    wakes.push(wake);
+                }
+            }
+        }
+        self.retired_scratch = done;
+        self.metrics.attribute(self.tracker.oldest_kind());
+        self.cycle += 1;
+    }
+
+    /// Unfinished transactions in the window (best-effort's dispatch gate).
+    #[must_use]
+    pub fn inflight(&self) -> usize {
+        self.tracker.inflight()
+    }
+
+    /// Whether all admitted work has retired.
+    #[must_use]
+    pub fn is_drained(&self) -> bool {
+        self.tracker.is_drained()
+    }
+
+    /// Cycles stepped so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The running access digest (kinds, physical addresses, directions).
+    #[must_use]
+    pub fn access_digest(&self) -> u64 {
+        self.planner.digest()
+    }
+
+    /// Real accesses planned so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.planner.accesses()
+    }
+
+    /// Cover accesses planned so far.
+    #[must_use]
+    pub fn cover_accesses(&self) -> u64 {
+        self.planner.cover_accesses()
+    }
+
+    /// Engine-level read-latency samples (plan → data, in cycles).
+    #[must_use]
+    pub fn read_latency_samples(&self) -> &[u64] {
+        &self.metrics.read_latencies
+    }
+
+    /// Conformance violations found so far.
+    #[must_use]
+    pub fn violations(&self) -> &[sim_verify::Violation] {
+        self.conformance.violations()
+    }
+
+    /// Freezes every counter into a snapshot for merged reporting.
+    /// `instructions` is 0: the service is request-driven, there are no
+    /// simulated cores retiring instructions.
+    #[must_use]
+    pub fn capture(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            cycle: self.cycle,
+            instructions: 0,
+            oram_accesses: self.planner.accesses(),
+            cycles_by_kind: self.metrics.cycles_by_kind,
+            transactions_by_kind: self.tracker.transactions_by_kind().clone(),
+            row_class_by_kind: self.metrics.row_class_map(),
+            retry_cycles: self.metrics.retry_cycles,
+            read_latency_idx: self.metrics.read_latencies.len(),
+            backend: self.backend.snapshot(),
+            protocol: self.planner.protocol().stats().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use string_oram::Scheme;
+
+    fn pipeline() -> ShardPipeline {
+        ShardPipeline::build(&SystemConfig::test_small(Scheme::All)).unwrap()
+    }
+
+    fn drain(p: &mut ShardPipeline) -> Vec<Wake> {
+        let mut wakes = Vec::new();
+        let mut guard = 0;
+        while !p.is_drained() {
+            p.step(&mut wakes);
+            guard += 1;
+            assert!(guard < 1_000_000, "engine wedged");
+        }
+        wakes
+    }
+
+    #[test]
+    fn tagged_dispatch_returns_the_tag_through_the_wake() {
+        let mut p = pipeline();
+        let mut wakes = Vec::new();
+        if let Some(w) = p.dispatch_real(0xBEE, 42, false) {
+            wakes.push(w);
+        }
+        wakes.extend(drain(&mut p));
+        assert_eq!(wakes.len(), 1, "exactly one wake per access");
+        assert_eq!(wakes[0].core, 0xBEE);
+        assert!(wakes[0].at > 0);
+        assert_eq!(p.accesses(), 1);
+        assert!(p.violations().is_empty(), "{:?}", p.violations());
+    }
+
+    #[test]
+    fn cover_dispatch_wakes_nothing_and_counts_separately() {
+        let mut p = pipeline();
+        assert!(p.dispatch_cover());
+        let wakes = drain(&mut p);
+        assert!(wakes.is_empty());
+        assert_eq!(p.accesses(), 0);
+        assert_eq!(p.cover_accesses(), 1);
+        assert!(p.violations().is_empty(), "{:?}", p.violations());
+    }
+
+    #[test]
+    fn tags_are_digest_invisible() {
+        let mut a = pipeline();
+        let mut b = pipeline();
+        for (tag_a, tag_b, block) in [(7usize, 9000usize, 3u64), (8, 1, 11), (9, 2, 3)] {
+            a.dispatch_real(tag_a, block, false);
+            b.dispatch_real(tag_b, block, false);
+        }
+        drain(&mut a);
+        drain(&mut b);
+        assert_eq!(
+            a.access_digest(),
+            b.access_digest(),
+            "attempt tags must never reach the bus-observable stream"
+        );
+    }
+
+    #[test]
+    fn interleaved_cover_and_real_traffic_audits_cleanly() {
+        let mut p = pipeline();
+        let mut wakes = Vec::new();
+        for i in 0..24u64 {
+            if i % 3 == 0 {
+                assert!(p.dispatch_cover());
+            } else if let Some(w) = p.dispatch_real(i as usize, i % 7, i % 2 == 0) {
+                wakes.push(w);
+            }
+            for _ in 0..40 {
+                p.step(&mut wakes);
+            }
+        }
+        wakes.extend(drain(&mut p));
+        assert_eq!(p.accesses(), 16);
+        assert_eq!(p.cover_accesses(), 8);
+        assert_eq!(wakes.len(), 16);
+        assert!(p.violations().is_empty(), "{:?}", p.violations());
+        let snap = p.capture();
+        assert_eq!(snap.oram_accesses, 16);
+        assert_eq!(snap.instructions, 0);
+        assert_eq!(snap.cycles_by_kind.total(), p.cycles());
+    }
+}

@@ -103,6 +103,17 @@ pub trait ObliviousProtocol: std::fmt::Debug + Send {
         Vec::new()
     }
 
+    /// Plans one **cover access**: a padding access that serves no program
+    /// request but is indistinguishable on the bus from the engine's
+    /// ordinary dummy traffic. Serving layers use it to fill empty
+    /// fixed-rate submission slots so request timing cannot leak through
+    /// the access stream. Engines without a native dummy-access mechanism
+    /// return `None` (the default); callers must then reject padded
+    /// submission modes for the protocol. [`RingOram`] supports it.
+    fn cover_access(&mut self) -> Option<AccessOutcome> {
+        None
+    }
+
     /// Accumulated protocol statistics.
     fn stats(&self) -> &ProtocolStats;
 
@@ -160,6 +171,13 @@ impl ObliviousProtocol for RingOram {
         RingOram::take_fault_events(self)
     }
 
+    fn cover_access(&mut self) -> Option<AccessOutcome> {
+        match RingOram::cover_access(self) {
+            Ok(outcome) => Some(outcome),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
     fn stats(&self) -> &ProtocolStats {
         RingOram::stats(self)
     }
@@ -210,6 +228,21 @@ mod tests {
         let plain = RingOram::new(RingConfig::test_small(), 1);
         assert_eq!(ObliviousProtocol::kind(&plain), ProtocolKind::Ring);
         assert!(plain.as_ring().is_some());
+    }
+
+    #[test]
+    fn ring_engine_supports_cover_accesses() {
+        let mut oram: Box<dyn ObliviousProtocol> =
+            Box::new(RingOram::new(RingConfig::test_small(), 3));
+        let out = oram.cover_access().expect("ring supports cover accesses");
+        assert!(!out.plans.is_empty());
+        assert!(
+            !out.served_from_tree(),
+            "cover accesses serve no program data"
+        );
+        oram.recycle_outcome(out);
+        assert_eq!(oram.stats().dummy_read_paths, 1);
+        oram.check_invariants();
     }
 
     #[test]

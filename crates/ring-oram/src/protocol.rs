@@ -688,6 +688,34 @@ impl RingOram {
         Ok(self.access_inner(block, None, false)?.0)
     }
 
+    /// Plans one **cover access**: a dummy read path along a uniformly
+    /// random path, with the same post-read bookkeeping as a program access
+    /// (it advances the "`A` reads, one eviction" cadence, participates in
+    /// early-reshuffle budgets, and samples stash occupancy). On the bus it
+    /// is indistinguishable from the dummy read paths background eviction
+    /// already issues, so a serving layer can pad empty submission slots
+    /// with it — Cloak-style fixed-rate traffic shaping — without changing
+    /// the distribution of what an adversary observes.
+    ///
+    /// No position-map entry is touched and no block is remapped: the
+    /// access serves no program request (aside from CB green substitution,
+    /// which opportunistically rides along exactly as it does on background
+    /// dummy reads).
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::StashOverflow`] under the same conditions as
+    /// [`Self::try_access`].
+    pub fn cover_access(&mut self) -> Result<AccessOutcome, OramError> {
+        let mut plans = self.scratch.plans();
+        let path = PathId(self.rng.gen_range(0..self.geometry.leaf_count()));
+        let source = self.read_path(&mut plans, path, None, true);
+        self.stats.dummy_read_paths += 1;
+        self.after_read_path(&mut plans)?;
+        self.stats.stash_samples.push(self.stash.len());
+        Ok(AccessOutcome { plans, source })
+    }
+
     /// Returns an [`AccessOutcome`]'s buffers to the controller's internal
     /// pools. Purely an optimization: callers that drop outcomes instead
     /// just let the pools refill lazily. The pipeline planner recycles

@@ -25,6 +25,11 @@
 //! * [`ShardResidencyAuditor`] — the sharded engine's global invariant:
 //!   per-shard residency snapshots must partition the block address space
 //!   (no block resident in two shards, no block routed to the wrong shard).
+//! * [`ServiceAuditor`] — the serving layer's contracts: tenant queue
+//!   depths stay within capacity, every request resolves exactly once
+//!   (completed / timed out / rejected), and under the fixed-rate policy
+//!   the submission envelope is a pure function of the policy clock —
+//!   never of the offered load (the timing-channel contract).
 //! * [`StreamConformance`] — the backend-agnostic bundle of the stream
 //!   checkers above, selecting which apply to a given memory backend (the
 //!   JEDEC shadow layer only attaches when a cycle-accurate DRAM model is
@@ -45,6 +50,7 @@
 
 pub mod audit;
 pub mod oracle;
+pub mod service;
 pub mod shadow;
 pub mod shard;
 pub mod stream;
@@ -54,6 +60,7 @@ pub use audit::{CircuitAuditor, OramAuditor, PathAuditor, ProtocolAuditor};
 pub use oracle::{
     check_txn_order, data_commands, first_divergence, grouped_by_txn, DataCmd, TxnOrderChecker,
 };
+pub use service::{AuditedPolicy, RequestOutcome, ServiceAuditor};
 pub use shadow::ShadowTimingChecker;
 pub use shard::ShardResidencyAuditor;
 pub use stream::StreamConformance;

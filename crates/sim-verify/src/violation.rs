@@ -73,6 +73,16 @@ pub enum Rule {
     /// A block was resident in (or routed to) more than one shard of a
     /// sharded simulation — shards must partition the address space.
     ShardResidency,
+    /// A fixed-rate service tick submitted the wrong number of slots (the
+    /// submission envelope must be a pure function of the policy, never of
+    /// the offered load).
+    ServiceEnvelope,
+    /// A tenant queue was observed deeper than its configured capacity —
+    /// admission control failed to shed.
+    ServiceQueueBound,
+    /// A service request resolved other than exactly once (double
+    /// completion, double timeout, or never resolved by drain).
+    ServiceResolution,
 }
 
 impl std::fmt::Display for Rule {
@@ -105,6 +115,9 @@ impl std::fmt::Display for Rule {
             Self::RetryMismatch => "retry-mismatch",
             Self::Divergence => "divergence",
             Self::ShardResidency => "shard-residency",
+            Self::ServiceEnvelope => "service-envelope",
+            Self::ServiceQueueBound => "service-queue-bound",
+            Self::ServiceResolution => "service-resolution",
         };
         f.write_str(name)
     }
@@ -184,6 +197,9 @@ mod tests {
             Rule::RetryMismatch,
             Rule::Divergence,
             Rule::ShardResidency,
+            Rule::ServiceEnvelope,
+            Rule::ServiceQueueBound,
+            Rule::ServiceResolution,
         ];
         let names: std::collections::HashSet<String> =
             rules.iter().map(ToString::to_string).collect();

@@ -55,7 +55,10 @@ pub use config::{
 };
 pub use cpu::{Core, CoreRequest, CoreState};
 pub use pipeline::{CacheAligned, ShardedSimulation};
-pub use report::{KindCycles, ResilienceSummary, RowClassCounts, SimReport};
+pub use report::{
+    GovernorSummary, KindCycles, LatencyPercentiles, ResilienceSummary, RowClassCounts,
+    ServiceSummary, SimReport, TenantSummary,
+};
 pub use ring_oram::{ObliviousProtocol, ProtocolKind};
 pub use space::{fig4_rows, table5_rows, SpaceRow};
 pub use system::{CycleLimitExceeded, Simulation};

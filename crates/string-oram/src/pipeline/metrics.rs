@@ -233,7 +233,46 @@ pub fn build_report(
         read_latency: LatencyPercentiles::from_samples(latencies),
         violations,
         energy,
+        service: None,
     }
+}
+
+/// Folds per-shard whole-run snapshots (shard-id order) into one merged
+/// snapshot: every counter sums; the backend and protocol layers merge via
+/// their own disjoint-instance folds. Shared by [`ShardedSimulation`]'s
+/// merged report and the `oram-service` front-end's sharded engine.
+///
+/// [`ShardedSimulation`]: crate::ShardedSimulation
+///
+/// # Panics
+///
+/// Panics on an empty slice (a sharded engine always has ≥ 1 shard).
+#[must_use]
+pub fn merge_snapshots(snaps: &[CounterSnapshot]) -> CounterSnapshot {
+    let mut acc = snaps[0].clone();
+    acc.read_latency_idx = 0;
+    for s in &snaps[1..] {
+        acc.cycle += s.cycle;
+        acc.instructions += s.instructions;
+        acc.oram_accesses += s.oram_accesses;
+        acc.cycles_by_kind.read += s.cycles_by_kind.read;
+        acc.cycles_by_kind.evict += s.cycles_by_kind.evict;
+        acc.cycles_by_kind.reshuffle += s.cycles_by_kind.reshuffle;
+        acc.cycles_by_kind.other += s.cycles_by_kind.other;
+        for (k, v) in &s.transactions_by_kind {
+            *acc.transactions_by_kind.entry(k).or_default() += v;
+        }
+        for (k, v) in &s.row_class_by_kind {
+            let e = acc.row_class_by_kind.entry(k).or_default();
+            e.hits += v.hits;
+            e.misses += v.misses;
+            e.conflicts += v.conflicts;
+        }
+        acc.retry_cycles += s.retry_cycles;
+        acc.backend.merge_from(&s.backend);
+        acc.protocol.merge_from(&s.protocol);
+    }
+    acc
 }
 
 #[cfg(test)]

@@ -37,7 +37,7 @@ pub mod txns;
 
 pub use backend::build_backend;
 pub use conformance::Conformance;
-pub use metrics::{build_report, CounterSnapshot, Metrics};
+pub use metrics::{build_report, merge_snapshots, CounterSnapshot, Metrics};
 pub use planner::{PlannedTxn, Planner};
 pub use shard::{CacheAligned, ShardedSimulation};
 pub use txns::{Retired, TxnTracker, Wake};

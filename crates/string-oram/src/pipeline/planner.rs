@@ -67,6 +67,7 @@ enum Engine {
 pub struct Planner {
     engine: Engine,
     accesses: u64,
+    cover_accesses: u64,
     digest: u64,
     /// Pool of request buffers for [`PlannedTxn`]s. Buffers flow out with
     /// the planned transactions and return via [`Self::recycle_requests`]
@@ -158,6 +159,7 @@ impl Planner {
         Ok(Self {
             engine,
             accesses: 0,
+            cover_accesses: 0,
             digest: FNV_OFFSET,
             req_pool: Vec::new(),
         })
@@ -192,6 +194,14 @@ impl Planner {
     #[must_use]
     pub fn accesses(&self) -> u64 {
         self.accesses
+    }
+
+    /// Cover (padding) accesses planned so far via
+    /// [`Self::plan_cover_into`]. Not counted in [`Self::accesses`]: cover
+    /// traffic serves no program request.
+    #[must_use]
+    pub fn cover_accesses(&self) -> u64 {
+        self.cover_accesses
     }
 
     /// FNV-1a digest of every planned transaction so far: kinds, physical
@@ -274,6 +284,46 @@ impl Planner {
                 }
                 conformance.observe_stash(stash_len);
             }
+        }
+    }
+
+    /// Expands one **cover access** (protocol-level padding that serves no
+    /// program request) into lowered transactions, exactly as
+    /// [`Self::plan_into`] does for program accesses: the plans flow
+    /// through conformance checking and the access digest, so padded and
+    /// unpadded runs stay auditable by the same machinery. The digest mixes
+    /// the sentinel block id `u64::MAX` (outside the addressable space)
+    /// where a program access mixes its block.
+    ///
+    /// Returns `false` — planning nothing — when the engine has no native
+    /// dummy-access mechanism (non-Ring protocols, recursive stacks);
+    /// callers must then reject padded submission modes up front.
+    pub fn plan_cover_into(
+        &mut self,
+        conformance: &mut Conformance,
+        out: &mut Vec<PlannedTxn>,
+    ) -> bool {
+        match &mut self.engine {
+            Engine::Flat { oram, layout } => {
+                let Some(outcome) = oram.cover_access() else {
+                    return false;
+                };
+                self.cover_accesses += 1;
+                self.digest = fnv1a_u64(self.digest, u64::MAX);
+                let faults = oram.take_fault_events();
+                conformance.observe_faults(&faults);
+                conformance.observe_access(&outcome.plans);
+                conformance.observe_stash(oram.stash_len());
+                let mut digest = self.digest;
+                for plan in outcome.plans.iter() {
+                    let buf = self.req_pool.pop().unwrap_or_default();
+                    out.push(lower(&mut digest, plan, layout.as_ref(), 0, None, buf));
+                }
+                self.digest = digest;
+                oram.recycle_outcome(outcome);
+                true
+            }
+            Engine::Recursive { .. } => false,
         }
     }
 
@@ -421,6 +471,21 @@ mod tests {
             );
         }
         assert_ne!(a.digest(), c.digest(), "order must matter");
+    }
+
+    #[test]
+    fn cover_accesses_lower_and_digest_without_wakeups() {
+        let (mut p, mut conf) = planner_pair();
+        let before = p.digest();
+        let mut out = Vec::new();
+        assert!(p.plan_cover_into(&mut conf, &mut out));
+        assert!(!out.is_empty());
+        assert!(out.iter().all(|t| t.waiting_core.is_none()));
+        assert!(out.iter().all(|t| t.target_index.is_none()));
+        assert_eq!(p.cover_accesses(), 1);
+        assert_eq!(p.accesses(), 0, "cover traffic is not a program access");
+        assert_ne!(p.digest(), before, "cover plans are digest-visible");
+        assert!(conf.violations().is_empty());
     }
 
     #[test]

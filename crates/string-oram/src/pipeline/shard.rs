@@ -33,7 +33,7 @@ use ring_oram::sharding::ShardMap;
 use trace_synth::TraceRecord;
 
 use crate::config::{ConfigError, FaultConfig, SystemConfig};
-use crate::pipeline::{build_report, CounterSnapshot};
+use crate::pipeline::{build_report, merge_snapshots, CounterSnapshot};
 use crate::report::SimReport;
 use crate::system::{CycleLimitExceeded, Simulation};
 
@@ -413,36 +413,6 @@ fn partition_traces(map: &ShardMap, traces: &[Vec<TraceRecord>]) -> Vec<Vec<Vec<
         }
     }
     out
-}
-
-/// Folds per-shard whole-run snapshots (shard-id order) into one merged
-/// snapshot: every counter sums; the backend and protocol layers merge via
-/// their own disjoint-instance folds.
-fn merge_snapshots(snaps: &[CounterSnapshot]) -> CounterSnapshot {
-    let mut acc = snaps[0].clone();
-    acc.read_latency_idx = 0;
-    for s in &snaps[1..] {
-        acc.cycle += s.cycle;
-        acc.instructions += s.instructions;
-        acc.oram_accesses += s.oram_accesses;
-        acc.cycles_by_kind.read += s.cycles_by_kind.read;
-        acc.cycles_by_kind.evict += s.cycles_by_kind.evict;
-        acc.cycles_by_kind.reshuffle += s.cycles_by_kind.reshuffle;
-        acc.cycles_by_kind.other += s.cycles_by_kind.other;
-        for (k, v) in &s.transactions_by_kind {
-            *acc.transactions_by_kind.entry(k).or_default() += v;
-        }
-        for (k, v) in &s.row_class_by_kind {
-            let e = acc.row_class_by_kind.entry(k).or_default();
-            e.hits += v.hits;
-            e.misses += v.misses;
-            e.conflicts += v.conflicts;
-        }
-        acc.retry_cycles += s.retry_cycles;
-        acc.backend.merge_from(&s.backend);
-        acc.protocol.merge_from(&s.protocol);
-    }
-    acc
 }
 
 #[cfg(test)]

@@ -115,6 +115,10 @@ impl RowClassCounts {
 }
 
 /// Latency percentiles over a sample population, in memory-bus cycles.
+///
+/// Quantiles are linearly interpolated between adjacent order statistics
+/// (the common "type 7" estimator), so small pools report e.g. the true
+/// midpoint of two samples instead of clamping to the lower one.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencyPercentiles {
     /// Number of samples.
@@ -125,8 +129,26 @@ pub struct LatencyPercentiles {
     pub p95: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile (the serving layer's tail-latency target).
+    pub p999: u64,
     /// Maximum observed.
     pub max: u64,
+}
+
+/// Interpolated quantile of a sorted, non-empty sample pool: the rank
+/// `(len - 1) * q` linearly interpolated between the two adjacent order
+/// statistics, rounded to the nearest cycle. Exact ranks (including the
+/// single-sample pool) return the order statistic itself.
+fn interpolated_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (sorted.len() - 1) as f64 * q;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return sorted[lo];
+    }
+    let frac = rank - lo as f64;
+    let (a, b) = (sorted[lo] as f64, sorted[hi] as f64);
+    (a + (b - a) * frac).round() as u64
 }
 
 impl LatencyPercentiles {
@@ -138,12 +160,13 @@ impl LatencyPercentiles {
         }
         let mut v = samples.to_vec();
         v.sort_unstable();
-        let at = |q: f64| v[((v.len() - 1) as f64 * q) as usize];
+        let at = |q: f64| interpolated_quantile(&v, q);
         Self {
             samples: v.len() as u64,
             p50: at(0.50),
             p95: at(0.95),
             p99: at(0.99),
+            p999: at(0.999),
             max: v[v.len() - 1],
         }
     }
@@ -214,6 +237,112 @@ pub struct ResilienceSummary {
     pub weak_row_stalls: u64,
 }
 
+/// Serving outcome of one tenant under the `oram-service` front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSummary {
+    /// Tenant name (from the service configuration).
+    pub tenant: String,
+    /// Requests generated by the tenant's arrival process.
+    pub arrivals: u64,
+    /// Requests that passed admission into the tenant's bounded queue.
+    pub admitted: u64,
+    /// Requests whose data arrived within their deadline.
+    pub completed: u64,
+    /// Requests that resolved by deadline expiry (after any retries).
+    pub timed_out: u64,
+    /// Arrivals rejected because the tenant queue was at capacity.
+    pub rejected_queue_full: u64,
+    /// Arrivals rejected by the degraded-mode admission quota.
+    pub rejected_throttled: u64,
+    /// Arrivals rejected while the overload governor was shedding.
+    pub rejected_shed: u64,
+    /// Re-admissions of deadline-expired requests (bounded per request).
+    pub retries: u64,
+    /// Engine completions that arrived after their request had already
+    /// resolved as timed out (the work still happened; the data is
+    /// discarded — never a second resolution).
+    pub late_completions: u64,
+    /// Highest queue depth the tenant ever reached (≤ its configured cap).
+    pub queue_depth_high_water: usize,
+    /// Submission-to-completion latency percentiles over completed
+    /// requests, in virtual (memory-bus) cycles.
+    pub latency: LatencyPercentiles,
+}
+
+impl TenantSummary {
+    /// Total rejected arrivals, over all rejection reasons.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full + self.rejected_throttled + self.rejected_shed
+    }
+
+    /// Total resolved requests. Every arrival resolves exactly once, so
+    /// this must equal [`Self::arrivals`] at end of run (the
+    /// `ServiceAuditor` enforces it).
+    #[must_use]
+    pub fn resolved(&self) -> u64 {
+        self.completed + self.timed_out + self.rejected()
+    }
+}
+
+/// Overload-governor activity: Healthy → Degraded → Shedding transitions
+/// taken during the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorSummary {
+    /// Healthy → Degraded transitions.
+    pub degraded_entries: u64,
+    /// Degraded → Shedding transitions.
+    pub shed_entries: u64,
+    /// Degraded → Healthy recoveries.
+    pub recoveries: u64,
+}
+
+/// Serving-layer summary attached to a [`SimReport`] when the run was
+/// driven by the `oram-service` front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSummary {
+    /// Submission-policy label (e.g. `"best-effort"` or
+    /// `"fixed-rate/interval=4/batch=2"`).
+    pub policy: String,
+    /// Virtual ticks (memory-bus cycles) the service ran for, including
+    /// the post-horizon drain.
+    pub ticks: u64,
+    /// Program accesses dispatched on behalf of tenant requests.
+    pub real_accesses: u64,
+    /// Cover (dummy-padding) accesses dispatched to hold the fixed-rate
+    /// cadence; always zero under best-effort submission.
+    pub padding_accesses: u64,
+    /// FNV-1a digest of the submission envelope — `(tick, slot count)` for
+    /// every submitting tick. Under fixed-rate padding this is a pure
+    /// function of the policy and run length, identical across different
+    /// tenant loads (the timing-channel oracle).
+    pub schedule_digest: u64,
+    /// Overload-governor transition counts.
+    pub governor: GovernorSummary,
+    /// Per-tenant outcomes, in tenant-id order.
+    pub tenants: Vec<TenantSummary>,
+}
+
+impl ServiceSummary {
+    /// Fraction of engine accesses that were padding (the throughput cost
+    /// of the fixed-rate cadence); zero when nothing was dispatched.
+    #[must_use]
+    pub fn padding_overhead(&self) -> f64 {
+        let total = self.real_accesses + self.padding_accesses;
+        if total == 0 {
+            0.0
+        } else {
+            self.padding_accesses as f64 / total as f64
+        }
+    }
+
+    /// Looks a tenant up by name.
+    #[must_use]
+    pub fn tenant(&self, name: &str) -> Option<&TenantSummary> {
+        self.tenants.iter().find(|t| t.tenant == name)
+    }
+}
+
 /// The complete result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -274,6 +403,10 @@ pub struct SimReport {
     /// as `"[rule] at cycle: evidence"` lines. Empty when `cfg.verify` is
     /// off — or when the simulated machine honored every checked rule.
     pub violations: Vec<String>,
+    /// Serving-layer summary (per-tenant percentiles, shed/timeout/retry
+    /// counters, padding cost) when the run was driven by the
+    /// `oram-service` front-end; `None` for plain trace-driven runs.
+    pub service: Option<ServiceSummary>,
 }
 
 impl SimReport {
@@ -347,10 +480,50 @@ mod tests {
         let samples: Vec<u64> = (1..=100).collect();
         let p = LatencyPercentiles::from_samples(&samples);
         assert_eq!(p.samples, 100);
-        assert_eq!(p.p50, 50);
-        assert_eq!(p.p95, 95);
-        assert_eq!(p.p99, 99);
+        // Interpolated ("type 7") quantiles: rank (n-1)·q between adjacent
+        // order statistics. p50 of 1..=100 sits between 50 and 51.
+        assert_eq!(p.p50, 51); // 50.5 rounded half-up
+        assert_eq!(p.p95, 95); // 95.05 rounds to 95
+        assert_eq!(p.p99, 99); // 99.01 rounds to 99
+        assert_eq!(p.p999, 100); // 99.901 rounds to 100
         assert_eq!(p.max, 100);
+    }
+
+    /// Satellite regression: small pools must interpolate between order
+    /// statistics, not clamp to the lower one, and `p999` must be exact on
+    /// pools large enough to pin it.
+    #[test]
+    fn percentiles_interpolate_on_known_distributions() {
+        // Two-point pool: every interior quantile is a blend, not a clamp.
+        let p = LatencyPercentiles::from_samples(&[10, 20]);
+        assert_eq!(p.p50, 15, "midpoint, not the lower clamp (10)");
+        assert_eq!(p.p95, 20); // 19.5 rounds up
+        assert_eq!(p.p99, 20);
+        assert_eq!(p.p999, 20);
+        assert_eq!(p.max, 20);
+
+        // Single sample: every quantile is that sample.
+        let p = LatencyPercentiles::from_samples(&[7]);
+        assert_eq!((p.p50, p.p95, p.p99, p.p999, p.max), (7, 7, 7, 7, 7));
+
+        // 1001 uniform samples 0..=1000: ranks land exactly on order
+        // statistics, so quantiles equal the true distribution quantiles.
+        let v: Vec<u64> = (0..=1000).collect();
+        let p = LatencyPercentiles::from_samples(&v);
+        assert_eq!(p.p50, 500);
+        assert_eq!(p.p95, 950);
+        assert_eq!(p.p99, 990);
+        assert_eq!(p.p999, 999);
+        assert_eq!(p.max, 1000);
+
+        // Order must not matter.
+        let mut shuffled: Vec<u64> = v.iter().rev().copied().collect();
+        shuffled.rotate_left(313);
+        assert_eq!(LatencyPercentiles::from_samples(&shuffled), p);
+
+        // Merging shards through the pool is the same estimator.
+        let (a, b) = v.split_at(400);
+        assert_eq!(LatencyPercentiles::from_shard_samples(&[b, a]), p);
     }
 
     /// Regression: an empty sample population must yield an all-zero
@@ -374,7 +547,7 @@ mod tests {
         let merged = LatencyPercentiles::from_shard_samples(&[&[], &populated]);
         assert_eq!(merged, LatencyPercentiles::from_samples(&populated));
         assert!(!merged.is_empty());
-        assert_eq!(merged.median(), Some(25));
+        assert_eq!(merged.median(), Some(26)); // 25.5 interpolated, rounded up
 
         let all_empty = LatencyPercentiles::from_shard_samples(&[&[], &[], &[]]);
         assert_eq!(all_empty, LatencyPercentiles::default());

@@ -1,0 +1,356 @@
+//! Seeded arrival processes: bursty/diurnal request-rate models.
+//!
+//! The trace generators in this crate model *what* a core accesses; this
+//! module models *when* requests arrive at a serving front-end. The
+//! process composes two classic traffic shapes:
+//!
+//! * **on/off Markov bursts** — each tick the process flips between a
+//!   quiet and a bursting state with configured per-tick probabilities;
+//!   while bursting, the rate is multiplied by `burst_multiplier`
+//!   (interrupted-Poisson-style traffic);
+//! * **sinusoidal base rate** — the base rate is modulated by a slow
+//!   sine wave (`diurnal_period` ticks per cycle, `diurnal_amplitude`
+//!   relative swing), the standard stand-in for day/night load curves.
+//!
+//! Everything is deterministic for a `(spec, seed)` pair. The sine is a
+//! Bhaskara I rational approximation evaluated with only `+ − × ÷` —
+//! IEEE-exact operations — so results are bit-identical across platforms,
+//! unlike `f64::sin`, whose last-bit behavior is libm-dependent.
+
+use oram_rng::{Rng, StdRng};
+
+use crate::record::TraceRecord;
+
+/// Shape of an arrival process, in requests per kilo-tick.
+///
+/// "Tick" is whatever unit the consumer advances the process by — the
+/// service layer uses one memory-bus cycle per tick; a plain trace
+/// consumer can treat ticks as instruction slots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalSpec {
+    /// Long-run base arrival rate, in requests per 1000 ticks, before
+    /// burst and diurnal modulation.
+    pub base_per_ktick: f64,
+    /// Rate multiplier while the on/off process is in the *on* (bursting)
+    /// state. `1.0` disables bursts.
+    pub burst_multiplier: f64,
+    /// Per-tick probability of entering the bursting state from quiet.
+    pub burst_on: f64,
+    /// Per-tick probability of leaving the bursting state back to quiet.
+    pub burst_off: f64,
+    /// Period of the sinusoidal base-rate modulation, in ticks. `0`
+    /// disables the diurnal component.
+    pub diurnal_period: u64,
+    /// Relative amplitude of the diurnal swing in `[0, 1)`: the base rate
+    /// oscillates in `base · (1 ± amplitude)`.
+    pub diurnal_amplitude: f64,
+}
+
+impl ArrivalSpec {
+    /// A steady trickle: no bursts, no diurnal swing.
+    #[must_use]
+    pub fn steady(base_per_ktick: f64) -> Self {
+        Self {
+            base_per_ktick,
+            burst_multiplier: 1.0,
+            burst_on: 0.0,
+            burst_off: 1.0,
+            diurnal_period: 0,
+            diurnal_amplitude: 0.0,
+        }
+    }
+
+    /// A bursty profile: quiet background load with `multiplier`× on/off
+    /// bursts averaging ~200 ticks on, ~2000 ticks off.
+    #[must_use]
+    pub fn bursty(base_per_ktick: f64, multiplier: f64) -> Self {
+        Self {
+            base_per_ktick,
+            burst_multiplier: multiplier,
+            burst_on: 1.0 / 2000.0,
+            burst_off: 1.0 / 200.0,
+            diurnal_period: 0,
+            diurnal_amplitude: 0.0,
+        }
+    }
+
+    /// A diurnal profile: sinusoidal base rate with the given period and
+    /// relative amplitude, no bursts.
+    #[must_use]
+    pub fn diurnal(base_per_ktick: f64, period: u64, amplitude: f64) -> Self {
+        Self {
+            base_per_ktick,
+            burst_multiplier: 1.0,
+            burst_on: 0.0,
+            burst_off: 1.0,
+            diurnal_period: period,
+            diurnal_amplitude: amplitude,
+        }
+    }
+
+    /// Validates the spec's numeric ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: rates and
+    /// multipliers must be finite and non-negative, probabilities in
+    /// `[0, 1]`, amplitude in `[0, 1)`, and a nonzero amplitude needs a
+    /// nonzero period.
+    pub fn validate(&self) -> Result<(), String> {
+        let finite_nonneg = |v: f64, name: &str| -> Result<(), String> {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and >= 0, got {v}"));
+            }
+            Ok(())
+        };
+        finite_nonneg(self.base_per_ktick, "base_per_ktick")?;
+        finite_nonneg(self.burst_multiplier, "burst_multiplier")?;
+        for (v, name) in [(self.burst_on, "burst_on"), (self.burst_off, "burst_off")] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be a probability in [0, 1], got {v}"));
+            }
+        }
+        if !self.diurnal_amplitude.is_finite() || !(0.0..1.0).contains(&self.diurnal_amplitude) {
+            return Err(format!(
+                "diurnal_amplitude must be in [0, 1), got {}",
+                self.diurnal_amplitude
+            ));
+        }
+        if self.diurnal_amplitude > 0.0 && self.diurnal_period == 0 {
+            return Err("diurnal_amplitude > 0 requires diurnal_period > 0".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic sine of `turns` full cycles (i.e. `sin(2π·turns)`), via
+/// the Bhaskara I approximation `sin(πx) ≈ 16x(1−x) / (5 − 4x(1−x))` for
+/// `x ∈ [0, 1]`, mirrored for the negative half-cycle. Max absolute error
+/// ~0.0016 — far below any traffic-modeling need — and built from
+/// IEEE-exact operations only, so it is bit-identical everywhere.
+#[must_use]
+fn det_sin_turns(turns: f64) -> f64 {
+    let frac = turns - turns.floor(); // [0, 1): position within the cycle
+    let (x, sign) = if frac < 0.5 {
+        (frac * 2.0, 1.0)
+    } else {
+        ((frac - 0.5) * 2.0, -1.0)
+    };
+    let t = x * (1.0 - x);
+    sign * (16.0 * t) / (5.0 - 4.0 * t)
+}
+
+/// A seeded arrival process: call [`ArrivalProcess::next_tick`] once per
+/// tick to get that tick's arrival count.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    spec: ArrivalSpec,
+    rng: StdRng,
+    bursting: bool,
+    tick: u64,
+}
+
+impl ArrivalProcess {
+    /// Creates the process. The spec is validated; see
+    /// [`ArrivalSpec::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec is invalid — arrival shapes are configuration,
+    /// fixed before a run starts.
+    #[must_use]
+    pub fn new(spec: ArrivalSpec, seed: u64) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("invalid ArrivalSpec: {e}");
+        }
+        Self {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            bursting: false,
+            tick: 0,
+        }
+    }
+
+    /// The process's current mean rate (requests per tick) at tick `t`,
+    /// for the given burst state — the deterministic envelope the random
+    /// draws are taken from. Exposed for tests and capacity planning.
+    #[must_use]
+    pub fn rate_at(&self, t: u64, bursting: bool) -> f64 {
+        let mut rate = self.spec.base_per_ktick / 1000.0;
+        if self.spec.diurnal_period > 0 {
+            let turns = t as f64 / self.spec.diurnal_period as f64;
+            rate *= 1.0 + self.spec.diurnal_amplitude * det_sin_turns(turns);
+        }
+        if bursting {
+            rate *= self.spec.burst_multiplier;
+        }
+        rate
+    }
+
+    /// Advances one tick and returns how many requests arrive on it.
+    ///
+    /// The burst state transitions first (Markov on/off), then the count
+    /// is drawn as `floor(rate)` plus a Bernoulli trial on the fractional
+    /// part — mean exactly `rate`, deterministic for a seed.
+    pub fn next_tick(&mut self) -> u32 {
+        self.bursting = if self.bursting {
+            !self.rng.gen_bool(self.spec.burst_off)
+        } else {
+            self.rng.gen_bool(self.spec.burst_on)
+        };
+        let rate = self.rate_at(self.tick, self.bursting);
+        self.tick += 1;
+        let whole = rate.floor();
+        let frac = rate - whole;
+        let mut n = whole as u32;
+        if frac > 0.0 && self.rng.gen_bool(frac) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Whether the process is currently in its bursting state.
+    #[must_use]
+    pub fn is_bursting(&self) -> bool {
+        self.bursting
+    }
+
+    /// Ticks consumed so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// Drains the process into inter-arrival gaps: the number of empty
+    /// ticks before each of the next `n` arrivals. A tick carrying `k > 1`
+    /// arrivals contributes `k − 1` zero gaps.
+    pub fn take_gaps(&mut self, n: usize) -> Vec<u32> {
+        let mut gaps = Vec::with_capacity(n);
+        let mut idle = 0u32;
+        while gaps.len() < n {
+            let arrivals = self.next_tick();
+            for _ in 0..arrivals {
+                if gaps.len() == n {
+                    break;
+                }
+                gaps.push(idle);
+                idle = 0;
+            }
+            if arrivals == 0 {
+                idle = idle.saturating_add(1);
+            }
+        }
+        gaps
+    }
+
+    /// Renders the process as a plain trace: `n` records whose
+    /// `gap_instructions` follow the arrival gaps (treating ticks as
+    /// instruction slots), with uniformly random blocks in `[0, blocks)`
+    /// and the given write fraction. This makes the bursty/diurnal shapes
+    /// usable by the ordinary trace-driven simulation, not just the
+    /// service layer.
+    pub fn take_records(&mut self, n: usize, blocks: u64, write_fraction: f64) -> Vec<TraceRecord> {
+        let gaps = self.take_gaps(n);
+        gaps.into_iter()
+            .map(|gap| {
+                let block = self.rng.gen_range(0..blocks);
+                let is_write = self.rng.gen_bool(write_fraction);
+                TraceRecord::new(gap, block, is_write)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_arrivals() {
+        let spec = ArrivalSpec::bursty(40.0, 8.0);
+        let mut a = ArrivalProcess::new(spec, 7);
+        let mut b = ArrivalProcess::new(spec, 7);
+        let xs: Vec<u32> = (0..5000).map(|_| a.next_tick()).collect();
+        let ys: Vec<u32> = (0..5000).map(|_| b.next_tick()).collect();
+        assert_eq!(xs, ys);
+        let mut c = ArrivalProcess::new(spec, 8);
+        let zs: Vec<u32> = (0..5000).map(|_| c.next_tick()).collect();
+        assert_ne!(xs, zs, "different seeds must differ");
+    }
+
+    #[test]
+    fn bursts_raise_the_realized_rate() {
+        // Force permanently-on vs permanently-off burst states and compare.
+        let quiet = ArrivalSpec::steady(20.0);
+        let mut loud = ArrivalSpec::steady(20.0);
+        loud.burst_multiplier = 10.0;
+        loud.burst_on = 1.0;
+        loud.burst_off = 0.0;
+        let mut q = ArrivalProcess::new(quiet, 11);
+        let mut l = ArrivalProcess::new(loud, 11);
+        let sum_q: u64 = (0..20_000).map(|_| u64::from(q.next_tick())).sum();
+        let sum_l: u64 = (0..20_000).map(|_| u64::from(l.next_tick())).sum();
+        assert!(l.is_bursting());
+        assert!(
+            sum_l > sum_q * 5,
+            "bursting sum {sum_l} should dwarf quiet sum {sum_q}"
+        );
+    }
+
+    #[test]
+    fn diurnal_modulation_swings_the_envelope() {
+        let spec = ArrivalSpec::diurnal(100.0, 1000, 0.5);
+        let p = ArrivalProcess::new(spec, 0);
+        let base = 100.0 / 1000.0;
+        // Peak at a quarter period, trough at three quarters.
+        let peak = p.rate_at(250, false);
+        let trough = p.rate_at(750, false);
+        assert!((peak - base * 1.5).abs() < base * 0.01, "peak {peak}");
+        assert!((trough - base * 0.5).abs() < base * 0.01, "trough {trough}");
+        // Zero crossings at 0 and half period.
+        assert!((p.rate_at(0, false) - base).abs() < base * 0.001);
+        assert!((p.rate_at(500, false) - base).abs() < base * 0.001);
+    }
+
+    #[test]
+    fn det_sin_matches_libm_closely() {
+        for i in 0..=1000 {
+            let turns = i as f64 / 1000.0;
+            let approx = det_sin_turns(turns);
+            let exact = (2.0 * std::f64::consts::PI * turns).sin();
+            assert!(
+                (approx - exact).abs() < 2e-3,
+                "turns {turns}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn gaps_and_records_are_well_formed() {
+        let spec = ArrivalSpec::bursty(50.0, 4.0);
+        let mut p = ArrivalProcess::new(spec, 3);
+        let gaps = p.take_gaps(500);
+        assert_eq!(gaps.len(), 500);
+
+        let mut p2 = ArrivalProcess::new(spec, 3);
+        let records = p2.take_records(500, 1 << 12, 0.25);
+        assert_eq!(records.len(), 500);
+        assert!(records.iter().all(|r| r.op.block < (1 << 12)));
+        let writes = records.iter().filter(|r| r.op.is_write).count();
+        assert!(writes > 0 && writes < 500);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut s = ArrivalSpec::steady(10.0);
+        s.burst_on = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = ArrivalSpec::steady(10.0);
+        s.diurnal_amplitude = 0.3; // period still 0
+        assert!(s.validate().is_err());
+        let mut s = ArrivalSpec::steady(-1.0);
+        assert!(s.validate().is_err());
+        s.base_per_ktick = 10.0;
+        assert!(s.validate().is_ok());
+    }
+}

@@ -25,12 +25,14 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod arrivals;
 pub mod generator;
 pub mod record;
 pub mod usimm;
 pub mod workloads;
 pub mod zipf;
 
+pub use arrivals::{ArrivalProcess, ArrivalSpec};
 pub use generator::{LocalityModel, TraceGenerator};
 pub use record::{summarize, MemOp, TraceRecord, TraceSummary};
 pub use workloads::{all_workloads, by_name, WorkloadSpec};

@@ -1,0 +1,111 @@
+//! Service demo: four tenants riding out an overload burst.
+//!
+//! Builds the multi-tenant `oram-service` front-end over the sharded
+//! String ORAM engine, drives four differently-shaped tenants through a
+//! burst that overwhelms the submission rate, and prints how the overload
+//! governor degraded, what each tenant experienced, and what the
+//! fixed-rate padding policy would have cost for the same population.
+//!
+//! Run with: `cargo run --release --example service_demo`
+
+use oram_service::{OramService, ServiceConfig, SubmissionPolicy, TenantSpec};
+use string_oram::ServiceSummary;
+use trace_synth::ArrivalSpec;
+
+fn tenants() -> Vec<TenantSpec> {
+    vec![
+        // A steady interactive tenant that wants predictable latency.
+        TenantSpec::new("interactive", ArrivalSpec::steady(6.0)),
+        // A bursty batch tenant: 8x multiplier bursts drive the overload.
+        TenantSpec::new("batch", ArrivalSpec::bursty(12.0, 8.0)),
+        // A diurnal tenant sweeping through its daily peak.
+        TenantSpec::new("diurnal", ArrivalSpec::diurnal(12.0, 4_000, 0.9)),
+        // A background trickle that should barely notice the storm.
+        TenantSpec::new("trickle", ArrivalSpec::steady(1.0)),
+    ]
+}
+
+fn configure(policy: SubmissionPolicy) -> ServiceConfig {
+    let mut cfg = ServiceConfig::test_small(tenants(), 16_000);
+    cfg.policy = policy;
+    cfg.deadline_cycles = 4_000;
+    cfg.retry_budget = 1;
+    // Let the storm climb the whole ladder: the degraded quota still
+    // admits enough for total pressure to reach the shed watermark.
+    cfg.governor.degrade_enter = 0.5;
+    cfg.governor.degrade_exit = 0.25;
+    cfg.governor.shed_enter = 0.8;
+    cfg.governor.shed_exit = 0.4;
+    cfg.governor.degraded_quota = 0.9;
+    cfg
+}
+
+fn print_summary(summary: &ServiceSummary) {
+    println!(
+        "  {} ticks, {} real + {} padding accesses ({:.1}% padding overhead)",
+        summary.ticks,
+        summary.real_accesses,
+        summary.padding_accesses,
+        summary.padding_overhead() * 100.0
+    );
+    let g = summary.governor;
+    println!(
+        "  governor: {} degraded entries, {} shed entries, {} recoveries",
+        g.degraded_entries, g.shed_entries, g.recoveries
+    );
+    println!(
+        "  {:<12} {:>8} {:>8} {:>8} {:>7} {:>9} {:>7} {:>8} {:>8} {:>8}",
+        "tenant", "arrived", "done", "timeout", "shed", "throttled", "full", "p50", "p99", "p999"
+    );
+    for t in &summary.tenants {
+        println!(
+            "  {:<12} {:>8} {:>8} {:>8} {:>7} {:>9} {:>7} {:>8} {:>8} {:>8}",
+            t.tenant,
+            t.arrivals,
+            t.completed,
+            t.timed_out,
+            t.rejected_shed,
+            t.rejected_throttled,
+            t.rejected_queue_full,
+            t.latency.p50,
+            t.latency.p99,
+            t.latency.p999
+        );
+    }
+}
+
+fn main() {
+    println!("oram-service: 4 tenants through an overload burst\n");
+
+    for policy in [
+        SubmissionPolicy::BestEffort { batch: 4 },
+        SubmissionPolicy::FixedRate {
+            interval: 24,
+            batch: 1,
+        },
+    ] {
+        let cfg = configure(policy);
+        let mut service = OramService::new(cfg).expect("valid config");
+        let report = service.run().expect("terminates");
+        let summary = report.service.as_ref().expect("service summary");
+        println!("-- {} --", summary.policy);
+        print_summary(summary);
+        println!(
+            "  schedule digest {:#018x}, {} violations, final state: {}\n",
+            summary.schedule_digest,
+            report.violations.len(),
+            service.governor_state().label()
+        );
+        assert!(
+            report.violations.is_empty(),
+            "auditors must stay clean: {:?}",
+            report.violations
+        );
+    }
+
+    println!(
+        "Every arrival resolved exactly once in both runs; the fixed-rate\n\
+         envelope is a pure function of the clock (same digest for any load),\n\
+         bought with the padding overhead printed above."
+    );
+}
