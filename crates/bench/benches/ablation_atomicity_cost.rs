@@ -28,7 +28,7 @@ fn main() {
     );
     let pb = run_config(SystemConfig::hpca_default(Scheme::Pb), workload, n, "pb");
     let mut cfg = SystemConfig::hpca_default(Scheme::Baseline);
-    cfg.policy = SchedulerPolicy::Unconstrained;
+    cfg.sched_policy = SchedulerPolicy::Unconstrained;
     let free = run_config(cfg, workload, n, "unconstrained");
 
     for (label, r, secure) in [

@@ -34,7 +34,7 @@ fn main() {
     );
     for lookahead in [1u64, 2, 4, 8] {
         let mut cfg = SystemConfig::hpca_default(Scheme::Pb);
-        cfg.policy = SchedulerPolicy::ProactiveBank { lookahead };
+        cfg.sched_policy = SchedulerPolicy::ProactiveBank { lookahead };
         // Deeper lookahead needs more transactions in flight to matter.
         cfg.max_inflight_txns = (lookahead as usize + 2).max(6);
         let r = run_config(cfg, workload, n, "pb");

@@ -556,6 +556,166 @@ pub fn validate_service_load(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a parsed `BENCH_sched_policy.json` document against the
+/// schema documented in `EXPERIMENTS.md`: every policy × backend × workload
+/// triple present exactly once (5 policies × 2 backends × 2 workloads = 20
+/// points), positive wall times and mean cycles, rates inside `[0, 1]`,
+/// well-formed 16-hex-digit access digests, and the scheduling-policy
+/// contract itself:
+///
+/// * within a workload, **every** point carries the same access digest —
+///   command scheduling may never change what the ORAM controller requests;
+/// * the transaction-based baseline never issues early prep, on any
+///   backend;
+/// * fast-functional points carry all-zero scheduler metrics (there is no
+///   command scheduler behind that backend to measure);
+/// * on the cycle-accurate backend, Proactive Bank's early-PRE rate sits
+///   inside the measured band `[0.50, 0.85]` — the paper's Fig. 8 shape
+///   (≈57–59 % of precharges issued early under its blocking-core
+///   configuration) shifted up to ≈72–74 % by the bench's MLP-4 cores,
+///   which keep the lookahead window occupied more often — while
+///   speculative-window issues early prep, read-over-write defers writes,
+///   and fixed-cadence withholds issue slots.
+///
+/// # Errors
+///
+/// A message naming the first offending key or element.
+pub fn validate_sched_policy(doc: &Value) -> Result<(), String> {
+    const POLICIES: [&str; 5] = [
+        "fr-fcfs",
+        "proactive-bank",
+        "read-over-write",
+        "speculative-window",
+        "fixed-cadence",
+    ];
+    const BACKENDS: [&str; 2] = ["cycle-accurate", "fast-functional"];
+    const WORKLOADS: [&str; 2] = ["black", "stream"];
+    const PB_EARLY_PRE_BAND: (f64, f64) = (0.50, 0.85);
+    let ctx = "sched_policy";
+    match require(doc, "bench", ctx)?.as_str() {
+        Some("sched_policy") => {}
+        _ => return Err(format!("{ctx}: \"bench\" must be \"sched_policy\"")),
+    }
+    require_u64(doc, "schema_version", ctx)?;
+    require(doc, "scheme", ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: \"scheme\" is not a string"))?;
+    require_u64(doc, "records_per_core", ctx)?;
+    require_u64(doc, "cores", ctx)?;
+    require_u64(doc, "master_seed", ctx)?;
+
+    let points = require(doc, "points", ctx)?
+        .as_array()
+        .ok_or_else(|| format!("{ctx}: \"points\" is not an array"))?;
+    let mut seen: Vec<(String, String, String)> = Vec::new();
+    let mut digests: Vec<(String, String)> = Vec::new();
+    for point in points {
+        let policy = require(point, "policy", ctx)?
+            .as_str()
+            .ok_or_else(|| format!("{ctx}: \"policy\" is not a string"))?
+            .to_string();
+        if !POLICIES.contains(&policy.as_str()) {
+            return Err(format!("{ctx}: unknown policy \"{policy}\""));
+        }
+        let backend = require(point, "backend", ctx)?
+            .as_str()
+            .ok_or_else(|| format!("{ctx}: \"backend\" is not a string"))?
+            .to_string();
+        if !BACKENDS.contains(&backend.as_str()) {
+            return Err(format!("{ctx}: unknown backend \"{backend}\""));
+        }
+        let workload = require(point, "workload", ctx)?
+            .as_str()
+            .ok_or_else(|| format!("{ctx}: \"workload\" is not a string"))?
+            .to_string();
+        if !WORKLOADS.contains(&workload.as_str()) {
+            return Err(format!("{ctx}: unknown workload \"{workload}\""));
+        }
+        let pctx = format!("{workload}/{policy}/{backend}");
+        let triple = (workload.clone(), policy.clone(), backend.clone());
+        if seen.contains(&triple) {
+            return Err(format!("{pctx}: duplicate point"));
+        }
+        if require_u64(point, "oram_accesses", &pctx)? == 0 {
+            return Err(format!("{pctx}: \"oram_accesses\" must be >= 1"));
+        }
+        require_positive(point, "run_wall_ms", &pctx)?;
+        require_positive(point, "mean_cycles_per_access", &pctx)?;
+        let idle = require_fraction(point, "bank_idle_proportion", &pctx)?;
+        let pending_idle = require_fraction(point, "pending_bank_idle_proportion", &pctx)?;
+        let early_pre = require_fraction(point, "early_precharge_fraction", &pctx)?;
+        let early_act = require_fraction(point, "early_activate_fraction", &pctx)?;
+        let deferred = require_u64(point, "deferred_writes", &pctx)?;
+        let withheld = require_u64(point, "withheld_issue_slots", &pctx)?;
+        let digest = require_digest(point, "digest", &pctx)?;
+        if let Some((_, other)) = digests.iter().find(|(w, _)| *w == workload) {
+            if *other != digest {
+                return Err(format!(
+                    "{pctx}: digest {digest} disagrees with the workload's {other} — \
+                     a command-scheduling policy must not change the access sequence"
+                ));
+            }
+        } else {
+            digests.push((workload.clone(), digest));
+        }
+        if policy == "fr-fcfs" && early_pre + early_act != 0.0 {
+            return Err(format!(
+                "{pctx}: the transaction-based baseline cannot issue early prep"
+            ));
+        }
+        if backend == "fast-functional"
+            && (idle != 0.0
+                || pending_idle != 0.0
+                || early_pre != 0.0
+                || early_act != 0.0
+                || deferred != 0
+                || withheld != 0)
+        {
+            return Err(format!(
+                "{pctx}: the functional backend has no command scheduler, all \
+                 scheduler metrics must be zero"
+            ));
+        }
+        if backend == "cycle-accurate" {
+            match policy.as_str() {
+                "proactive-bank" => {
+                    let (lo, hi) = PB_EARLY_PRE_BAND;
+                    if !(lo..=hi).contains(&early_pre) {
+                        return Err(format!(
+                            "{pctx}: early-PRE rate {early_pre:.3} outside the measured \
+                             Proactive Bank band [{lo}, {hi}]"
+                        ));
+                    }
+                }
+                "speculative-window" if early_pre + early_act == 0.0 => {
+                    return Err(format!(
+                        "{pctx}: speculative-window never issued early prep"
+                    ));
+                }
+                "read-over-write" if deferred == 0 => {
+                    return Err(format!("{pctx}: read-over-write never deferred a write"));
+                }
+                "fixed-cadence" if withheld == 0 => {
+                    return Err(format!(
+                        "{pctx}: fixed-cadence never withheld an issue slot"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        seen.push(triple);
+    }
+    let expected = POLICIES.len() * BACKENDS.len() * WORKLOADS.len();
+    if seen.len() != expected {
+        return Err(format!(
+            "{ctx}: {} points, expected exactly {expected} (every workload x policy x \
+             backend triple once)",
+            seen.len()
+        ));
+    }
+    Ok(())
+}
+
 /// Geometric mean of strictly positive values (the paper reports GEOMEAN
 /// bars); returns 0.0 for an empty slice.
 #[must_use]
@@ -883,6 +1043,170 @@ mod tests {
         let text = std::fs::read_to_string(path).expect("BENCH_service_load.json is committed");
         let doc = json::parse(&text).expect("service load parses");
         validate_service_load(&doc).expect("service load matches schema");
+    }
+
+    fn minimal_sched_policy() -> String {
+        let point = |workload: &str, policy: &str, backend: &str| {
+            let cycle_accurate = backend == "cycle-accurate";
+            let early_pre = match (policy, cycle_accurate) {
+                ("proactive-bank", true) => 0.58,
+                ("speculative-window", true) => 0.61,
+                _ => 0.0,
+            };
+            let early_act = if early_pre > 0.0 { 0.55 } else { 0.0 };
+            let idle = if cycle_accurate { 0.5 } else { 0.0 };
+            let deferred = u64::from(policy == "read-over-write" && cycle_accurate) * 40;
+            let withheld = u64::from(policy == "fixed-cadence" && cycle_accurate) * 90;
+            format!(
+                r#"{{"policy": "{policy}", "backend": "{backend}",
+                    "workload": "{workload}", "oram_accesses": 400,
+                    "run_wall_ms": 8.25, "mean_cycles_per_access": 410.2,
+                    "bank_idle_proportion": {idle},
+                    "pending_bank_idle_proportion": {idle},
+                    "early_precharge_fraction": {early_pre},
+                    "early_activate_fraction": {early_act},
+                    "deferred_writes": {deferred},
+                    "withheld_issue_slots": {withheld},
+                    "digest": "0x8FEFA68912F2C2F5"}}"#
+            )
+        };
+        let mut points = Vec::new();
+        for workload in ["black", "stream"] {
+            for policy in [
+                "fr-fcfs",
+                "proactive-bank",
+                "read-over-write",
+                "speculative-window",
+                "fixed-cadence",
+            ] {
+                for backend in ["cycle-accurate", "fast-functional"] {
+                    points.push(point(workload, policy, backend));
+                }
+            }
+        }
+        format!(
+            r#"{{"bench": "sched_policy", "schema_version": 1,
+                "scheme": "All", "records_per_core": 400, "cores": 1,
+                "master_seed": 219966046, "points": [{}]}}"#,
+            points.join(", ")
+        )
+    }
+
+    #[test]
+    fn sched_policy_schema_accepts_the_documented_shape() {
+        let doc = json::parse(&minimal_sched_policy()).unwrap();
+        validate_sched_policy(&doc).unwrap();
+    }
+
+    #[test]
+    fn sched_policy_schema_rejects_structural_damage() {
+        let good = minimal_sched_policy();
+        for (needle, replacement, why) in [
+            ("sched_policy\"", "other_bench\"", "wrong bench name"),
+            ("\"fr-fcfs\"", "\"round-robin\"", "unknown policy"),
+            ("\"cycle-accurate\"", "\"gpu\"", "unknown backend"),
+            (
+                "\"workload\": \"black\"",
+                "\"workload\": \"mcf\"",
+                "unknown workload",
+            ),
+            (
+                "\"backend\": \"fast-functional\"",
+                "\"backend\": \"cycle-accurate\"",
+                "duplicate workload x policy x backend triple",
+            ),
+            (
+                "0x8FEFA68912F2C2F5\"}, {\"policy\": \"proactive-bank\"",
+                "0x8FEFA68912F2C2F6\"}, {\"policy\": \"proactive-bank\"",
+                "digest diverging within a workload",
+            ),
+            ("0x8FEFA68912F2C2F5", "8FEFA68912F2C2F5", "digest prefix"),
+            (
+                "\"early_precharge_fraction\": 0.58",
+                "\"early_precharge_fraction\": 0.13",
+                "Proactive Bank early-PRE rate off the measured band",
+            ),
+            (
+                "\"early_precharge_fraction\": 0,",
+                "\"early_precharge_fraction\": 0.2,",
+                "baseline issuing early prep",
+            ),
+            (
+                "\"deferred_writes\": 40",
+                "\"deferred_writes\": 0",
+                "read-over-write never deferring",
+            ),
+            (
+                "\"withheld_issue_slots\": 90",
+                "\"withheld_issue_slots\": 0",
+                "fixed-cadence never withholding",
+            ),
+            (
+                "\"run_wall_ms\": 8.25",
+                "\"run_wall_ms\": 0",
+                "zero wall time",
+            ),
+            (
+                "\"mean_cycles_per_access\": 410.2",
+                "\"mean_cycles_per_access\": -1",
+                "negative mean cycles",
+            ),
+            (
+                "\"bank_idle_proportion\": 0.5",
+                "\"bank_idle_proportion\": 1.5",
+                "rate outside [0, 1]",
+            ),
+            (
+                "\"oram_accesses\": 400",
+                "\"oram_accesses\": 0",
+                "zero accesses",
+            ),
+        ] {
+            let damaged = good.replacen(needle, replacement, 1);
+            assert_ne!(damaged, good, "{why}: replacement did not apply");
+            let doc = json::parse(&damaged).unwrap();
+            assert!(
+                validate_sched_policy(&doc).is_err(),
+                "{why} must be rejected"
+            );
+        }
+        // A nonzero scheduler metric on a functional-backend point is
+        // rejected (the last point is stream/fixed-cadence/fast-functional,
+        // which has no command scheduler behind it).
+        let needle = "\"withheld_issue_slots\": 0,";
+        let idx = good.rfind(needle).unwrap();
+        let damaged = format!(
+            "{}\"withheld_issue_slots\": 3,{}",
+            &good[..idx],
+            &good[idx + needle.len()..]
+        );
+        let doc = json::parse(&damaged).unwrap();
+        assert!(
+            validate_sched_policy(&doc).is_err(),
+            "scheduler metrics on the functional backend must be rejected"
+        );
+        // A missing triple (19 points) and a missing required key are both
+        // rejected.
+        let last_point_start = good.rfind("{\"policy\"").unwrap();
+        let truncated = format!(
+            "{}]}}",
+            good[..last_point_start].trim_end().trim_end_matches(','),
+        );
+        let doc = json::parse(&truncated).unwrap();
+        assert!(validate_sched_policy(&doc).is_err());
+        let doc = json::parse(&good.replacen("\"oram_accesses\": 400,", "", 1)).unwrap();
+        assert!(validate_sched_policy(&doc).is_err());
+    }
+
+    /// The committed policy matrix at the repo root must always parse and
+    /// satisfy the schema (regenerate with
+    /// `cargo bench --bench sched_policy_matrix` after intentional changes).
+    #[test]
+    fn committed_sched_policy_is_valid() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sched_policy.json");
+        let text = std::fs::read_to_string(path).expect("BENCH_sched_policy.json is committed");
+        let doc = json::parse(&text).expect("sched policy matrix parses");
+        validate_sched_policy(&doc).expect("sched policy matrix matches schema");
     }
 
     /// The committed bench trajectory at the repo root must always parse

@@ -150,6 +150,10 @@ impl MemoryBackend for MemoryController {
         MemoryController::drain_completed(self)
     }
 
+    fn drain_completed_into(&mut self, out: &mut Vec<Completed>) {
+        MemoryController::drain_completed_into(self, out);
+    }
+
     fn pending(&self) -> usize {
         MemoryController::pending(self)
     }
@@ -171,8 +175,10 @@ impl MemoryBackend for MemoryController {
     }
 
     fn snapshot(&self) -> BackendSnapshot {
+        let mut sched = self.stats().clone();
+        sched.absorb_policy(self.policy_stats());
         BackendSnapshot {
-            sched: self.stats().clone(),
+            sched,
             dram: Some(self.dram().snapshot()),
         }
     }

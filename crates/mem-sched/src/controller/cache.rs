@@ -1,0 +1,116 @@
+//! Per-channel cached scheduling views.
+//!
+//! A channel's view is rebuilt lazily — only when its queues or bank
+//! states changed since the last build, or when the (current transaction,
+//! lookahead) key moved — so stalled cycles (the common case) skip the
+//! queue scan entirely.
+
+use crate::request::TxnId;
+
+use super::MemoryController;
+
+/// Cached scheduling view of one channel.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ChannelCache {
+    /// Whether the cache reflects the channel's current queues/banks.
+    pub(crate) valid: bool,
+    /// Transaction and lookahead the cache was built for.
+    pub(crate) built_for: (TxnId, u64),
+    /// Per-(rank, bank) facts.
+    pub(crate) views: Vec<BankView>,
+    /// Pending row hits of the current transaction, sorted by age.
+    pub(crate) hits: Vec<(u64, (bool, usize))>,
+    /// Banks with current-transaction work, sorted by oldest request age.
+    pub(crate) order_current: Vec<(u64, usize)>,
+    /// Banks with lookahead-window work, sorted by oldest request age.
+    pub(crate) order_future: Vec<(u64, usize)>,
+}
+
+/// Per-(rank, bank) scheduling facts gathered in one queue pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct BankView {
+    /// Oldest unissued current-transaction request: (enqueue id, key).
+    pub(crate) oldest_current: Option<(u64, (bool, usize))>,
+    /// Whether any current-transaction request targets this bank.
+    pub(crate) has_current: bool,
+    /// Whether any current-transaction request wants the open row.
+    pub(crate) current_hit_pending: bool,
+    /// Oldest request in the proactive lookahead window.
+    pub(crate) oldest_future: Option<(u64, (bool, usize))>,
+    /// Whether any lookahead-window request wants the open row.
+    pub(crate) future_hit_pending: bool,
+}
+
+impl MemoryController {
+    /// Rebuilds the cached scheduling view of one channel: a single pass
+    /// over its queues classifying every request of interest per bank.
+    pub(super) fn rebuild_cache(
+        &mut self,
+        ch: u32,
+        current: TxnId,
+        lookahead: u64,
+        unconstrained: bool,
+    ) {
+        let geometry = self.dram.geometry();
+        let banks = (geometry.ranks_per_channel * geometry.banks_per_rank) as usize;
+        let banks_per_rank = geometry.banks_per_rank;
+        let cache = &mut self.caches[ch as usize];
+        cache.views.clear();
+        cache.views.resize(banks, BankView::default());
+        cache.hits.clear();
+        cache.order_current.clear();
+        cache.order_future.clear();
+
+        let q = &self.queues[ch as usize];
+        for (is_write, list) in [(false, &q.reads), (true, &q.writes)] {
+            for (i, r) in list.iter().enumerate() {
+                let in_current = unconstrained || r.txn == current;
+                let in_future = !unconstrained
+                    && r.txn.0 > current.0
+                    && r.txn.0 <= current.0.saturating_add(lookahead);
+                if !in_current && !in_future {
+                    // Queues are transaction-sorted: nothing beyond the
+                    // window can precede anything inside it.
+                    if r.txn.0 > current.0.saturating_add(lookahead) {
+                        break;
+                    }
+                    continue;
+                }
+                let b = (r.loc.rank * banks_per_rank + r.loc.bank) as usize;
+                let open = self.dram.open_row(&r.loc);
+                let view = &mut cache.views[b];
+                let entry = (r.id, (is_write, i));
+                if in_current {
+                    view.has_current = true;
+                    if open == Some(r.loc.row) {
+                        view.current_hit_pending = true;
+                        cache.hits.push(entry);
+                    }
+                    if view.oldest_current.is_none_or(|(id, _)| r.id < id) {
+                        view.oldest_current = Some(entry);
+                    }
+                } else {
+                    if open == Some(r.loc.row) {
+                        view.future_hit_pending = true;
+                    }
+                    if view.oldest_future.is_none_or(|(id, _)| r.id < id) {
+                        view.oldest_future = Some(entry);
+                    }
+                }
+            }
+        }
+        cache.hits.sort_unstable_by_key(|&(id, _)| id);
+        for (b, v) in cache.views.iter().enumerate() {
+            if let Some((id, _)) = v.oldest_current {
+                cache.order_current.push((id, b));
+            }
+            if let Some((id, _)) = v.oldest_future {
+                cache.order_future.push((id, b));
+            }
+        }
+        cache.order_current.sort_unstable();
+        cache.order_future.sort_unstable();
+        cache.built_for = (current, lookahead);
+        cache.valid = true;
+    }
+}

@@ -1,0 +1,403 @@
+//! The ORAM-aware memory controller.
+//!
+//! The controller core in this module owns the per-channel queues, the
+//! cached scheduling views and the DRAM handshake; the *decision* of which
+//! candidate issues each cycle is delegated to a pluggable
+//! [`SchedulePolicy`] object (see
+//! [`crate::policy`] for the five shipped policies). The paper's two
+//! algorithms are the anchor points of that policy space:
+//!
+//! * **Transaction-based scheduling** (Algorithm 1, the baseline): all
+//!   commands of ORAM transaction *i* must be issued before any command of
+//!   transaction *i+1*; within the transaction, FR-FCFS (row hits first,
+//!   then oldest-first) is used per channel.
+//! * **Proactive Bank scheduling** (Algorithm 2, the paper's PB): identical,
+//!   except that when a channel has nothing issuable from transaction *i*,
+//!   the scheduler may issue **PRE/ACT only** for transaction *i+1* requests
+//!   whose row-buffer conflicts are *inter*-transaction — i.e. whose target
+//!   bank has no pending transaction-*i* request. Data commands (RD/WR)
+//!   remain strictly transaction-ordered, so the access sequence observable
+//!   on the bus is unchanged.
+//!
+//! Module layout (mirroring the `string-oram` pipeline split):
+//!
+//! * [`mod@self`] — the [`MemoryController`] struct, its tick loop and
+//!   queue admission;
+//! * `cache` — the per-channel scheduling view caches;
+//! * `schedule` — the three scheduling passes and command issue;
+//! * `faults` — deterministic response-fault injection.
+
+mod cache;
+mod faults;
+mod schedule;
+#[cfg(test)]
+mod tests;
+
+pub use faults::{FaultConfigError, ResponseFaultConfig};
+// Historical path compatibility: the policy selector used to live here.
+pub use crate::policy::SchedulerPolicy;
+
+use dram_sim::AddressMapping;
+use dram_sim::{DramCommand, DramModule, PhysAddr};
+
+use crate::policy::{PolicyStats, SchedulePolicy};
+use crate::queue::{ChannelQueues, QueueFull};
+use crate::request::{Completed, Request, RequestSpec, TxnId};
+use crate::stats::SchedulerStats;
+
+use cache::ChannelCache;
+use faults::{mix64, u01, ResponseFaultState, DOMAIN_SAT, SATURATION_WINDOW_SHIFT};
+
+/// One issued DRAM command, as recorded by the optional command trace.
+///
+/// The transaction attribution lets external conformance checkers (the
+/// `sim-verify` crate) validate not just JEDEC timing but the ORAM security
+/// contract: data commands must appear in transaction order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandEvent {
+    /// Cycle the command occupied the command bus.
+    pub cycle: u64,
+    /// The command itself.
+    pub cmd: DramCommand,
+    /// Transaction on whose behalf the command was issued; `None` for
+    /// controller housekeeping (close-page precharges of idle rows).
+    pub txn: Option<TxnId>,
+}
+
+/// Row-buffer management policy (paper §II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PagePolicy {
+    /// Keep rows open after column commands; conflicts pay PRE+ACT on the
+    /// critical path but locality is exploited. The paper's assumption.
+    #[default]
+    Open,
+    /// *Adaptive* close-page: precharge a bank as soon as no queued request
+    /// wants its open row, removing PRE from the critical path of the next
+    /// conflict while preserving pending row hits. (A literal close-page —
+    /// PRE immediately after every column command — would forfeit the
+    /// subtree layout's locality entirely; the adaptive form is the
+    /// strongest fair competitor to PB.)
+    Closed,
+}
+
+/// The memory controller: per-channel queues, a scheduling policy, and the
+/// DRAM module it drives.
+#[derive(Debug)]
+pub struct MemoryController {
+    dram: DramModule,
+    mapping: AddressMapping,
+    policy: Box<dyn SchedulePolicy>,
+    page_policy: PagePolicy,
+    queues: Vec<ChannelQueues>,
+    next_id: u64,
+    completed: Vec<Completed>,
+    stats: SchedulerStats,
+    last_cycle: u64,
+    /// Per-channel scheduling view caches. A view stays valid until the
+    /// channel's queues or bank states change, so stalled cycles (the
+    /// common case) skip the queue scan entirely.
+    caches: Vec<ChannelCache>,
+    /// Pending (unissued) request count per bank, indexed
+    /// `[channel][rank * banks_per_rank + bank]`, for idle accounting.
+    pending_per_bank: Vec<Vec<u32>>,
+    /// Optional command trace: every issued command with its cycle and
+    /// owning transaction.
+    command_trace: Option<Vec<CommandEvent>>,
+    /// Optional deterministic response-fault injection.
+    response_faults: Option<ResponseFaultState>,
+}
+
+impl MemoryController {
+    /// Creates a controller over `dram` with `queue_capacity` entries per
+    /// direction per channel (the paper uses 64), scheduling with the
+    /// policy the `policy` tag names.
+    #[must_use]
+    pub fn new(
+        dram: DramModule,
+        mapping: AddressMapping,
+        policy: SchedulerPolicy,
+        queue_capacity: usize,
+    ) -> Self {
+        Self::with_policy(dram, mapping, policy.build(), queue_capacity)
+    }
+
+    /// Creates a controller scheduling with an explicit policy object —
+    /// the extension point for policies beyond the shipped
+    /// [`SchedulerPolicy`] tags.
+    #[must_use]
+    pub fn with_policy(
+        dram: DramModule,
+        mapping: AddressMapping,
+        policy: Box<dyn SchedulePolicy>,
+        queue_capacity: usize,
+    ) -> Self {
+        let channels = dram.geometry().channels;
+        let banks = (dram.geometry().ranks_per_channel * dram.geometry().banks_per_rank) as usize;
+        Self {
+            dram,
+            mapping,
+            policy,
+            page_policy: PagePolicy::Open,
+            queues: (0..channels)
+                .map(|_| ChannelQueues::new(queue_capacity))
+                .collect(),
+            next_id: 0,
+            completed: Vec::new(),
+            stats: SchedulerStats {
+                per_channel_requests: vec![0; channels as usize],
+                ..SchedulerStats::default()
+            },
+            last_cycle: 0,
+            caches: (0..channels).map(|_| ChannelCache::default()).collect(),
+            pending_per_bank: (0..channels).map(|_| vec![0; banks]).collect(),
+            command_trace: None,
+            response_faults: None,
+        }
+    }
+
+    /// Enables deterministic response-fault injection (dropped/late data
+    /// responses, queue saturation). Idempotent per config; the fault
+    /// schedule restarts from the seed.
+    ///
+    /// # Panics
+    ///
+    /// If `cfg` fails [`ResponseFaultConfig::validate`].
+    pub fn enable_response_faults(&mut self, cfg: ResponseFaultConfig) {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ResponseFaultConfig: {e}");
+        }
+        self.response_faults = Some(ResponseFaultState {
+            cfg,
+            draws: 0,
+            last_saturated_window: None,
+        });
+    }
+
+    /// Whether response-fault injection is active.
+    #[must_use]
+    pub fn response_faults_enabled(&self) -> bool {
+        self.response_faults.is_some()
+    }
+
+    /// Whether the queue-saturation fault is active for the window
+    /// containing `cycle`.
+    fn saturated_at(&self, cycle: u64) -> bool {
+        self.response_faults.as_ref().is_some_and(|f| {
+            f.cfg.saturation_rate > 0.0
+                && u01(mix64(
+                    f.cfg.seed ^ DOMAIN_SAT ^ (cycle >> SATURATION_WINDOW_SHIFT),
+                )) < f.cfg.saturation_rate
+        })
+    }
+
+    /// Starts recording every issued command (cycle, command). Useful for
+    /// debugging, external analysis and replay validation; costs memory
+    /// proportional to the command count.
+    pub fn enable_command_trace(&mut self) {
+        self.command_trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded command trace (empty if tracing was never
+    /// enabled), leaving tracing active if it was.
+    pub fn take_command_trace(&mut self) -> Vec<(u64, DramCommand)> {
+        self.take_command_events()
+            .into_iter()
+            .map(|e| (e.cycle, e.cmd))
+            .collect()
+    }
+
+    /// Takes the recorded command events — the trace with transaction
+    /// attribution — leaving tracing active if it was enabled.
+    pub fn take_command_events(&mut self) -> Vec<CommandEvent> {
+        match &mut self.command_trace {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    fn record_trace(&mut self, cycle: u64, cmd: DramCommand, txn: Option<TxnId>) {
+        if let Some(t) = &mut self.command_trace {
+            t.push(CommandEvent { cycle, cmd, txn });
+        }
+    }
+
+    /// The tag naming the policy in force.
+    #[must_use]
+    pub fn policy(&self) -> SchedulerPolicy {
+        self.policy.kind()
+    }
+
+    /// The stable name of the policy in force.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The policy-local counters of the policy in force.
+    #[must_use]
+    pub fn policy_stats(&self) -> PolicyStats {
+        self.policy.stats()
+    }
+
+    /// The page policy in force (defaults to [`PagePolicy::Open`]).
+    #[must_use]
+    pub fn page_policy(&self) -> PagePolicy {
+        self.page_policy
+    }
+
+    /// Selects the row-buffer management policy.
+    pub fn set_page_policy(&mut self, policy: PagePolicy) {
+        self.page_policy = policy;
+    }
+
+    /// The underlying DRAM module (for timing/geometry/bank statistics).
+    #[must_use]
+    pub fn dram(&self) -> &DramModule {
+        &self.dram
+    }
+
+    /// Scheduler statistics (controller-level; use
+    /// [`MemoryController::policy_stats`] for the policy-local counters).
+    #[must_use]
+    pub fn stats(&self) -> &SchedulerStats {
+        &self.stats
+    }
+
+    /// Number of requests currently queued (not yet issued).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(ChannelQueues::len).sum()
+    }
+
+    /// Whether a request with this address/direction would currently be
+    /// accepted.
+    #[must_use]
+    pub fn has_room(&self, addr: PhysAddr, is_write: bool) -> bool {
+        let loc = self.mapping.decode(addr);
+        let q = &self.queues[loc.channel as usize];
+        if self.saturated_at(self.last_cycle) {
+            q.dir_len(is_write) < q.capacity().div_ceil(2)
+        } else {
+            q.has_room(is_write)
+        }
+    }
+
+    /// Enqueues a request at `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the target channel queue has no free entry; the
+    /// caller must stall and retry (nothing is enqueued).
+    pub fn try_enqueue(&mut self, spec: RequestSpec, cycle: u64) -> Result<u64, QueueFull> {
+        let loc = self.mapping.decode(spec.addr);
+        if self.saturated_at(cycle) {
+            let window = cycle >> SATURATION_WINDOW_SHIFT;
+            if let Some(f) = &mut self.response_faults {
+                if f.last_saturated_window != Some(window) {
+                    f.last_saturated_window = Some(window);
+                    self.stats.queue_saturation_windows += 1;
+                }
+            }
+            let q = &self.queues[loc.channel as usize];
+            if q.dir_len(spec.is_write) >= q.capacity().div_ceil(2) {
+                return Err(QueueFull);
+            }
+        }
+        let id = self.next_id;
+        let req = Request {
+            id,
+            txn: spec.txn,
+            loc,
+            is_write: spec.is_write,
+            arrival: cycle,
+            first_cmd_at: None,
+            class: None,
+        };
+        self.queues[loc.channel as usize].push(req)?;
+        self.caches[loc.channel as usize].valid = false;
+        let banks_per_rank = self.dram.geometry().banks_per_rank;
+        self.pending_per_bank[loc.channel as usize]
+            [(loc.rank * banks_per_rank + loc.bank) as usize] += 1;
+        self.next_id += 1;
+        Ok(id)
+    }
+
+    /// Takes all requests completed since the last call.
+    pub fn drain_completed(&mut self) -> Vec<Completed> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Moves all requests completed since the last call into `out`,
+    /// retaining the internal buffer (no allocation in steady state).
+    pub fn drain_completed_into(&mut self, out: &mut Vec<Completed>) {
+        out.append(&mut self.completed);
+    }
+
+    /// The transaction currently being drained: the smallest transaction id
+    /// with an unissued request, if any.
+    #[must_use]
+    pub fn current_txn(&self) -> Option<TxnId> {
+        self.queues.iter().filter_map(ChannelQueues::min_txn).min()
+    }
+
+    /// Advances the controller by one memory cycle: refresh housekeeping,
+    /// then at most one command per channel according to the policy's plan
+    /// for this tick.
+    pub fn tick(&mut self, cycle: u64) {
+        debug_assert!(cycle >= self.last_cycle, "cycles must be non-decreasing");
+        self.last_cycle = cycle;
+        self.dram.tick(cycle);
+        for q in &self.queues {
+            self.stats.queue_occupancy_integral += q.len() as u64;
+        }
+        self.stats.ticks += 1;
+
+        // Bank idle accounting (Fig. 12(a)): a bank with pending requests
+        // either executes a command window this cycle or sits stalled —
+        // under transaction-based scheduling mostly because of the barrier.
+        let banks_per_rank = self.dram.geometry().banks_per_rank;
+        for (ch, per_bank) in self.pending_per_bank.iter().enumerate() {
+            for (b, &count) in per_bank.iter().enumerate() {
+                let rank = b as u32 / banks_per_rank;
+                let bank = b as u32 % banks_per_rank;
+                let loc = dram_sim::DramLocation {
+                    channel: ch as u32,
+                    rank,
+                    bank,
+                    row: 0,
+                    column: 0,
+                };
+                self.stats.bank_tick_integral += 1;
+                if self.dram.open_row(&loc).is_some() {
+                    self.stats.open_bank_integral += 1;
+                }
+                if count > 0 {
+                    if self.dram.bank_busy_at(ch as u32, rank, bank, cycle) {
+                        self.stats.busy_pending_bank_cycles += 1;
+                    } else {
+                        self.stats.stalled_bank_cycles += 1;
+                    }
+                }
+            }
+        }
+
+        // Algorithm 1 line 9-11 / Algorithm 2 line 13-15: the current
+        // transaction pointer advances as soon as no commands of it remain.
+        let current = self.current_txn();
+
+        let plan = self.policy.plan(cycle);
+        let lookahead = self.policy.lookahead();
+        let unconstrained = self.policy.unconstrained();
+        for ch in 0..self.queues.len() as u32 {
+            let issued = match current {
+                Some(t) if plan.issue => {
+                    self.schedule_channel(ch, t, lookahead, unconstrained, plan, cycle)
+                }
+                _ => false,
+            };
+            if !issued && self.page_policy == PagePolicy::Closed {
+                self.close_idle_rows(ch, cycle);
+            }
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The three scheduling passes (row-hit, bank-preparation, proactive) and
+//! command issue, parameterized by the policy's per-tick [`PassPlan`].
+
+use dram_sim::{CommandKind, DramCommand};
+
+use crate::policy::{CandidateOrder, PassPlan};
+use crate::request::{Completed, RowClass, TxnId};
+
+use super::faults::{mix64, u01, DOMAIN_DROP, DOMAIN_LATE};
+use super::MemoryController;
+
+/// The direction filter rounds a [`CandidateOrder`] expands to: `None`
+/// matches both directions in one age-ordered round (the FR-FCFS default);
+/// the prioritized orders run two filtered rounds over the same
+/// age-sorted candidate list.
+fn direction_rounds(order: CandidateOrder) -> &'static [Option<bool>] {
+    match order {
+        CandidateOrder::Age => &[None],
+        CandidateOrder::ReadsFirst => &[Some(false), Some(true)],
+        CandidateOrder::WritesFirst => &[Some(true), Some(false)],
+    }
+}
+
+impl MemoryController {
+    /// Applies the plan's row-hit, bank-preparation and (when enabled)
+    /// proactive PRE/ACT passes on one channel. Returns true if a command
+    /// was issued.
+    ///
+    /// The cached view's *structure* (which requests exist, which are hits)
+    /// is invalidated on every queue or bank-state change; row-open state
+    /// consulted for PRE/ACT decisions is always read live. Refresh may
+    /// close rows without invalidating the cache — a stale "hit" then
+    /// simply fails `can_issue` harmlessly (rows never *open*
+    /// asynchronously, so no hit is ever missed).
+    #[allow(clippy::expect_used)] // invariant, stated in the expect message
+    pub(super) fn schedule_channel(
+        &mut self,
+        ch: u32,
+        current: TxnId,
+        lookahead: u64,
+        unconstrained: bool,
+        plan: PassPlan,
+        cycle: u64,
+    ) -> bool {
+        if !self.caches[ch as usize].valid
+            || self.caches[ch as usize].built_for != (current, lookahead)
+        {
+            self.rebuild_cache(ch, current, lookahead, unconstrained);
+        }
+
+        // FR pass: oldest pending row hit that can issue its data command —
+        // the only pass that issues data (RD/WR) commands. The plan's
+        // direction rounds may let a younger read bypass an older write
+        // hit (or vice versa); candidates never cross the transaction
+        // window, so the reordering is intra-transaction only.
+        for &round in direction_rounds(plan.hit_order) {
+            for idx in 0..self.caches[ch as usize].hits.len() {
+                let (_, key) = self.caches[ch as usize].hits[idx];
+                if round.is_some_and(|w| w != key.0) {
+                    continue;
+                }
+                let req = self.queues[ch as usize].get(key);
+                let cmd = if req.is_write {
+                    DramCommand::write(req.loc)
+                } else {
+                    DramCommand::read(req.loc)
+                };
+                if self.dram.can_issue(&cmd, cycle).is_ok() {
+                    // A read issued under read priority while a write hit
+                    // was pending counts as one deferral for the policy.
+                    let bypassed = plan.hit_order == CandidateOrder::ReadsFirst
+                        && !key.0
+                        && self.caches[ch as usize].hits.iter().any(|&(_, (w, _))| w);
+                    self.issue_data_command(ch, key, cmd, cycle, bypassed);
+                    return true;
+                }
+            }
+        }
+
+        // FCFS pass: oldest current-transaction request per bank drives the
+        // bank preparation (PRE/ACT), in age order across banks (direction
+        // rounds applied on top). A bank with a pending row hit is left
+        // open so the hit survives.
+        for &round in direction_rounds(plan.prep_order) {
+            for idx in 0..self.caches[ch as usize].order_current.len() {
+                let (_, b) = self.caches[ch as usize].order_current[idx];
+                let view = self.caches[ch as usize].views[b];
+                let (_, key) = view.oldest_current.expect("in order_current");
+                if round.is_some_and(|w| w != key.0) {
+                    continue;
+                }
+                let req = self.queues[ch as usize].get(key).clone();
+                match self.dram.open_row(&req.loc) {
+                    Some(row) if row == req.loc.row => {
+                        // Row ready but data command blocked (bus/timing).
+                    }
+                    Some(_) => {
+                        if view.current_hit_pending {
+                            continue; // FR-FCFS row-hit preservation
+                        }
+                        let cmd = DramCommand::precharge(req.loc);
+                        if self.dram.can_issue(&cmd, cycle).is_ok() {
+                            self.issue_prep_command(ch, key, cmd, cycle, RowClass::Conflict, false);
+                            return true;
+                        }
+                    }
+                    None => {
+                        let cmd = DramCommand::activate(req.loc);
+                        if self.dram.can_issue(&cmd, cycle).is_ok() {
+                            self.issue_prep_command(ch, key, cmd, cycle, RowClass::Miss, false);
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Proactive pass (Algorithm 2, generalized to the policy's
+        // lookahead): PRE/ACT for lookahead-window requests whose conflicts
+        // are inter-transaction.
+        if !plan.proactive || lookahead == 0 {
+            return false;
+        }
+        for idx in 0..self.caches[ch as usize].order_future.len() {
+            let (_, b) = self.caches[ch as usize].order_future[idx];
+            let view = self.caches[ch as usize].views[b];
+            // Guard: the bank must have no pending request from the current
+            // transaction — otherwise the conflict is intra-transaction and
+            // Algorithm 2 leaves it alone.
+            if view.has_current {
+                continue;
+            }
+            let (_, key) = view.oldest_future.expect("in order_future");
+            let req = self.queues[ch as usize].get(key).clone();
+            match self.dram.open_row(&req.loc) {
+                Some(row) if row == req.loc.row => {
+                    // Already prepared (or naturally open): future hit.
+                }
+                Some(_) => {
+                    // Row-hit preservation, mirrored for the window: if any
+                    // window request still wants the open row, leave the
+                    // bank alone — otherwise PB would change row-buffer
+                    // outcomes, which the paper's fidelity argument forbids.
+                    if view.future_hit_pending {
+                        continue;
+                    }
+                    let cmd = DramCommand::precharge(req.loc);
+                    if self.dram.can_issue(&cmd, cycle).is_ok() {
+                        self.issue_prep_command(ch, key, cmd, cycle, RowClass::Conflict, true);
+                        return true;
+                    }
+                }
+                None => {
+                    let cmd = DramCommand::activate(req.loc);
+                    if self.dram.can_issue(&cmd, cycle).is_ok() {
+                        self.issue_prep_command(ch, key, cmd, cycle, RowClass::Miss, true);
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Close-page policy: precharge any open bank with no pending request
+    /// for its open row, as soon as timing allows. At most one PRE per
+    /// channel per cycle (the command bus is shared).
+    #[allow(clippy::expect_used)] // invariant, stated in the expect message
+    pub(super) fn close_idle_rows(&mut self, ch: u32, cycle: u64) {
+        let geometry = self.dram.geometry();
+        let banks_per_rank = geometry.banks_per_rank;
+        let ranks = geometry.ranks_per_channel;
+        for rank in 0..ranks {
+            for bank in 0..banks_per_rank {
+                let loc = dram_sim::DramLocation {
+                    channel: ch,
+                    rank,
+                    bank,
+                    row: 0,
+                    column: 0,
+                };
+                let Some(open) = self.dram.open_row(&loc) else {
+                    continue;
+                };
+                let wanted = self.queues[ch as usize]
+                    .reads
+                    .iter()
+                    .chain(self.queues[ch as usize].writes.iter())
+                    .any(|r| r.loc.rank == rank && r.loc.bank == bank && r.loc.row == open);
+                if wanted {
+                    continue;
+                }
+                let cmd = DramCommand::precharge(dram_sim::DramLocation { row: open, ..loc });
+                if self.dram.can_issue(&cmd, cycle).is_ok() {
+                    self.dram.issue(cmd, cycle).expect("checked");
+                    self.record_trace(cycle, cmd, None);
+                    self.caches[ch as usize].valid = false;
+                    self.stats.precharges += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Issues the RD/WR for a request and retires it — unless an injected
+    /// drop fault swallows the response.
+    #[allow(clippy::expect_used)] // invariant, stated in the expect message
+    fn issue_data_command(
+        &mut self,
+        ch: u32,
+        key: (bool, usize),
+        cmd: DramCommand,
+        cycle: u64,
+        bypassed_write_hit: bool,
+    ) {
+        let outcome = self.dram.issue(cmd, cycle).expect("checked with can_issue");
+        let txn = self.queues[ch as usize].get(key).txn;
+        self.record_trace(cycle, cmd, Some(txn));
+        self.caches[ch as usize].valid = false;
+        self.policy.observe_data_issue(key.0, bypassed_write_hit);
+        // Response-fault hooks. A *dropped* response consumes the DRAM
+        // command (bus and bank timing are spent) but never retires the
+        // request: it stays queued and a later scheduling pass reissues the
+        // data command. The transaction pointer cannot advance past the
+        // still-queued request, so data commands remain in transaction
+        // order — the fault costs latency only. A *late* response retires
+        // normally with `data_done_at` pushed back.
+        let mut extra_delay = 0;
+        if let Some(f) = &mut self.response_faults {
+            f.draws += 1;
+            if u01(mix64(f.cfg.seed ^ DOMAIN_DROP ^ f.draws)) < f.cfg.drop_rate {
+                self.stats.responses_dropped += 1;
+                let req = self.queues[ch as usize].get_mut(key);
+                req.record_first_command(cycle, RowClass::Hit);
+                return;
+            }
+            if u01(mix64(f.cfg.seed ^ DOMAIN_LATE ^ f.draws)) < f.cfg.late_rate {
+                self.stats.responses_delayed += 1;
+                extra_delay = f.cfg.late_delay;
+            }
+        }
+        let banks_per_rank = self.dram.geometry().banks_per_rank;
+        self.pending_per_bank[ch as usize]
+            [(cmd.loc.rank * banks_per_rank + cmd.loc.bank) as usize] -= 1;
+        let mut req = self.queues[ch as usize].remove(key);
+        req.record_first_command(cycle, RowClass::Hit);
+        let class = req.class.expect("set on first command");
+        let completed = Completed {
+            id: req.id,
+            txn: req.txn,
+            is_write: req.is_write,
+            arrival: req.arrival,
+            first_cmd_at: req.first_cmd_at.expect("set on first command"),
+            issue_at: cycle,
+            data_done_at: outcome.data_done_at.expect("data command") + extra_delay,
+            class,
+        };
+        self.stats.record_completion(&completed);
+        self.stats.per_channel_requests[ch as usize] += 1;
+        self.completed.push(completed);
+    }
+
+    /// Issues a PRE or ACT on behalf of a request (classifying it if this
+    /// is the request's first command) and updates the early-command
+    /// statistics when the issue was proactive.
+    #[allow(clippy::expect_used)] // invariant, stated in the expect message
+    fn issue_prep_command(
+        &mut self,
+        ch: u32,
+        key: (bool, usize),
+        cmd: DramCommand,
+        cycle: u64,
+        class_if_first: RowClass,
+        proactive: bool,
+    ) {
+        self.dram.issue(cmd, cycle).expect("checked with can_issue");
+        let txn = self.queues[ch as usize].get(key).txn;
+        self.record_trace(cycle, cmd, Some(txn));
+        self.caches[ch as usize].valid = false;
+        let req = self.queues[ch as usize].get_mut(key);
+        req.record_first_command(cycle, class_if_first);
+        match cmd.kind {
+            CommandKind::Precharge => {
+                self.stats.precharges += 1;
+                if proactive {
+                    self.stats.early_precharges += 1;
+                }
+            }
+            CommandKind::Activate => {
+                self.stats.activates += 1;
+                if proactive {
+                    self.stats.early_activates += 1;
+                }
+            }
+            _ => unreachable!("prep commands are PRE/ACT only"),
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! Scheduler-level statistics.
 
+use crate::policy::PolicyStats;
 use crate::request::{Completed, RowClass};
 
 /// Counters the memory controller accumulates while scheduling.
@@ -7,7 +8,9 @@ use crate::request::{Completed, RowClass};
 /// Together with the DRAM module's bank-busy accounting these provide every
 /// series the paper's Figs. 11 and 12 report: queueing times per direction,
 /// queue occupancy, row-buffer class mix, and the fraction of PRE/ACT
-/// commands the Proactive Bank scheduler managed to issue early.
+/// commands the active policy's proactive pass managed to issue early.
+/// The policy-local counters ([`PolicyStats`]) are folded in via
+/// [`SchedulerStats::absorb_policy`] whenever a backend snapshot is taken.
 #[derive(Debug, Clone, Default)]
 pub struct SchedulerStats {
     /// Scheduler ticks observed.
@@ -32,10 +35,23 @@ pub struct SchedulerStats {
     pub precharges: u64,
     /// ACT commands issued by the scheduler on behalf of queued requests.
     pub activates: u64,
-    /// PRE commands issued ahead of their transaction (PB only).
+    /// PRE commands issued ahead of their transaction by any policy's
+    /// proactive pass (Proactive Bank, speculative window, …).
     pub early_precharges: u64,
-    /// ACT commands issued ahead of their transaction (PB only).
+    /// ACT commands issued ahead of their transaction by any policy's
+    /// proactive pass.
     pub early_activates: u64,
+    /// Write row-hits bypassed in favor of a read data command (absorbed
+    /// from the policy's local counters; nonzero only under read-priority
+    /// policies).
+    pub deferred_writes: u64,
+    /// Forced write drains after a read-priority policy's deferral bound
+    /// was reached (absorbed from the policy's local counters).
+    pub write_drains: u64,
+    /// Ticks in which the policy withheld every issue slot (absorbed from
+    /// the policy's local counters; nonzero only under fixed-cadence
+    /// policies).
+    pub withheld_issue_slots: u64,
     /// Bank-cycles in which a bank had pending requests but executed
     /// nothing (the "bank idle time" the paper's Fig. 12(a) attributes to
     /// the transaction-based scheduling barrier).
@@ -161,6 +177,9 @@ impl SchedulerStats {
             activates: self.activates - earlier.activates,
             early_precharges: self.early_precharges - earlier.early_precharges,
             early_activates: self.early_activates - earlier.early_activates,
+            deferred_writes: self.deferred_writes - earlier.deferred_writes,
+            write_drains: self.write_drains - earlier.write_drains,
+            withheld_issue_slots: self.withheld_issue_slots - earlier.withheld_issue_slots,
             per_channel_requests: self
                 .per_channel_requests
                 .iter()
@@ -198,6 +217,9 @@ impl SchedulerStats {
         self.activates += other.activates;
         self.early_precharges += other.early_precharges;
         self.early_activates += other.early_activates;
+        self.deferred_writes += other.deferred_writes;
+        self.write_drains += other.write_drains;
+        self.withheld_issue_slots += other.withheld_issue_slots;
         self.stalled_bank_cycles += other.stalled_bank_cycles;
         self.busy_pending_bank_cycles += other.busy_pending_bank_cycles;
         self.per_channel_requests
@@ -207,6 +229,16 @@ impl SchedulerStats {
         self.responses_delayed += other.responses_delayed;
         self.responses_dropped += other.responses_dropped;
         self.queue_saturation_windows += other.queue_saturation_windows;
+    }
+
+    /// Overwrites the policy-attributed counters with a policy's local
+    /// cumulative totals. Called at snapshot time so windowed deltas and
+    /// shard merges see consistent values without double bookkeeping in
+    /// the controller hot path.
+    pub fn absorb_policy(&mut self, p: PolicyStats) {
+        self.deferred_writes = p.deferred_writes;
+        self.write_drains = p.write_drains;
+        self.withheld_issue_slots = p.withheld_slots;
     }
 
     /// Channel imbalance: the max-over-mean ratio of per-channel completed
@@ -328,6 +360,34 @@ mod tests {
         };
         assert!((s.channel_imbalance() - 2.0).abs() < 1e-12);
         assert_eq!(SchedulerStats::default().channel_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn absorb_policy_overwrites_attributed_counters() {
+        let mut s = SchedulerStats::default();
+        s.absorb_policy(PolicyStats {
+            withheld_slots: 7,
+            deferred_writes: 3,
+            write_drains: 2,
+        });
+        assert_eq!(s.withheld_issue_slots, 7);
+        assert_eq!(s.deferred_writes, 3);
+        assert_eq!(s.write_drains, 2);
+        // Absorbing is idempotent on cumulative totals, so a re-snapshot
+        // does not double-count.
+        s.absorb_policy(PolicyStats {
+            withheld_slots: 7,
+            deferred_writes: 3,
+            write_drains: 2,
+        });
+        assert_eq!(s.deferred_writes, 3);
+        // Windowed deltas subtract the new counters like any other.
+        let earlier = SchedulerStats::default();
+        assert_eq!(s.delta(&earlier).write_drains, 2);
+        let mut merged = SchedulerStats::default();
+        merged.merge_from(&s);
+        merged.merge_from(&s);
+        assert_eq!(merged.withheld_issue_slots, 14);
     }
 
     #[test]

@@ -51,6 +51,7 @@ impl ShardPipeline {
             &cfg.geometry,
             &cfg.timing,
             backend.dram_module().is_some(),
+            cfg.sched_policy.name(),
         );
         if conformance.stream_enabled() {
             backend.enable_command_trace();

@@ -22,6 +22,13 @@
 //! * [`oracle`] — differential-run primitives: extracting the data-command
 //!   (RD/WR) sequence from a trace, checking the transaction-order security
 //!   contract, and locating the first divergence between two runs.
+//! * [`PolicyAuditor`] — the scheduling-policy contract: every policy in
+//!   `mem-sched`'s policy lab (except the explicitly insecure
+//!   unconstrained ablation) must preserve the transaction-ordered
+//!   data-command sequence. The auditor streams a run's trace through the
+//!   order oracle and folds a canonical (intra-transaction
+//!   order-insensitive) digest, so any two conforming policies can be
+//!   proven observably equivalent by digest equality.
 //! * [`ShardResidencyAuditor`] — the sharded engine's global invariant:
 //!   per-shard residency snapshots must partition the block address space
 //!   (no block resident in two shards, no block routed to the wrong shard).
@@ -50,6 +57,7 @@
 
 pub mod audit;
 pub mod oracle;
+pub mod policy;
 pub mod service;
 pub mod shadow;
 pub mod shard;
@@ -60,6 +68,7 @@ pub use audit::{CircuitAuditor, OramAuditor, PathAuditor, ProtocolAuditor};
 pub use oracle::{
     check_txn_order, data_commands, first_divergence, grouped_by_txn, DataCmd, TxnOrderChecker,
 };
+pub use policy::PolicyAuditor;
 pub use service::{AuditedPolicy, RequestOutcome, ServiceAuditor};
 pub use shadow::ShadowTimingChecker;
 pub use shard::ShardResidencyAuditor;

@@ -21,6 +21,7 @@ use dram_sim::timing::TimingParams;
 use mem_sched::CommandEvent;
 
 use crate::oracle::TxnOrderChecker;
+use crate::policy::PolicyAuditor;
 use crate::shadow::ShadowTimingChecker;
 use crate::violation::Violation;
 
@@ -29,6 +30,7 @@ use crate::violation::Violation;
 pub struct StreamConformance {
     shadow: Option<ShadowTimingChecker>,
     order: Option<TxnOrderChecker>,
+    policy: Option<PolicyAuditor>,
 }
 
 impl StreamConformance {
@@ -38,6 +40,7 @@ impl StreamConformance {
         Self {
             shadow: None,
             order: None,
+            policy: None,
         }
     }
 
@@ -48,6 +51,7 @@ impl StreamConformance {
         Self {
             shadow: Some(ShadowTimingChecker::new(geometry, timing)),
             order: Some(TxnOrderChecker::new()),
+            policy: None,
         }
     }
 
@@ -58,13 +62,34 @@ impl StreamConformance {
         Self {
             shadow: None,
             order: Some(TxnOrderChecker::new()),
+            policy: None,
         }
+    }
+
+    /// Upgrades the bare transaction-order oracle to a full
+    /// [`PolicyAuditor`] labelled with the scheduling policy under audit
+    /// (the auditor embeds the same oracle, so ordering coverage is
+    /// unchanged and the canonical data-command digest becomes available).
+    /// A no-op on a layer without the order checker — a disabled layer
+    /// stays disabled.
+    #[must_use]
+    pub fn audit_policy(mut self, policy: &str) -> Self {
+        if self.order.take().is_some() {
+            self.policy = Some(PolicyAuditor::new(policy));
+        }
+        self
+    }
+
+    /// The policy auditor, when [`Self::audit_policy`] attached one.
+    #[must_use]
+    pub fn policy_auditor(&self) -> Option<&PolicyAuditor> {
+        self.policy.as_ref()
     }
 
     /// Whether any checker is attached.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
-        self.shadow.is_some() || self.order.is_some()
+        self.shadow.is_some() || self.order.is_some() || self.policy.is_some()
     }
 
     /// Feeds one command event to every attached checker.
@@ -74,6 +99,9 @@ impl StreamConformance {
         }
         if let Some(order) = &mut self.order {
             order.observe(ev);
+        }
+        if let Some(policy) = &mut self.policy {
+            policy.observe(ev);
         }
     }
 
@@ -87,6 +115,9 @@ impl StreamConformance {
         }
         if let Some(order) = &mut self.order {
             out.extend(order.take_violations());
+        }
+        if let Some(policy) = &mut self.policy {
+            out.extend(policy.take_violations());
         }
         out
     }

@@ -58,6 +58,12 @@ impl From<&str> for ConfigError {
     }
 }
 
+impl From<mem_sched::FaultConfigError> for ConfigError {
+    fn from(e: mem_sched::FaultConfigError) -> Self {
+        Self::Invalid(e.to_string())
+    }
+}
+
 /// The four design points the paper's evaluation compares (Fig. 10-12).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
@@ -165,8 +171,11 @@ pub struct SystemConfig {
     pub geometry: DramGeometry,
     /// DRAM timing parameters.
     pub timing: TimingParams,
-    /// Memory scheduling policy.
-    pub policy: SchedulerPolicy,
+    /// Command-scheduling policy the memory controller runs (one of the
+    /// five `mem-sched` policy-lab points; presets select the paper's
+    /// transaction-based baseline or Proactive Bank via
+    /// [`Self::for_scheme`]).
+    pub sched_policy: SchedulerPolicy,
     /// Entries per direction per channel in the controller queues.
     pub queue_capacity: usize,
     /// Number of cores (Table I: 4).
@@ -327,7 +336,7 @@ impl SystemConfig {
                 ring: RingConfig::hpca_default(),
                 geometry: DramGeometry::hpca_default(),
                 timing: TimingParams::ddr3_1600(),
-                policy: SchedulerPolicy::TransactionBased,
+                sched_policy: SchedulerPolicy::TransactionBased,
                 queue_capacity: 64,
                 cores: 4,
                 retire_width: 4,
@@ -366,7 +375,7 @@ impl SystemConfig {
                 ring,
                 geometry: DramGeometry::test_medium(),
                 timing: TimingParams::test_fast(),
-                policy: SchedulerPolicy::TransactionBased,
+                sched_policy: SchedulerPolicy::TransactionBased,
                 queue_capacity: 64,
                 cores: 2,
                 retire_width: 4,
@@ -395,7 +404,7 @@ impl SystemConfig {
         if !scheme.uses_cb() {
             base.ring.y = 0;
         }
-        base.policy = if scheme.uses_pb() {
+        base.sched_policy = if scheme.uses_pb() {
             SchedulerPolicy::proactive()
         } else {
             SchedulerPolicy::TransactionBased
@@ -469,6 +478,18 @@ impl SystemConfig {
         if self.core_mlp == 0 {
             return Err("core_mlp must be at least 1".into());
         }
+        match self.sched_policy {
+            SchedulerPolicy::ReadOverWrite { drain_bound: 0 } => {
+                return Err("read-over-write drain_bound must be at least 1".into());
+            }
+            SchedulerPolicy::SpeculativeWindow { window: 0 } => {
+                return Err("speculative-window window must be at least 1".into());
+            }
+            SchedulerPolicy::FixedCadence { period: 0 } => {
+                return Err("fixed-cadence period must be at least 1".into());
+            }
+            _ => {}
+        }
         if !(0.0..=1.0).contains(&self.load_factor) {
             return Err("load_factor must be in [0, 1]".into());
         }
@@ -537,19 +558,19 @@ mod tests {
     fn schemes_toggle_the_right_knobs() {
         let base = SystemConfig::hpca_default(Scheme::Baseline);
         assert_eq!(base.ring.y, 0);
-        assert_eq!(base.policy, SchedulerPolicy::TransactionBased);
+        assert_eq!(base.sched_policy, SchedulerPolicy::TransactionBased);
 
         let cb = SystemConfig::hpca_default(Scheme::Cb);
         assert_eq!(cb.ring.y, 8);
-        assert_eq!(cb.policy, SchedulerPolicy::TransactionBased);
+        assert_eq!(cb.sched_policy, SchedulerPolicy::TransactionBased);
 
         let pb = SystemConfig::hpca_default(Scheme::Pb);
         assert_eq!(pb.ring.y, 0);
-        assert_eq!(pb.policy, SchedulerPolicy::proactive());
+        assert_eq!(pb.sched_policy, SchedulerPolicy::proactive());
 
         let all = SystemConfig::hpca_default(Scheme::All);
         assert_eq!(all.ring.y, 8);
-        assert_eq!(all.policy, SchedulerPolicy::proactive());
+        assert_eq!(all.sched_policy, SchedulerPolicy::proactive());
     }
 
     #[test]

@@ -32,7 +32,8 @@ pub fn build_backend(cfg: &SystemConfig) -> Box<dyn MemoryBackend> {
             if let Some(f) = &cfg.faults {
                 dram.enable_faults(f.dram);
             }
-            let mut ctrl = MemoryController::new(dram, mapping, cfg.policy, cfg.queue_capacity);
+            let mut ctrl =
+                MemoryController::new(dram, mapping, cfg.sched_policy, cfg.queue_capacity);
             ctrl.set_page_policy(cfg.page_policy);
             if let Some(f) = &cfg.faults {
                 ctrl.enable_response_faults(f.memctrl);

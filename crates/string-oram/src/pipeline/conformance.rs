@@ -40,6 +40,9 @@ impl Conformance {
     /// and plan shapes are sized right. `backend_has_dram` selects which
     /// stream checkers apply: the JEDEC shadow layer needs a cycle-accurate
     /// DRAM model behind the trace, the transaction-order oracle does not.
+    /// `sched_policy` labels the policy auditor that replaces the bare
+    /// order oracle (same ordering coverage plus the canonical
+    /// data-command digest; see [`sim_verify::PolicyAuditor`]).
     #[must_use]
     pub fn new(
         verify: &VerifyConfig,
@@ -48,6 +51,7 @@ impl Conformance {
         geometry: &DramGeometry,
         timing: &TimingParams,
         backend_has_dram: bool,
+        sched_policy: &str,
     ) -> Self {
         let stream = if !verify.shadow_timing {
             StreamConformance::disabled()
@@ -55,7 +59,8 @@ impl Conformance {
             StreamConformance::cycle_accurate(geometry.clone(), timing.clone())
         } else {
             StreamConformance::order_only()
-        };
+        }
+        .audit_policy(sched_policy);
         Self {
             stream,
             auditor: verify
@@ -124,5 +129,12 @@ impl Conformance {
     #[must_use]
     pub fn violations(&self) -> &[Violation] {
         &self.violations
+    }
+
+    /// The scheduling-policy auditor, when the stream checkers are enabled
+    /// (its canonical digest proves policies observably equivalent).
+    #[must_use]
+    pub fn policy_auditor(&self) -> Option<&sim_verify::PolicyAuditor> {
+        self.stream.policy_auditor()
     }
 }

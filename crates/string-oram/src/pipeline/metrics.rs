@@ -211,6 +211,7 @@ pub fn build_report(
     };
     SimReport {
         label,
+        policy_name: cfg.sched_policy.name().to_string(),
         shards: 1,
         total_cycles: elapsed,
         makespan_cycles: elapsed,
@@ -226,6 +227,8 @@ pub fn build_report(
         pending_bank_idle_proportion: sched.pending_bank_idle_proportion(),
         early_precharge_fraction: sched.early_precharge_fraction(),
         early_activate_fraction: sched.early_activate_fraction(),
+        deferred_writes: sched.deferred_writes,
+        withheld_issue_slots: sched.withheld_issue_slots,
         protocol,
         resilience,
         requests_completed: sched.reads_completed + sched.writes_completed,

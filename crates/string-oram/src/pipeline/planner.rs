@@ -428,6 +428,7 @@ mod tests {
             &cfg.geometry,
             &cfg.timing,
             true,
+            cfg.sched_policy.name(),
         );
         (Planner::build(&cfg).unwrap(), conf)
     }

@@ -348,6 +348,9 @@ impl ServiceSummary {
 pub struct SimReport {
     /// Free-form run label (workload / scheme).
     pub label: String,
+    /// Stable name of the command-scheduling policy the run used
+    /// (`mem_sched::SchedulerPolicy::name`, e.g. `"proactive-bank"`).
+    pub policy_name: String,
     /// Shard instances the run used (1 = the unsharded pipeline). For a
     /// merged sharded report, every extensive counter below is the sum over
     /// shards, combined in shard-id order.
@@ -386,6 +389,12 @@ pub struct SimReport {
     pub early_precharge_fraction: f64,
     /// Fraction of ACT commands issued early by PB (Fig. 12(b)).
     pub early_activate_fraction: f64,
+    /// Write data commands a read bypassed under a read-priority policy
+    /// (zero for policies without read/write prioritization).
+    pub deferred_writes: u64,
+    /// Issue slots a pacing policy declined to use (zero except under
+    /// fixed-cadence scheduling).
+    pub withheld_issue_slots: u64,
     /// Protocol statistics (greens, stash samples, background evictions).
     pub protocol: ProtocolStats,
     /// Fault-injection and graceful-degradation counters (all zeros when

@@ -154,6 +154,7 @@ impl Simulation {
             &cfg.geometry,
             &cfg.timing,
             backend.dram_module().is_some(),
+            cfg.sched_policy.name(),
         );
         if conformance.stream_enabled() {
             backend.enable_command_trace();
@@ -351,6 +352,16 @@ impl Simulation {
     #[must_use]
     pub fn violations(&self) -> &[sim_verify::Violation] {
         self.conformance.violations()
+    }
+
+    /// The scheduling-policy auditor riding on this run's command stream
+    /// (`None` when stream checking is off). Its canonical digest is the
+    /// policy-equivalence oracle: two runs with equal digests and zero
+    /// violations issued the same transaction-ordered data-command
+    /// sequence.
+    #[must_use]
+    pub fn policy_auditor(&self) -> Option<&sim_verify::PolicyAuditor> {
+        self.conformance.policy_auditor()
     }
 
     /// Raw program read-path latency samples recorded so far, in cycles —

@@ -22,6 +22,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use dram_sim::geometry::DramGeometry;
+use dram_sim::timing::TimingParams;
+use dram_sim::{AddressMapping, DramLocation, DramModule};
+use mem_sched::{MemoryController, RequestSpec, SchedulerPolicy, TxnId};
 use string_oram::{BackendKind, ProtocolKind, Scheme, Simulation, SystemConfig, VerifyConfig};
 use trace_synth::{by_name, TraceGenerator};
 
@@ -128,6 +132,71 @@ fn assert_steady_state_window(protocol: ProtocolKind, levels: u32) {
     assert_eq!(sim.oram_accesses(), warmed + measured);
 }
 
+/// Enqueues one batch of mixed-direction transactions and runs the
+/// controller dry, draining completions into the caller's reused buffer.
+fn run_batch(
+    ctrl: &mut MemoryController,
+    mapping: &AddressMapping,
+    out: &mut Vec<mem_sched::Completed>,
+    cycle: &mut u64,
+    first_txn: u64,
+) {
+    for t in 0..8u64 {
+        for i in 0..4u64 {
+            let loc = DramLocation {
+                channel: (i % 2) as u32,
+                rank: 0,
+                bank: ((t + i) % 4) as u32,
+                row: (t * 7 + i) % 64,
+                column: (i % 8) as u32,
+            };
+            ctrl.try_enqueue(
+                RequestSpec {
+                    addr: mapping.encode(&loc),
+                    is_write: i % 3 == 0,
+                    txn: TxnId(first_txn + t),
+                },
+                *cycle,
+            )
+            .unwrap();
+        }
+    }
+    while ctrl.pending() > 0 {
+        ctrl.tick(*cycle);
+        ctrl.drain_completed_into(out);
+        out.clear();
+        *cycle += 1;
+        assert!(*cycle < 1_000_000, "scheduler wedged");
+    }
+}
+
+/// Controller-direct window for one scheduling policy: after a warm-up
+/// batch fills the queue slab, the channel caches and the completion
+/// buffer, a second batch scheduled through the `SchedulePolicy` trait
+/// object must not allocate — per-tick planning, candidate iteration and
+/// policy-local stats all live in pre-sized state.
+fn assert_controller_steady_state(policy: SchedulerPolicy) {
+    let geometry = DramGeometry::test_small();
+    let mapping = AddressMapping::hpca_default(&geometry);
+    let dram = DramModule::new(geometry, TimingParams::test_fast());
+    let mut ctrl = MemoryController::new(dram, mapping, policy, 64);
+    let encode = AddressMapping::hpca_default(&DramGeometry::test_small());
+    let mut out = Vec::with_capacity(64);
+    let mut cycle = 0u64;
+
+    run_batch(&mut ctrl, &encode, &mut out, &mut cycle, 0);
+
+    let baseline = ALLOCATIONS.load(Ordering::SeqCst);
+    run_batch(&mut ctrl, &encode, &mut out, &mut cycle, 8);
+    let during = ALLOCATIONS.load(Ordering::SeqCst) - baseline;
+    assert_eq!(
+        during,
+        0,
+        "{}: steady-state scheduling allocated {during} times",
+        ctrl.policy_name()
+    );
+}
+
 #[test]
 fn steady_state_access_performs_no_heap_allocation() {
     // A 10-level tree (1023 buckets) is small enough that the trace fully
@@ -138,4 +207,13 @@ fn steady_state_access_performs_no_heap_allocation() {
     assert_steady_state_window(ProtocolKind::RingCb, 10);
     assert_steady_state_window(ProtocolKind::Path, 9);
     assert_steady_state_window(ProtocolKind::Circuit, 10);
+
+    // The scheduler-policy lab rides in the same binary (same single-test
+    // isolation): trait-object dispatch through every policy must stay
+    // zero-alloc on the cycle-accurate controller's hot path.
+    assert_controller_steady_state(SchedulerPolicy::TransactionBased);
+    assert_controller_steady_state(SchedulerPolicy::ProactiveBank { lookahead: 1 });
+    assert_controller_steady_state(SchedulerPolicy::ReadOverWrite { drain_bound: 4 });
+    assert_controller_steady_state(SchedulerPolicy::SpeculativeWindow { window: 4 });
+    assert_controller_steady_state(SchedulerPolicy::FixedCadence { period: 2 });
 }

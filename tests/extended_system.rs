@@ -81,7 +81,7 @@ fn page_policy_and_unconstrained_compose_with_recursion() {
     let r = run_with(
         |cfg| {
             cfg.page_policy = PagePolicy::Closed;
-            cfg.policy = SchedulerPolicy::Unconstrained;
+            cfg.sched_policy = SchedulerPolicy::Unconstrained;
             cfg.core_mlp = 4;
             cfg.recursion = Some(RecursionSettings {
                 tracked_blocks: 1 << 12,

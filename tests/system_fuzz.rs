@@ -82,7 +82,7 @@ fn build(f: &FuzzConfig) -> SystemConfig {
     };
     cfg.load_factor = f64::from(f.load) / 10.0 * 0.8; // 0.0..=0.72
     if scheme.uses_pb() {
-        cfg.policy = SchedulerPolicy::ProactiveBank {
+        cfg.sched_policy = SchedulerPolicy::ProactiveBank {
             lookahead: f.lookahead,
         };
     }
@@ -124,7 +124,7 @@ fn any_configuration_completes_consistently() {
         sim.oram().check_invariants();
 
         // Baseline schedulers never issue early commands.
-        if !matches!(cfg.policy, SchedulerPolicy::ProactiveBank { .. }) {
+        if !matches!(cfg.sched_policy, SchedulerPolicy::ProactiveBank { .. }) {
             assert_eq!(r.early_precharge_fraction, 0.0);
             assert_eq!(r.early_activate_fraction, 0.0);
         }

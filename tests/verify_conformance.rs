@@ -190,7 +190,7 @@ fn shadow_checker_catches_injected_reordering() {
 #[should_panic(expected = "conformance violation")]
 fn unconstrained_scheduler_trips_fail_fast() {
     let mut cfg = SystemConfig::test_small(Scheme::Baseline);
-    cfg.policy = SchedulerPolicy::Unconstrained;
+    cfg.sched_policy = SchedulerPolicy::Unconstrained;
     cfg.verify.fail_fast = true;
     cfg.validate().expect("config is structurally valid");
     let traces = traces_for(&cfg, "libq", 7, 80);
